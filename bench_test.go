@@ -1,0 +1,298 @@
+package repro_test
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations from DESIGN.md. The benches share their drivers with
+// cmd/benchharness (package internal/experiments), so `go test -bench=.`
+// and the harness measure the same code paths.
+//
+// Naming:
+//
+//	BenchmarkTable2_*            — Table 2 rows (per-platform round trip)
+//	BenchmarkFig9_*              — Fig. 9 series (same workload; the figure
+//	                               is the distribution, printed by the
+//	                               harness; the bench reports the mean)
+//	BenchmarkFig11_*             — Fig. 11 cells (ORB × message size)
+//	BenchmarkAblation*           — design-choice ablations
+//	BenchmarkFramework*          — micro-benches of the framework hot paths
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corba"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/giop"
+	"repro/internal/memory"
+	"repro/internal/orb"
+	"repro/internal/platform"
+	"repro/internal/rtzen"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// benchPingPong drives the Table 2 / Fig. 9 workload under a platform model.
+func benchPingPong(b *testing.B, model platform.Model) {
+	b.Helper()
+	pp, err := experiments.NewPingPong(experiments.PingPongConfig{
+		Synchronous: true, Persistent: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pp.Close()
+	inj := platform.NewInjector(model, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Operation()
+		if _, err := pp.RoundTrip(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_Mackinac(b *testing.B)  { benchPingPong(b, platform.Mackinac()) }
+func BenchmarkTable2_TimesysRI(b *testing.B) { benchPingPong(b, platform.TimesysRI()) }
+func BenchmarkTable2_JDK14(b *testing.B)     { benchPingPong(b, platform.JDK14()) }
+
+// Fig. 9 uses the same workload as Table 2; the figure itself (min/median/
+// max distribution) is rendered by `benchharness -experiment fig9`.
+func BenchmarkFig9_Mackinac(b *testing.B)  { benchPingPong(b, platform.Mackinac()) }
+func BenchmarkFig9_TimesysRI(b *testing.B) { benchPingPong(b, platform.TimesysRI()) }
+func BenchmarkFig9_JDK14(b *testing.B)     { benchPingPong(b, platform.JDK14()) }
+
+// benchCompadresEcho drives one Fig. 11 Compadres ORB cell.
+func benchCompadresEcho(b *testing.B, size int) {
+	b.Helper()
+	net := transport.NewInproc()
+	srv, err := orb.NewServer(orb.ServerConfig{Network: net, ScopePoolCount: 4, Synchronous: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterServant("echo", corba.EchoServant{})
+	srv.ServeBackground()
+	cl, err := orb.DialClient(orb.ClientConfig{
+		Network: net, Addr: srv.Addr(), ScopePoolCount: 4, Synchronous: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	payload := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRTZenEcho drives one Fig. 11 RTZen cell.
+func benchRTZenEcho(b *testing.B, size int) {
+	b.Helper()
+	net := transport.NewInproc()
+	srv, err := rtzen.NewServer(rtzen.ServerConfig{Network: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterServant("echo", corba.EchoServant{})
+	srv.ServeBackground()
+	cl, err := rtzen.DialClient(rtzen.ClientConfig{Network: net, Addr: srv.Addr()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	payload := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_CompadresORB(b *testing.B) {
+	for _, size := range experiments.Fig11Sizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) { benchCompadresEcho(b, size) })
+	}
+}
+
+func BenchmarkFig11_RTZen(b *testing.B) {
+	for _, size := range experiments.Fig11Sizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) { benchRTZenEcho(b, size) })
+	}
+}
+
+// benchMechanism drives the Fig. 6 round trip under one cross-scope
+// mechanism (Ablation A).
+func benchMechanism(b *testing.B, mech core.Mechanism) {
+	b.Helper()
+	pp, err := experiments.NewPingPong(experiments.PingPongConfig{
+		Synchronous: true, Persistent: true, Mechanism: mech,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pp.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pp.RoundTrip(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCrossScope_SharedObject(b *testing.B) {
+	benchMechanism(b, core.MechanismSharedObject)
+}
+func BenchmarkAblationCrossScope_Serialization(b *testing.B) {
+	benchMechanism(b, core.MechanismSerialization)
+}
+func BenchmarkAblationCrossScope_Handoff(b *testing.B) {
+	benchMechanism(b, core.MechanismHandoff)
+}
+
+// BenchmarkAblationScopePool compares transient component churn with and
+// without pooled scopes (Ablation C).
+func BenchmarkAblationScopePool(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		pool bool
+	}{{"FreshScopes", false}, {"ScopePool", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			pp, err := experiments.NewPingPong(experiments.PingPongConfig{
+				Synchronous: true, Persistent: false, UseScopePool: variant.pool,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pp.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pp.RoundTrip(int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDispatch compares synchronous and thread-pool port
+// dispatch (Ablation D).
+func BenchmarkAblationDispatch(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		sync bool
+	}{{"Synchronous", true}, {"ThreadPool", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			pp, err := experiments.NewPingPong(experiments.PingPongConfig{
+				Synchronous: variant.sync, Persistent: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pp.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pp.RoundTrip(int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrameworkScopeEnterExit measures the raw cost of entering and
+// reclaiming a scoped region.
+func BenchmarkFrameworkScopeEnterExit(b *testing.B) {
+	model := memory.NewModel(memory.Config{})
+	ctx := model.NewContext()
+	area := model.NewLTScoped("bench", 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.Enter(area, func(c *memory.Context) error {
+			_, err := c.Alloc(64)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameworkScopePoolAcquire measures pooled scope turnaround.
+func BenchmarkFrameworkScopePoolAcquire(b *testing.B) {
+	model := memory.NewModel(memory.Config{})
+	pool, err := model.NewScopePool(memory.ScopePoolConfig{Name: "bench", AreaSize: 4096, Count: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := model.NewContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		area, err := pool.Acquire()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ctx.Enter(area, func(c *memory.Context) error {
+			_, err := c.Alloc(64)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameworkGIOPMarshal measures the shared codec both ORBs use.
+func BenchmarkFrameworkGIOPMarshal(b *testing.B) {
+	for _, size := range []int{32, 1024} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			req := &giop.Request{
+				RequestID: 1, ResponseExpected: true,
+				ObjectKey: []byte("echo"), Operation: "echo", Payload: payload,
+			}
+			buf := make([]byte, 0, size+256)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wire := giop.MarshalRequest(buf[:0], giop.BigEndian, req)
+				h, err := giop.ParseHeader(wire)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := giop.UnmarshalRequest(h.Order, wire[giop.HeaderSize:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrameworkLTvsVTCreation compares linear-time scoped area
+// creation (pre-zeroed, predictable) against variable-time creation (lazy
+// zeroing) across region sizes — the reason the paper's model only uses
+// LTScopedMemory plus pools.
+func BenchmarkFrameworkLTvsVTCreation(b *testing.B) {
+	for _, size := range []int64{1 << 12, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("LT/%dKiB", size/1024), func(b *testing.B) {
+			model := memory.NewModel(memory.Config{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = model.NewLTScoped("bench", size)
+			}
+		})
+		b.Run(fmt.Sprintf("VT/%dKiB", size/1024), func(b *testing.B) {
+			model := memory.NewModel(memory.Config{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = model.NewVTScoped("bench", size)
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+// Command benchharness regenerates every table and figure of the paper's
+// evaluation section and prints them in the paper's layout:
+//
+//	benchharness -experiment table2      # Table 2: median + jitter per platform
+//	benchharness -experiment fig9        # Fig. 9: latency distributions per platform
+//	benchharness -experiment fig11       # Fig. 11: Compadres ORB vs RTZen by size
+//	benchharness -experiment ablations   # cross-scope / shadow-port / scope-pool
+//	benchharness -experiment all
+//
+// Use -observations and -warmup to trade accuracy for time; the defaults
+// are the paper's 10,000 steady-state observations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | all")
+		obs        = flag.Int("observations", metrics.DefaultObservations, "steady-state observations per configuration")
+		warmup     = flag.Int("warmup", metrics.DefaultWarmup, "warm-up iterations discarded before measuring")
+	)
+	flag.Parse()
+	if err := run(*experiment, *warmup, *obs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchharness:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, warmup, obs int) error {
+	switch experiment {
+	case "table2":
+		return runTable2(warmup, obs, false)
+	case "fig9":
+		return runTable2(warmup, obs, true)
+	case "fig11":
+		return runFig11(warmup, obs)
+	case "ablations":
+		return runAblations(warmup, obs)
+	case "all":
+		if err := runTable2(warmup, obs, true); err != nil {
+			return err
+		}
+		if err := runFig11(warmup, obs); err != nil {
+			return err
+		}
+		return runAblations(warmup, obs)
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func runTable2(warmup, obs int, histograms bool) error {
+	fmt.Printf("== Table 2: round-trip median and jitter, co-located Compadres client-server ==\n")
+	fmt.Printf("   (%d observations after %d warm-up iterations; simulated platforms)\n\n", obs, warmup)
+	rows, err := experiments.RunTable2(warmup, obs)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Platform\tMedian (µs)\tJitter (µs)\tMin (µs)\tMax (µs)\tP99 (µs)")
+	for _, r := range rows {
+		s := r.Summary
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n", r.Platform,
+			metrics.Micros(s.Median), metrics.Micros(s.Jitter),
+			metrics.Micros(s.Min), metrics.Micros(s.Max), metrics.Micros(s.P99))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	if histograms {
+		fmt.Printf("== Fig. 9: round-trip latency distributions ==\n\n")
+		for _, r := range rows {
+			fmt.Printf("--- %s (min %sµs, median %sµs, max %sµs) ---\n",
+				r.Platform, metrics.Micros(r.Summary.Min),
+				metrics.Micros(r.Summary.Median), metrics.Micros(r.Summary.Max))
+			fmt.Print(metrics.Histogram(r.Samples, 16, 48))
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func runFig11(warmup, obs int) error {
+	fmt.Printf("== Fig. 11: Compadres ORB vs RTZen round-trip latency by message size ==\n")
+	fmt.Printf("   (%d observations after %d warm-up iterations; TimesysRI platform model, in-process loopback)\n\n", obs, warmup)
+	points, err := experiments.RunFig11(nil, warmup, obs)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ORB\tSize (B)\tMedian (µs)\tP99 (µs)\tJitter (µs)\tMin (µs)\tMax (µs)")
+	for _, p := range points {
+		s := p.Summary
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n", p.ORB, p.Size,
+			metrics.Micros(s.Median), metrics.Micros(s.P99), metrics.Micros(s.Jitter),
+			metrics.Micros(s.Min), metrics.Micros(s.Max))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runAblations(warmup, obs int) error {
+	type ablation struct {
+		title string
+		run   func(int, int) ([]experiments.AblationRow, error)
+	}
+	ablations := []ablation{
+		{"Ablation A: cross-scope message passing mechanisms (§2.2)", experiments.RunAblationCrossScope},
+		{"Ablation B: shadow port vs parent relay (Fig. 5)", experiments.RunAblationShadowPort},
+		{"Ablation C: scope pool vs fresh scopes for transient components", experiments.RunAblationScopePool},
+		{"Ablation D: synchronous vs thread-pool port dispatch", experiments.RunAblationDispatch},
+	}
+	for _, a := range ablations {
+		fmt.Printf("== %s ==\n\n", a.title)
+		rows, err := a.run(warmup, obs)
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "Variant\tMedian (µs)\tJitter (µs)\tMin (µs)\tMax (µs)")
+		for _, r := range rows {
+			s := r.Summary
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", r.Variant,
+				metrics.Micros(s.Median), metrics.Micros(s.Jitter),
+				metrics.Micros(s.Min), metrics.Micros(s.Max))
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command compadresc is the Compadres compiler front end (Fig. 1 of the
+// paper): it validates a Component Definition Language file and a Component
+// Composition Language file against each other, reports the planned
+// scoped-memory architecture, and generates Go skeletons plus application
+// glue.
+//
+//	compadresc -cdl defs.xml -validate              # phase 1: check definitions
+//	compadresc -cdl defs.xml -out gen/ -pkg app     # phase 1: generate skeletons
+//	compadresc -cdl defs.xml -ccl app.xml -validate # phase 2: check composition
+//	compadresc -cdl defs.xml -ccl app.xml -out gen/ # phase 2: skeletons + glue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ccl"
+	"repro/internal/cdl"
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+)
+
+func main() {
+	var (
+		cdlPath  = flag.String("cdl", "", "Component Definition Language file (required)")
+		cclPath  = flag.String("ccl", "", "Component Composition Language file")
+		outDir   = flag.String("out", "", "output directory for generated Go sources")
+		pkg      = flag.String("pkg", "app", "package name for generated sources")
+		validate = flag.Bool("validate", false, "validate only; generate nothing")
+	)
+	flag.Parse()
+	if err := run(*cdlPath, *cclPath, *outDir, *pkg, *validate); err != nil {
+		fmt.Fprintln(os.Stderr, "compadresc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cdlPath, cclPath, outDir, pkg string, validateOnly bool) error {
+	if cdlPath == "" {
+		return fmt.Errorf("-cdl is required")
+	}
+	defs, err := cdl.ParseFile(cdlPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CDL %s: %d component classes, %d message types\n",
+		cdlPath, len(defs.Components), len(defs.MessageTypes()))
+
+	var plan *compiler.Plan
+	if cclPath != "" {
+		app, err := ccl.ParseFile(cclPath)
+		if err != nil {
+			return err
+		}
+		plan, err = compiler.Compile(defs, app)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("CCL %s: application %q, %d instances, %d connections\n",
+			cclPath, plan.AppName, len(plan.Order), len(plan.Connections))
+		for _, c := range plan.Connections {
+			fmt.Printf("  %-9s %s.%s -> %s.%s (type %s, SMM of %s)\n",
+				c.Kind.String()+":", c.FromInstance, c.FromPort, c.ToInstance, c.ToPort,
+				c.MessageType, c.Mediator)
+		}
+		for _, rc := range plan.RemoteConnections {
+			fmt.Printf("  remote:   %s.%s -> %s at %s (type %s)\n",
+				rc.FromInstance, rc.FromPort, rc.Dest, rc.Addr, rc.MessageType)
+		}
+		for _, exp := range plan.Exports {
+			fmt.Printf("  export:   %s.%s (type %s)\n", exp.Instance, exp.Port, exp.MessageType)
+		}
+	}
+	if validateOnly {
+		fmt.Println("validation OK")
+		return nil
+	}
+	if outDir == "" {
+		return fmt.Errorf("-out is required unless -validate is set")
+	}
+
+	opts := codegen.Options{Package: pkg}
+	files, err := codegen.GenerateSkeletons(defs, opts)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		cdlDoc, err := os.ReadFile(cdlPath)
+		if err != nil {
+			return err
+		}
+		cclDoc, err := os.ReadFile(cclPath)
+		if err != nil {
+			return err
+		}
+		glue, err := codegen.GenerateGlue(plan, string(cdlDoc), string(cclDoc), opts)
+		if err != nil {
+			return err
+		}
+		files = append(files, glue)
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range files {
+		path := filepath.Join(outDir, f.Name)
+		if err := os.WriteFile(path, f.Source, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(f.Source))
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testCDL = `
+<ComponentDefinitions>
+  <Component>
+    <ComponentName>Pinger</ComponentName>
+    <Port><PortName>out</PortName><PortType>Out</PortType><MessageType>Ping</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Ponger</ComponentName>
+    <Port><PortName>in</PortName><PortType>In</PortType><MessageType>Ping</MessageType></Port>
+  </Component>
+</ComponentDefinitions>`
+
+const testCCL = `
+<Application>
+  <ApplicationName>PingApp</ApplicationName>
+  <Component>
+    <InstanceName>P</InstanceName>
+    <ClassName>Pinger</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port>
+        <PortName>out</PortName>
+        <Link><PortType>Internal</PortType><ToComponent>Q</ToComponent><ToPort>in</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>Q</InstanceName>
+      <ClassName>Ponger</ClassName>
+      <ComponentType>Scoped</ComponentType>
+      <MemorySize>8192</MemorySize>
+    </Component>
+  </Component>
+</Application>`
+
+func writeDocs(t *testing.T) (cdlPath, cclPath, outDir string) {
+	t.Helper()
+	dir := t.TempDir()
+	cdlPath = filepath.Join(dir, "defs.xml")
+	cclPath = filepath.Join(dir, "app.xml")
+	outDir = filepath.Join(dir, "gen")
+	if err := os.WriteFile(cdlPath, []byte(testCDL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cclPath, []byte(testCCL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cdlPath, cclPath, outDir
+}
+
+func TestValidateOnly(t *testing.T) {
+	cdlPath, cclPath, _ := writeDocs(t)
+	if err := run(cdlPath, cclPath, "", "app", true); err != nil {
+		t.Fatal(err)
+	}
+	// CDL alone validates too.
+	if err := run(cdlPath, "", "", "app", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSkeletonsAndGlue(t *testing.T) {
+	cdlPath, cclPath, outDir := writeDocs(t)
+	if err := run(cdlPath, cclPath, outDir, "pingapp", false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"message_types.go", "pinger_component.go", "ponger_component.go", "app_glue.go"} {
+		if !names[want] {
+			t.Errorf("missing generated file %q (have %v)", want, names)
+		}
+	}
+	glue, err := os.ReadFile(filepath.Join(outDir, "app_glue.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(glue), "package pingapp") {
+		t.Error("glue has wrong package")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cdlPath, cclPath, outDir := writeDocs(t)
+	if err := run("", "", "", "app", true); err == nil {
+		t.Error("missing -cdl accepted")
+	}
+	if err := run(cdlPath, cclPath, "", "app", false); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("/nonexistent.xml", "", "", "app", true); err == nil {
+		t.Error("missing CDL file accepted")
+	}
+	if err := run(cdlPath, "/nonexistent.xml", "", "app", true); err == nil {
+		t.Error("missing CCL file accepted")
+	}
+	// Invalid CCL (bad link direction) is rejected with a compile error.
+	bad := strings.Replace(testCCL, "<ToPort>in</ToPort>", "<ToPort>out</ToPort>", 1)
+	badPath := filepath.Join(t.TempDir(), "bad.xml")
+	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cdlPath, badPath, outDir, "app", true); err == nil {
+		t.Error("invalid composition accepted")
+	}
+}

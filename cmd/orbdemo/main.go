@@ -1,0 +1,152 @@
+// Command orbdemo runs the paper's real-world example over real TCP: the
+// Compadres ORB (or the RTZen baseline) serving an echo object, and a
+// client measuring round trips against it.
+//
+//	orbdemo -mode server -addr 127.0.0.1:9999
+//	orbdemo -mode client -addr 127.0.0.1:9999 -size 256 -n 1000
+//	orbdemo -mode both                              # co-located, loopback TCP
+//
+// Pass -orb rtzen to run the hand-coded baseline instead of the Compadres
+// components.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/corba"
+	"repro/internal/metrics"
+	"repro/internal/orb"
+	"repro/internal/rtzen"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "both", "server | client | both")
+		addr    = flag.String("addr", "127.0.0.1:0", "TCP address")
+		orbKind = flag.String("orb", "compadres", "compadres | rtzen")
+		size    = flag.Int("size", 256, "echo payload size in bytes")
+		n       = flag.Int("n", 1000, "measured round trips")
+		warmup  = flag.Int("warmup", 100, "warm-up round trips")
+	)
+	flag.Parse()
+	if err := run(*mode, *addr, *orbKind, *size, *n, *warmup); err != nil {
+		fmt.Fprintln(os.Stderr, "orbdemo:", err)
+		os.Exit(1)
+	}
+}
+
+type echoServer interface {
+	Addr() string
+	Close()
+}
+
+type echoClient interface {
+	Invoke(key, op string, payload []byte, prio sched.Priority) ([]byte, error)
+	Close()
+}
+
+func startServer(orbKind, addr string) (echoServer, error) {
+	switch orbKind {
+	case "compadres":
+		srv, err := orb.NewServer(orb.ServerConfig{
+			Network: transport.TCP{}, Addr: addr, ScopePoolCount: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv.RegisterServant("echo", corba.EchoServant{})
+		srv.ServeBackground()
+		return srv, nil
+	case "rtzen":
+		srv, err := rtzen.NewServer(rtzen.ServerConfig{Network: transport.TCP{}, Addr: addr})
+		if err != nil {
+			return nil, err
+		}
+		srv.RegisterServant("echo", corba.EchoServant{})
+		srv.ServeBackground()
+		return srv, nil
+	default:
+		return nil, fmt.Errorf("unknown -orb %q", orbKind)
+	}
+}
+
+func dialClient(orbKind, addr string) (echoClient, error) {
+	switch orbKind {
+	case "compadres":
+		return orb.DialClient(orb.ClientConfig{
+			Network: transport.TCP{}, Addr: addr, ScopePoolCount: 4,
+		})
+	case "rtzen":
+		return rtzen.DialClient(rtzen.ClientConfig{Network: transport.TCP{}, Addr: addr})
+	default:
+		return nil, fmt.Errorf("unknown -orb %q", orbKind)
+	}
+}
+
+func run(mode, addr, orbKind string, size, n, warmup int) error {
+	switch mode {
+	case "server":
+		srv, err := startServer(orbKind, addr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("%s ORB serving echo at %s (ctrl-c to stop)\n", orbKind, srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		return nil
+
+	case "client":
+		return runClient(orbKind, addr, size, n, warmup)
+
+	case "both":
+		srv, err := startServer(orbKind, addr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("%s ORB serving echo at %s\n", orbKind, srv.Addr())
+		return runClient(orbKind, srv.Addr(), size, n, warmup)
+
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+}
+
+func runClient(orbKind, addr string, size, n, warmup int) error {
+	cl, err := dialClient(orbKind, addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	op := func() error {
+		got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(payload) {
+			return fmt.Errorf("echo returned %d bytes, want %d", len(got), len(payload))
+		}
+		return nil
+	}
+	start := time.Now()
+	summary, err := metrics.RunSteadyState(warmup, n, op)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s ORB, %d-byte echo over TCP %s: %s (total %v)\n",
+		orbKind, size, addr, summary, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunBothCompadres(t *testing.T) {
+	if err := run("both", "127.0.0.1:0", "compadres", 64, 50, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBothRTZen(t *testing.T) {
+	if err := run("both", "127.0.0.1:0", "rtzen", 64, 50, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("both", "127.0.0.1:0", "mysteryorb", 64, 10, 1); err == nil {
+		t.Error("unknown orb accepted")
+	}
+	if err := run("sideways", "127.0.0.1:0", "compadres", 64, 10, 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run("client", "127.0.0.1:1", "compadres", 64, 10, 1); err == nil {
+		t.Error("client against dead address succeeded")
+	}
+	if _, err := startServer("nope", ""); err == nil {
+		t.Error("unknown orb server accepted")
+	}
+	if _, err := dialClient("nope", ""); err == nil {
+		t.Error("unknown orb client accepted")
+	}
+}

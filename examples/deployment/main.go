@@ -1,0 +1,211 @@
+// Deployment runs a two-process distributed Compadres application defined
+// entirely in XML — the complete pipeline for the paper's future-work
+// vision: the CCL declares an <Exported> In port in one process and a
+// <PortType>Remote</PortType> link in the other; the Compadres compiler
+// plans both; package deploy wires them over the ORB (loopback TCP here).
+//
+//	process "plant":   Boiler ──(exported port plant.Boiler.state)──┐
+//	process "control": Controller ──Remote link──> Boiler.state ◄───┘
+//
+//	go run ./examples/deployment
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/ccl"
+	"repro/internal/cdl"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// Setpoint is the cross-process message: a target the controller pushes to
+// the plant.
+type Setpoint struct {
+	Target int64
+}
+
+// Reset implements core.Message.
+func (s *Setpoint) Reset() { s.Target = 0 }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Setpoint) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(s.Target))
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Setpoint) UnmarshalBinary(b []byte) error {
+	if len(b) != 8 {
+		return errors.New("Setpoint: bad length")
+	}
+	s.Target = int64(binary.BigEndian.Uint64(b))
+	return nil
+}
+
+var setpointType = core.MessageType{
+	Name: "Setpoint",
+	Size: 32,
+	New:  func() core.Message { return &Setpoint{} },
+}
+
+// plantApp exports the boiler's setpoint port.
+const plantDefs = `
+<ComponentDefinitions>
+  <Component>
+    <ComponentName>BoilerClass</ComponentName>
+    <Port><PortName>state</PortName><PortType>In</PortType><MessageType>Setpoint</MessageType></Port>
+  </Component>
+</ComponentDefinitions>`
+
+const plantApp = `
+<Application>
+  <ApplicationName>Plant</ApplicationName>
+  <Component>
+    <InstanceName>Boiler</InstanceName>
+    <ClassName>BoilerClass</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port>
+        <PortName>state</PortName>
+        <Exported>true</Exported>
+      </Port>
+    </Connection>
+  </Component>
+</Application>`
+
+// controlApp links its out port to the plant's exported port. The
+// RemoteAddr placeholder is patched with the plant's actual TCP address at
+// startup (a discovery mechanism stands in for static addressing).
+const controlDefs = `
+<ComponentDefinitions>
+  <Component>
+    <ComponentName>ControllerClass</ComponentName>
+    <Port><PortName>cmd</PortName><PortType>Out</PortType><MessageType>Setpoint</MessageType></Port>
+  </Component>
+</ComponentDefinitions>`
+
+const controlApp = `
+<Application>
+  <ApplicationName>Control</ApplicationName>
+  <Component>
+    <InstanceName>Controller</InstanceName>
+    <ClassName>ControllerClass</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port>
+        <PortName>cmd</PortName>
+        <Link>
+          <PortType>Remote</PortType>
+          <ToComponent>Boiler</ToComponent>
+          <ToPort>state</ToPort>
+          <RemoteAddr>PLANT_ADDR</RemoteAddr>
+        </Link>
+      </Port>
+    </Connection>
+  </Component>
+</Application>`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func compile(defsDoc, appDoc string) (*compiler.Plan, error) {
+	defs, err := cdl.Parse(strings.NewReader(defsDoc))
+	if err != nil {
+		return nil, err
+	}
+	app, err := ccl.Parse(strings.NewReader(appDoc))
+	if err != nil {
+		return nil, err
+	}
+	return compiler.Compile(defs, app)
+}
+
+func run() error {
+	applied := make(chan int64, 8)
+
+	// --- Process "plant".
+	plantPlan, err := compile(plantDefs, plantApp)
+	if err != nil {
+		return err
+	}
+	plantReg := compiler.NewRegistry()
+	if err := plantReg.RegisterType(setpointType); err != nil {
+		return err
+	}
+	if err := plantReg.RegisterClass("BoilerClass", compiler.ClassBinding{
+		NewHandlers: func(c *core.Component) (map[string]core.Handler, error) {
+			return map[string]core.Handler{
+				"state": core.HandlerFunc(func(p *core.Proc, m core.Message) error {
+					sp := m.(*Setpoint)
+					fmt.Printf("plant: setpoint -> %d (priority %d)\n", sp.Target, p.Priority())
+					applied <- sp.Target
+					return nil
+				}),
+			}, nil
+		},
+	}); err != nil {
+		return err
+	}
+	plant, err := deploy.Run(plantPlan, plantReg, deploy.Config{
+		Network: transport.TCP{}, ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		return err
+	}
+	defer plant.Close()
+	fmt.Println("plant process exporting Boiler.state at", plant.Addr())
+
+	// --- Process "control", patched with the plant's address.
+	controlPlan, err := compile(controlDefs, strings.ReplaceAll(controlApp, "PLANT_ADDR", plant.Addr()))
+	if err != nil {
+		return err
+	}
+	controlReg := compiler.NewRegistry()
+	if err := controlReg.RegisterType(setpointType); err != nil {
+		return err
+	}
+	if err := controlReg.RegisterClass("ControllerClass", compiler.ClassBinding{
+		Start: func(p *core.Proc) error {
+			out, err := p.SMM().GetOutPort("Controller.cmd")
+			if err != nil {
+				return err
+			}
+			for _, target := range []int64{180, 195, 210} {
+				msg, err := out.GetMessage()
+				if err != nil {
+					return err
+				}
+				msg.(*Setpoint).Target = target
+				if err := out.Send(msg, sched.Priority(25)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		return err
+	}
+	control, err := deploy.Run(controlPlan, controlReg, deploy.Config{Network: transport.TCP{}})
+	if err != nil {
+		return err
+	}
+	defer control.Close()
+
+	for i := 0; i < 3; i++ {
+		<-applied
+	}
+	fmt.Println("all setpoints applied across the process boundary")
+	return nil
+}

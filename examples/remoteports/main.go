@@ -1,0 +1,165 @@
+// Remoteports demonstrates the paper's future-work feature, implemented in
+// internal/remote: a port connection stretched across two processes (here,
+// two component applications joined by loopback TCP).
+//
+// Process A hosts a Controller whose commands leave through an ordinary Out
+// port. Process B hosts an Actuator whose In port is exported on a
+// Compadres ORB server. remote.Bind grafts a proxy In port into process A,
+// so the Controller's port connection crosses the network without the
+// Controller knowing:
+//
+//	Controller.cmds ──> Gateway.toActuator ──(GIOP/TCP)──> Actuator.cmd
+//
+//	go run ./examples/remoteports
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/orb"
+	"repro/internal/remote"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// Command is a serializable actuator command.
+type Command struct {
+	Axis    uint8
+	Degrees int16
+}
+
+// Reset implements core.Message.
+func (c *Command) Reset() { *c = Command{} }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *Command) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 3)
+	b[0] = c.Axis
+	binary.BigEndian.PutUint16(b[1:], uint16(c.Degrees))
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Command) UnmarshalBinary(b []byte) error {
+	if len(b) != 3 {
+		return errors.New("Command: bad length")
+	}
+	c.Axis = b[0]
+	c.Degrees = int16(binary.BigEndian.Uint16(b[1:]))
+	return nil
+}
+
+var commandType = core.MessageType{
+	Name: "Command",
+	Size: 32,
+	New:  func() core.Message { return &Command{} },
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	applied := make(chan Command, 8)
+
+	// ---- Process B: the actuator side.
+	serverApp, err := core.NewApp(core.AppConfig{Name: "actuatorProcess"})
+	if err != nil {
+		return err
+	}
+	defer serverApp.Stop()
+	actuator, err := serverApp.NewImmortalComponent("Actuator", func(c *core.Component) error {
+		_, err := core.AddInPort(c, c.SMM(), core.InPortConfig{
+			Name: "cmd", Type: commandType,
+			Handler: core.HandlerFunc(func(p *core.Proc, m core.Message) error {
+				cmd := m.(*Command)
+				fmt.Printf("actuator: axis %d -> %d° (priority %d)\n", cmd.Axis, cmd.Degrees, p.Priority())
+				applied <- *cmd
+				return nil
+			}),
+		})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := orb.NewServer(orb.ServerConfig{Network: transport.TCP{}, Addr: "127.0.0.1:0"})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if err := remote.Export(srv, actuator.SMM(), "Actuator.cmd", commandType); err != nil {
+		return err
+	}
+	srv.ServeBackground()
+	fmt.Println("actuator process exporting Actuator.cmd at", srv.Addr())
+
+	// ---- Process A: the controller side.
+	cl, err := orb.DialClient(orb.ClientConfig{Network: transport.TCP{}, Addr: srv.Addr()})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	proxy, err := remote.NewProxy(cl, "Actuator.cmd", commandType, true /* acknowledged */)
+	if err != nil {
+		return err
+	}
+
+	clientApp, err := core.NewApp(core.AppConfig{Name: "controllerProcess"})
+	if err != nil {
+		return err
+	}
+	defer clientApp.Stop()
+	gateway, err := clientApp.NewImmortalComponent("Gateway", nil)
+	if err != nil {
+		return err
+	}
+	if _, err := remote.Bind(gateway, gateway.SMM(), "toActuator", proxy); err != nil {
+		return err
+	}
+	_, err = clientApp.NewImmortalComponent("Controller", func(c *core.Component) error {
+		out, err := core.AddOutPort(c, gateway.SMM(), core.OutPortConfig{
+			Name: "cmds", Type: commandType, Dests: []string{"Gateway.toActuator"},
+		})
+		if err != nil {
+			return err
+		}
+		c.SetStart(func(p *core.Proc) error {
+			moves := []Command{
+				{Axis: 0, Degrees: 15},
+				{Axis: 1, Degrees: -30},
+				{Axis: 0, Degrees: 0},
+			}
+			for _, mv := range moves {
+				msg, err := out.GetMessage()
+				if err != nil {
+					return err
+				}
+				*msg.(*Command) = mv
+				if err := out.Send(msg, sched.Priority(20)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := clientApp.Start(); err != nil {
+		return err
+	}
+
+	for i := 0; i < 3; i++ {
+		<-applied
+	}
+	fmt.Println("all commands applied remotely")
+	return nil
+}

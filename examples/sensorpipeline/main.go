@@ -1,0 +1,233 @@
+// Sensorpipeline is a DRE-flavoured example in the spirit of the paper's
+// introduction: an avionics-style sensor fusion stack built by hierarchical
+// composition.
+//
+//	FlightComputer (immortal)
+//	├── Radar     (scoped child; produces contact tracks)
+//	├── Fusion    (scoped child; correlates tracks into threats)
+//	│   └── Correlator (nested scoped grandchild doing the heavy math)
+//	└── alarms In port, fed DIRECTLY by the Correlator via a shadow port
+//
+// It demonstrates: multi-level nesting, sibling connections, a shadow port
+// (grandchild → grandparent without burdening Fusion), message priorities
+// (threat alarms outrank routine tracks), and bounded buffers.
+//
+//	go run ./examples/sensorpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Track is a radar contact observation.
+type Track struct {
+	ID       int64
+	Range    float64 // metres
+	Velocity float64 // m/s, negative = closing
+}
+
+// Reset implements core.Message.
+func (t *Track) Reset() { *t = Track{} }
+
+var trackType = core.MessageType{
+	Name: "Track",
+	Size: 64,
+	New:  func() core.Message { return &Track{} },
+}
+
+// Alarm is a fused threat assessment.
+type Alarm struct {
+	TrackID       int64
+	TimeToImpactS float64
+}
+
+// Reset implements core.Message.
+func (a *Alarm) Reset() { *a = Alarm{} }
+
+var alarmType = core.MessageType{
+	Name: "Alarm",
+	Size: 64,
+	New:  func() core.Message { return &Alarm{} },
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	app, err := core.NewApp(core.AppConfig{Name: "sensorpipeline", ImmortalSize: 1 << 20})
+	if err != nil {
+		return err
+	}
+	defer app.Stop()
+
+	alarms := make(chan Alarm, 16)
+	tracksDone := make(chan struct{})
+
+	fc, err := app.NewImmortalComponent("FlightComputer", func(fcComp *core.Component) error {
+		fcSMM := fcComp.SMM()
+
+		// The alarm sink: fed by the Correlator's shadow port, so alarm
+		// traffic never transits (or allocates in) the Fusion component.
+		if _, err := core.AddInPort(fcComp, fcSMM, core.InPortConfig{
+			Name: "alarms", Type: alarmType, BufferSize: 16,
+			Handler: core.HandlerFunc(func(p *core.Proc, m core.Message) error {
+				a := m.(*Alarm)
+				alarms <- *a
+				return nil
+			}),
+		}); err != nil {
+			return err
+		}
+
+		// Radar produces tracks toward its sibling Fusion.
+		radarDef := core.ChildDef{
+			Name: "Radar", MemorySize: 1 << 14, Persistent: true,
+			Setup: func(radar *core.Component) error {
+				if _, err := core.AddOutPort(radar, fcSMM, core.OutPortConfig{
+					Name: "tracks", Type: trackType, Dests: []string{"Fusion.tracks"},
+				}); err != nil {
+					return err
+				}
+				radar.SetStart(func(p *core.Proc) error {
+					out, err := fcSMM.GetOutPort("Radar.tracks")
+					if err != nil {
+						return err
+					}
+					// A sweep of contacts: one closing fast (a threat), the
+					// rest benign.
+					sweep := []Track{
+						{ID: 1, Range: 90000, Velocity: -220},
+						{ID: 2, Range: 1800, Velocity: -310}, // threat
+						{ID: 3, Range: 42000, Velocity: 50},
+						{ID: 4, Range: 60000, Velocity: -80},
+					}
+					for _, tr := range sweep {
+						msg, err := out.GetMessage()
+						if err != nil {
+							return err
+						}
+						*msg.(*Track) = tr
+						// Routine tracks go out at normal priority.
+						if err := out.Send(msg, sched.NormPriority); err != nil {
+							return err
+						}
+					}
+					close(tracksDone)
+					return nil
+				})
+				return nil
+			},
+		}
+		// Fusion hosts a nested Correlator that does the threat math.
+		fusionDef := core.ChildDef{
+			Name: "Fusion", MemorySize: 1 << 16, Persistent: true,
+			Setup: func(fusion *core.Component) error {
+				fusionSMM := fusion.SMM()
+				if _, err := core.AddInPort(fusion, fcSMM, core.InPortConfig{
+					Name: "tracks", Type: trackType, BufferSize: 32,
+					Handler: core.HandlerFunc(func(p *core.Proc, m core.Message) error {
+						// Forward into the nested Correlator scope.
+						toCorr, err := fusionSMM.GetOutPort("Fusion.toCorrelator")
+						if err != nil {
+							return err
+						}
+						fwd, err := toCorr.GetMessage()
+						if err != nil {
+							return err
+						}
+						*fwd.(*Track) = *m.(*Track)
+						return toCorr.Send(fwd, p.Priority())
+					}),
+				}); err != nil {
+					return err
+				}
+				if _, err := core.AddOutPort(fusion, fusionSMM, core.OutPortConfig{
+					Name: "toCorrelator", Type: trackType, Dests: []string{"Correlator.tracks"},
+				}); err != nil {
+					return err
+				}
+				return fusion.DefineChild(core.ChildDef{
+					Name: "Correlator", MemorySize: 1 << 14, Persistent: true,
+					Setup: func(corr *core.Component) error {
+						if _, err := core.AddInPort(corr, fusionSMM, core.InPortConfig{
+							Name: "tracks", Type: trackType, BufferSize: 32,
+							Handler: core.HandlerFunc(func(p *core.Proc, m core.Message) error {
+								tr := m.(*Track)
+								if tr.Velocity >= 0 {
+									return nil // opening contact: not a threat
+								}
+								tti := tr.Range / -tr.Velocity
+								if tti > 60 {
+									return nil // more than a minute out
+								}
+								// Shadow port: alarm straight to the
+								// FlightComputer at maximum priority.
+								alarm, err := fcSMM.GetOutPort("Correlator.alarm")
+								if err != nil {
+									return err
+								}
+								msg, err := alarm.GetMessage()
+								if err != nil {
+									return err
+								}
+								a := msg.(*Alarm)
+								a.TrackID, a.TimeToImpactS = tr.ID, tti
+								return alarm.Send(msg, sched.MaxPriority)
+							}),
+						}); err != nil {
+							return err
+						}
+						// The shadow port registers with the grandparent's
+						// SMM: its pool and buffer live only in the
+						// FlightComputer's memory (Fig. 5).
+						_, err := core.AddOutPort(corr, fcSMM, core.OutPortConfig{
+							Name: "alarm", Type: alarmType, Dests: []string{"FlightComputer.alarms"},
+						})
+						return err
+					},
+				})
+			},
+		}
+		if err := fcComp.DefineChild(radarDef); err != nil {
+			return err
+		}
+		return fcComp.DefineChild(fusionDef)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Pin the pipeline components for the mission duration.
+	for _, name := range []string{"Fusion", "Radar"} {
+		h, err := fc.SMM().Connect(name)
+		if err != nil {
+			return err
+		}
+		defer h.Disconnect()
+	}
+	if err := app.Start(); err != nil {
+		return err
+	}
+
+	<-tracksDone
+	a := <-alarms
+	fmt.Printf("THREAT: track %d, time to impact %.1fs\n", a.TrackID, a.TimeToImpactS)
+	if n, err := app.Errors(); n != 0 {
+		return fmt.Errorf("%d handler errors, last: %v", n, err)
+	}
+	fmt.Println("component tree:")
+	fusion := fc.SMM().Child("Fusion")
+	fmt.Printf("  %s (immortal, level %d)\n", fc.Path(), fc.Level())
+	fmt.Printf("  %s (scoped, level %d)\n", fc.SMM().Child("Radar").Path(), fc.SMM().Child("Radar").Level())
+	fmt.Printf("  %s (scoped, level %d)\n", fusion.Path(), fusion.Level())
+	corr := fusion.SMM().Child("Correlator")
+	fmt.Printf("  %s (scoped, level %d)\n", corr.Path(), corr.Level())
+	return nil
+}

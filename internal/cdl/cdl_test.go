@@ -1,0 +1,149 @@
+package cdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// paperCDL mirrors Listing 1.1 of the paper.
+const paperCDL = `
+<ComponentDefinitions>
+  <Component>
+    <ComponentName>Server</ComponentName>
+    <Port>
+      <PortName>DataOut</PortName>
+      <PortType>Out</PortType>
+      <MessageType>String</MessageType>
+    </Port>
+    <Port>
+      <PortName>DataIn</PortName>
+      <PortType>In</PortType>
+      <MessageType>CustomType</MessageType>
+    </Port>
+  </Component>
+  <Component>
+    <ComponentName>Calculator</ComponentName>
+    <Port>
+      <PortName>DataOut</PortName>
+      <PortType>Out</PortType>
+      <MessageType>CustomType</MessageType>
+    </Port>
+  </Component>
+</ComponentDefinitions>`
+
+func TestParsePaperListing(t *testing.T) {
+	defs, err := Parse(strings.NewReader(paperCDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs.Components) != 2 {
+		t.Fatalf("components = %d, want 2", len(defs.Components))
+	}
+	server := defs.Component("Server")
+	if server == nil {
+		t.Fatal("Server not found")
+	}
+	if p := server.Port("DataOut"); p == nil || p.Type != Out || p.MessageType != "String" {
+		t.Errorf("DataOut = %+v", p)
+	}
+	if p := server.Port("DataIn"); p == nil || p.Type != In || p.MessageType != "CustomType" {
+		t.Errorf("DataIn = %+v", p)
+	}
+	if server.Port("Nope") != nil {
+		t.Error("missing port lookup returned non-nil")
+	}
+	if defs.Component("Nope") != nil {
+		t.Error("missing component lookup returned non-nil")
+	}
+	if got := len(server.InPorts()); got != 1 {
+		t.Errorf("in ports = %d, want 1", got)
+	}
+	if got := len(server.OutPorts()); got != 1 {
+		t.Errorf("out ports = %d, want 1", got)
+	}
+	types := defs.MessageTypes()
+	if len(types) != 2 || types[0] != "String" || types[1] != "CustomType" {
+		t.Errorf("message types = %v", types)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		xml  string
+	}{
+		{
+			name: "empty document",
+			xml:  `<ComponentDefinitions></ComponentDefinitions>`,
+		},
+		{
+			name: "empty component name",
+			xml: `<ComponentDefinitions><Component><ComponentName></ComponentName>
+			</Component></ComponentDefinitions>`,
+		},
+		{
+			name: "illegal component name",
+			xml: `<ComponentDefinitions><Component><ComponentName>a.b</ComponentName>
+			</Component></ComponentDefinitions>`,
+		},
+		{
+			name: "duplicate component",
+			xml: `<ComponentDefinitions>
+			<Component><ComponentName>A</ComponentName></Component>
+			<Component><ComponentName>A</ComponentName></Component>
+			</ComponentDefinitions>`,
+		},
+		{
+			name: "empty port name",
+			xml: `<ComponentDefinitions><Component><ComponentName>A</ComponentName>
+			<Port><PortName></PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+			</Component></ComponentDefinitions>`,
+		},
+		{
+			name: "bad direction",
+			xml: `<ComponentDefinitions><Component><ComponentName>A</ComponentName>
+			<Port><PortName>p</PortName><PortType>InOut</PortType><MessageType>T</MessageType></Port>
+			</Component></ComponentDefinitions>`,
+		},
+		{
+			name: "missing message type",
+			xml: `<ComponentDefinitions><Component><ComponentName>A</ComponentName>
+			<Port><PortName>p</PortName><PortType>In</PortType><MessageType></MessageType></Port>
+			</Component></ComponentDefinitions>`,
+		},
+		{
+			name: "duplicate port",
+			xml: `<ComponentDefinitions><Component><ComponentName>A</ComponentName>
+			<Port><PortName>p</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+			<Port><PortName>p</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+			</Component></ComponentDefinitions>`,
+		},
+		{
+			name: "illegal port name",
+			xml: `<ComponentDefinitions><Component><ComponentName>A</ComponentName>
+			<Port><PortName>p.q</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+			</Component></ComponentDefinitions>`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tt.xml))
+			if !errors.Is(err, ErrValidation) {
+				t.Errorf("err = %v, want ErrValidation", err)
+			}
+		})
+	}
+}
+
+func TestParseMalformedXML(t *testing.T) {
+	if _, err := Parse(strings.NewReader("<not-closed")); err == nil {
+		t.Error("malformed XML accepted")
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/defs.xml"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package codegen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/ccl"
+	"repro/internal/cdl"
+	"repro/internal/compiler"
+)
+
+// moduleRoot walks up from this source file to the directory with go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	dir := filepath.Dir(file)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found")
+		}
+		dir = parent
+	}
+}
+
+// TestGeneratedCodeCompiles generates the full skeleton+glue output into a
+// temporary package inside this module and runs the real Go compiler over
+// it — the strongest possible check that compadresc's output is usable
+// as-is, TODO stubs included.
+func TestGeneratedCodeCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the Go toolchain")
+	}
+	root := moduleRoot(t)
+	genDir, err := os.MkdirTemp(root, "codegen_compiletest_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(genDir)
+
+	defs, err := cdl.Parse(strings.NewReader(defsDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := ccl.Parse(strings.NewReader(appDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := compiler.Compile(defs, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkg := filepath.Base(genDir)
+	files, err := GenerateSkeletons(defs, Options{Package: pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	glue, err := GenerateGlue(plan, defsDoc, appDoc, Options{Package: pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, glue)
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(genDir, f.Name), f.Source, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd := exec.Command("go", "build", "./"+pkg)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated package does not compile: %v\n%s", err, out)
+	}
+
+	// And vet it, since the harness-generated code claims production
+	// quality.
+	cmd = exec.Command("go", "vet", "./"+pkg)
+	cmd.Dir = root
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated package fails vet: %v\n%s", err, out)
+	}
+}

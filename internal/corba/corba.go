@@ -1,0 +1,65 @@
+// Package corba holds the small amount of CORBA object model shared by the
+// Compadres ORB (internal/orb) and the hand-coded RTZen baseline
+// (internal/rtzen): servants, object keys, and the demo servants the
+// paper's experiments invoke.
+package corba
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Servant is a CORBA object implementation: it receives the demarshalled
+// in-parameters of an operation and returns the marshalled result.
+type Servant interface {
+	// Invoke executes op. The input aliases transport memory and must not
+	// be retained; the returned slice is copied onto the wire before
+	// Invoke's caller returns.
+	Invoke(op string, in []byte) (out []byte, err error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(op string, in []byte) ([]byte, error)
+
+// Invoke implements Servant.
+func (f ServantFunc) Invoke(op string, in []byte) ([]byte, error) { return f(op, in) }
+
+// PrioritizedServant is an optional extension: servants that implement it
+// receive the RT-CORBA priority propagated with the request (both ORBs in
+// this repository carry it on the wire). Plain Servant.Invoke is used
+// otherwise.
+type PrioritizedServant interface {
+	Servant
+	// InvokeWithPriority is Invoke plus the caller's real-time priority.
+	InvokeWithPriority(op string, in []byte, priority byte) ([]byte, error)
+}
+
+// Invocation errors shared by both ORBs.
+var (
+	// ErrNoServant reports a request for an unregistered object key.
+	ErrNoServant = errors.New("corba: no servant for object key")
+	// ErrClosed reports use of a closed ORB endpoint.
+	ErrClosed = errors.New("corba: endpoint closed")
+	// ErrSystemException reports a SYSTEM_EXCEPTION reply.
+	ErrSystemException = errors.New("corba: system exception")
+	// ErrUserException reports a USER_EXCEPTION reply.
+	ErrUserException = errors.New("corba: user exception")
+)
+
+// EchoServant returns its input unchanged — the workload of the paper's
+// round-trip experiments (§3.3 measures echo for 32–1024-byte messages).
+type EchoServant struct{}
+
+// Invoke implements Servant.
+func (EchoServant) Invoke(op string, in []byte) ([]byte, error) {
+	switch op {
+	case "echo":
+		out := make([]byte, len(in))
+		copy(out, in)
+		return out, nil
+	case "ping":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: echo servant has no operation %q", ErrUserException, op)
+	}
+}

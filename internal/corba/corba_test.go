@@ -1,0 +1,42 @@
+package corba
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEchoServant(t *testing.T) {
+	var sv Servant = EchoServant{}
+
+	in := []byte{1, 2, 3}
+	out, err := sv.Invoke("echo", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, in) {
+		t.Errorf("echo = %v", out)
+	}
+	// The echo must be a copy, not an alias of transport memory.
+	in[0] = 99
+	if out[0] == 99 {
+		t.Error("echo aliases its input")
+	}
+
+	if out, err := sv.Invoke("ping", nil); err != nil || out != nil {
+		t.Errorf("ping = %v, %v", out, err)
+	}
+	if _, err := sv.Invoke("nope", nil); !errors.Is(err, ErrUserException) {
+		t.Errorf("unknown op err = %v", err)
+	}
+}
+
+func TestServantFunc(t *testing.T) {
+	sv := ServantFunc(func(op string, in []byte) ([]byte, error) {
+		return []byte(op), nil
+	})
+	out, err := sv.Invoke("hello", nil)
+	if err != nil || string(out) != "hello" {
+		t.Errorf("ServantFunc = %q, %v", out, err)
+	}
+}

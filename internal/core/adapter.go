@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// Adapter converts between two message types. Per §2.2 of the paper, port
+// connections require exactly matching message types, but "adapter
+// components may be introduced to connect two non-matching types"; this is
+// that component, packaged as a reusable blueprint.
+type Adapter struct {
+	// In is the type accepted by the adapter's "in" port.
+	In MessageType
+	// Out is the type emitted from the adapter's "out" port.
+	Out MessageType
+	// Convert fills dst (a pooled Out-typed message) from src (an In-typed
+	// message). Neither message may be retained.
+	Convert func(src, dst Message) error
+}
+
+// AdapterDef returns a child blueprint for the adapter: a component with an
+// In port "in" accepting a.In and an Out port "out" emitting a.Out toward
+// dests. Both ports register with the SMM mediating the adapter's
+// surroundings (its parent's SMM), so the adapter slots between any two
+// components that manager connects. memorySize sizes the adapter's own
+// scoped area.
+func AdapterDef(name string, a Adapter, memorySize int64, dests []string) ChildDef {
+	return ChildDef{
+		Name:       name,
+		MemorySize: memorySize,
+		Persistent: true,
+		Setup: func(c *Component) error {
+			if a.Convert == nil {
+				return fmt.Errorf("core: adapter %q: nil Convert", name)
+			}
+			if !a.In.valid() || !a.Out.valid() {
+				return fmt.Errorf("core: adapter %q: invalid message types", name)
+			}
+			smm := c.Parent().SMM()
+			out, err := AddOutPort(c, smm, OutPortConfig{
+				Name: "out", Type: a.Out, Dests: dests,
+			})
+			if err != nil {
+				return err
+			}
+			_, err = AddInPort(c, smm, InPortConfig{
+				Name: "in", Type: a.In,
+				Handler: HandlerFunc(func(p *Proc, m Message) error {
+					dst, err := out.GetMessage()
+					if err != nil {
+						return err
+					}
+					if err := a.Convert(m, dst); err != nil {
+						out.PutBack(dst)
+						return fmt.Errorf("adapter %q: %w", name, err)
+					}
+					return out.Send(dst, p.Priority())
+				}),
+			})
+			return err
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestAdapterBridgesMismatchedTypes wires an Int producer to a String
+// consumer through an adapter, the §2.2 escape hatch for non-matching
+// message types.
+func TestAdapterBridgesMismatchedTypes(t *testing.T) {
+	app := newTestApp(t, AppConfig{})
+	got := make(chan string, 8)
+
+	parent, err := app.NewImmortalComponent("P", func(c *Component) error {
+		smm := c.SMM()
+		// The producer emits Int toward the adapter.
+		if _, err := AddOutPort(c, smm, OutPortConfig{
+			Name: "numbers", Type: intType, Dests: []string{"IntToString.in"},
+		}); err != nil {
+			return err
+		}
+		// The consumer accepts String.
+		if err := c.DefineChild(ChildDef{
+			Name: "Printer", MemorySize: 1 << 13, Persistent: true,
+			Setup: func(pr *Component) error {
+				_, err := AddInPort(pr, smm, InPortConfig{
+					Name: "text", Type: stringType,
+					Handler: HandlerFunc(func(p *Proc, m Message) error {
+						got <- m.(*stringMsg).s
+						return nil
+					}),
+				})
+				return err
+			},
+		}); err != nil {
+			return err
+		}
+		// The adapter converts between them.
+		return c.DefineChild(AdapterDef("IntToString", Adapter{
+			In:  intType,
+			Out: stringType,
+			Convert: func(src, dst Message) error {
+				dst.(*stringMsg).s = "n=" + strconv.FormatInt(src.(*intMsg).value, 10)
+				return nil
+			},
+		}, 1<<13, []string{"Printer.text"}))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := parent.SMM().GetOutPort("P.numbers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		m, err := out.GetMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.(*intMsg).value = i * 7
+		if err := out.Send(m, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		select {
+		case s := <-got:
+			seen[s] = true
+		case <-time.After(5 * time.Second):
+			t.Fatal("adapter chain stalled")
+		}
+	}
+	for _, want := range []string{"n=7", "n=14", "n=21"} {
+		if !seen[want] {
+			t.Errorf("missing %q (seen %v)", want, seen)
+		}
+	}
+	if n, err := app.Errors(); n != 0 {
+		t.Errorf("handler errors: %d (%v)", n, err)
+	}
+}
+
+// TestAdapterConversionFailure verifies a failing conversion is isolated
+// and the pooled destination message is returned.
+func TestAdapterConversionFailure(t *testing.T) {
+	app := newTestApp(t, AppConfig{})
+	parent, err := app.NewImmortalComponent("P", func(c *Component) error {
+		smm := c.SMM()
+		if _, err := AddOutPort(c, smm, OutPortConfig{
+			Name: "numbers", Type: intType, Dests: []string{"Bad.in"},
+		}); err != nil {
+			return err
+		}
+		if err := c.DefineChild(ChildDef{
+			Name: "Sink", MemorySize: 1 << 13, Persistent: true,
+			Setup: func(pr *Component) error {
+				_, err := AddInPort(pr, smm, InPortConfig{
+					Name: "text", Type: stringType,
+					Handler: HandlerFunc(func(*Proc, Message) error { return nil }),
+				})
+				return err
+			},
+		}); err != nil {
+			return err
+		}
+		return c.DefineChild(AdapterDef("Bad", Adapter{
+			In:  intType,
+			Out: stringType,
+			Convert: func(src, dst Message) error {
+				return fmt.Errorf("cannot convert")
+			},
+		}, 1<<13, []string{"Sink.text"}))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := parent.SMM().GetOutPort("P.numbers")
+	m, _ := out.GetMessage()
+	if err := out.Send(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n, _ := app.Errors(); n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("conversion failure not reported")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Both pools balance: the Int original and the String destination.
+	smm := parent.SMM()
+	for _, typ := range []string{"Int", "String"} {
+		if _, inFlight, _, _ := smm.MsgPoolStats(typ); inFlight != 0 {
+			t.Errorf("%s pool in flight = %d", typ, inFlight)
+		}
+	}
+}
+
+// TestAdapterValidation verifies blueprint misconfiguration surfaces at
+// instantiation.
+func TestAdapterValidation(t *testing.T) {
+	app := newTestApp(t, AppConfig{})
+	parent, err := app.NewImmortalComponent("P", func(c *Component) error {
+		if err := c.DefineChild(AdapterDef("NilConvert", Adapter{
+			In: intType, Out: stringType,
+		}, 1<<13, nil)); err != nil {
+			return err
+		}
+		return c.DefineChild(AdapterDef("BadTypes", Adapter{
+			Convert: func(src, dst Message) error { return nil },
+		}, 1<<13, nil))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.SMM().Connect("NilConvert"); err == nil {
+		t.Error("nil Convert accepted")
+	}
+	if _, err := parent.SMM().Connect("BadTypes"); err == nil {
+		t.Error("invalid types accepted")
+	}
+}

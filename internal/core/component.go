@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// ChildDef is the blueprint of a scoped child component. Children are not
+// constructed eagerly: the parent's SMM instantiates one when a message
+// first arrives for one of its ports or when the parent calls SMM.Connect,
+// and — unless Persistent — reclaims it at quiescence (no pending messages,
+// no handles, no live children). This is the dynamic component
+// instantiation of §2.2 of the paper.
+type ChildDef struct {
+	// Name is the child's instance name, unique among its siblings.
+	Name string
+	// MemorySize is the byte budget of the child's scoped area when no
+	// scope pool serves its level.
+	MemorySize int64
+	// UsePool selects acquiring the area from the App's scope pool for the
+	// child's nesting level instead of creating a fresh LT area each time.
+	UsePool bool
+	// Persistent keeps the instance alive at quiescence; it is reclaimed
+	// only by Handle.Disconnect or App.Stop.
+	Persistent bool
+	// Setup declares the child's ports, nested child definitions, and start
+	// function. It runs on every instantiation.
+	Setup func(*Component) error
+}
+
+// Component is one Compadres component: a named artifact bound to a memory
+// area, communicating through typed ports. Top-level components live in
+// immortal memory; children live in scoped areas pinned open for the
+// instance's lifetime.
+type Component struct {
+	app    *App
+	name   string
+	parent *Component
+	area   *memory.Area
+	wedge  *memory.Wedge // nil for immortal components
+	level  int           // 0 for immortal components
+	mgr    *SMM          // the SMM that instantiated this component (nil for top-level)
+
+	// startedCh is closed once the instance's start function has run (child
+	// instances only). Message dispatch waits on it, so a component never
+	// processes a message before it has finished initialising, even when
+	// deliveries race with instantiation.
+	startedCh chan struct{}
+
+	// Construction-time state; smm is created lazily under app.mu.
+	smm       *SMM
+	childDefs map[string]*ChildDef
+	startFn   func(*Proc) error
+
+	// Liveness accounting. liveMu is the innermost lock: it is taken with
+	// an SMM lock held but never the other way around.
+	liveMu       sync.Mutex
+	pending      int // in-flight messages targeted at this component
+	handles      int // live Connect handles
+	liveChildren int // instantiated, not-yet-disposed children
+	autoDispose  bool
+	disposed     bool
+}
+
+// Name returns the component's instance name.
+func (c *Component) Name() string { return c.name }
+
+// Path returns the slash-separated path from the top-level component.
+func (c *Component) Path() string {
+	if c.parent == nil {
+		return c.name
+	}
+	return c.parent.Path() + "/" + c.name
+}
+
+// App returns the owning application.
+func (c *Component) App() *App { return c.app }
+
+// Parent returns the parent component, or nil for top-level components.
+func (c *Component) Parent() *Component { return c.parent }
+
+// Area returns the component's memory area.
+func (c *Component) Area() *memory.Area { return c.area }
+
+// Level returns the component's scope nesting level: 0 for immortal
+// components, parent level + 1 for scoped children.
+func (c *Component) Level() int { return c.level }
+
+// Disposed reports whether the component instance has been reclaimed.
+func (c *Component) Disposed() bool {
+	c.liveMu.Lock()
+	defer c.liveMu.Unlock()
+	return c.disposed
+}
+
+// SMM returns the component's scoped memory manager — the single manager
+// through which it communicates with all of its children — creating it on
+// first use. Its message pools and buffers are charged to this component's
+// memory area.
+func (c *Component) SMM() *SMM {
+	c.app.mu.Lock()
+	defer c.app.mu.Unlock()
+	if c.smm == nil {
+		c.smm = newSMM(c)
+	}
+	return c.smm
+}
+
+// SetStart registers the component's start function (the paper's _start),
+// run in the component's execution context when the component starts: at
+// App.Start for top-level components, at instantiation for children.
+func (c *Component) SetStart(fn func(*Proc) error) { c.startFn = fn }
+
+// DefineChild registers a child blueprint. The child is instantiated by the
+// component's SMM on demand.
+func (c *Component) DefineChild(def ChildDef) error {
+	if err := checkName(def.Name); err != nil {
+		return err
+	}
+	if def.Setup == nil {
+		return fmt.Errorf("core: child %q: nil Setup", def.Name)
+	}
+	if !def.UsePool && def.MemorySize <= 0 {
+		return fmt.Errorf("core: child %q: non-positive memory size %d", def.Name, def.MemorySize)
+	}
+	c.app.mu.Lock()
+	defer c.app.mu.Unlock()
+	if _, dup := c.childDefs[def.Name]; dup {
+		return fmt.Errorf("%w: child %q of %q", ErrDuplicateName, def.Name, c.name)
+	}
+	d := def
+	c.childDefs[def.Name] = &d
+	return nil
+}
+
+// Exec runs fn inside the component's memory context: a no-heap context
+// whose scope stack is entered down to the component's area, so allocations
+// land in the component's region and the RTSJ access rules apply.
+func (c *Component) Exec(fn func(*memory.Context) error) error {
+	ctx := c.app.model.NewNoHeapContext()
+	return c.enterChain(ctx, fn)
+}
+
+// enterChain enters the component's ancestor areas outermost-first, then
+// runs fn with the context current in c's area.
+func (c *Component) enterChain(ctx *memory.Context, fn func(*memory.Context) error) error {
+	if c.area.Kind() != memory.KindScoped {
+		return ctx.ExecuteInArea(c.area, fn)
+	}
+	var chain []*memory.Area
+	for cc := c; cc != nil && cc.area.Kind() == memory.KindScoped; cc = cc.parent {
+		chain = append([]*memory.Area{cc.area}, chain...)
+	}
+	var rec func(ctx *memory.Context, i int) error
+	rec = func(ctx *memory.Context, i int) error {
+		if i == len(chain) {
+			return fn(ctx)
+		}
+		return ctx.Enter(chain[i], func(nc *memory.Context) error { return rec(nc, i+1) })
+	}
+	return rec(ctx, 0)
+}
+
+// waitStarted blocks until the instance's start function has completed.
+// Top-level components (nil channel) never block: their start order is
+// App.Start's contract.
+func (c *Component) waitStarted() {
+	if c.startedCh != nil {
+		<-c.startedCh
+	}
+}
+
+// runStart invokes the start function (if any) in the component's context.
+func (c *Component) runStart() error {
+	if c.startFn == nil {
+		return nil
+	}
+	return c.Exec(func(ctx *memory.Context) error {
+		return c.startFn(&Proc{comp: c, smm: c.SMM(), ctx: ctx, prio: sched.NormPriority})
+	})
+}
+
+// shutdown tears the component's subtree down (Stop path).
+func (c *Component) shutdown() {
+	if smm := c.currentSMM(); smm != nil {
+		smm.shutdown()
+	}
+}
+
+func (c *Component) currentSMM() *SMM {
+	c.app.mu.Lock()
+	defer c.app.mu.Unlock()
+	return c.smm
+}
+
+// childDef looks up a child blueprint.
+func (c *Component) childDef(name string) *ChildDef {
+	c.app.mu.Lock()
+	defer c.app.mu.Unlock()
+	return c.childDefs[name]
+}
+
+// addPending registers an in-flight message targeted at this component,
+// failing if the instance has already been disposed.
+func (c *Component) addPending() bool {
+	c.liveMu.Lock()
+	defer c.liveMu.Unlock()
+	if c.disposed {
+		return false
+	}
+	c.pending++
+	return true
+}
+
+// donePending retires one in-flight message.
+func (c *Component) donePending() {
+	c.liveMu.Lock()
+	c.pending--
+	c.liveMu.Unlock()
+}
+
+// addHandle registers a Connect handle, failing on a disposed instance.
+func (c *Component) addHandle() bool {
+	c.liveMu.Lock()
+	defer c.liveMu.Unlock()
+	if c.disposed {
+		return false
+	}
+	c.handles++
+	return true
+}
+
+// childGone retires one live child.
+func (c *Component) childGone() {
+	c.liveMu.Lock()
+	c.liveChildren--
+	c.liveMu.Unlock()
+}
+
+// childBorn registers one live child.
+func (c *Component) childBorn() {
+	c.liveMu.Lock()
+	c.liveChildren++
+	c.liveMu.Unlock()
+}
+
+// maybeQuiesce disposes the instance if it is transient and fully
+// quiescent, then propagates the check to the parent. It is the runtime
+// behaviour behind the paper's "after the messages are processed by the
+// component, the scoped memory objects are reclaimed".
+func (c *Component) maybeQuiesce() {
+	if c.mgr == nil {
+		return
+	}
+	c.liveMu.Lock()
+	if c.disposed || !c.autoDispose || c.pending > 0 || c.handles > 0 || c.liveChildren > 0 {
+		c.liveMu.Unlock()
+		return
+	}
+	c.disposed = true
+	c.liveMu.Unlock()
+
+	c.mgr.detach(c)
+	c.teardown()
+	if p := c.parent; p != nil {
+		p.childGone()
+		p.maybeQuiesce()
+	}
+}
+
+// forceDispose reclaims the instance regardless of quiescence (Stop path;
+// pools must already be drained).
+func (c *Component) forceDispose() {
+	c.liveMu.Lock()
+	if c.disposed {
+		c.liveMu.Unlock()
+		return
+	}
+	c.disposed = true
+	c.liveMu.Unlock()
+
+	if c.mgr != nil {
+		c.mgr.detach(c)
+	}
+	c.teardown()
+	if p := c.parent; p != nil {
+		p.childGone()
+	}
+}
+
+// teardown shuts the component's own SMM down and releases its area.
+func (c *Component) teardown() {
+	if smm := c.currentSMM(); smm != nil {
+		smm.shutdown()
+	}
+	c.app.mu.Lock()
+	c.smm = nil
+	c.app.mu.Unlock()
+	if c.wedge != nil {
+		c.wedge.Release()
+	}
+}

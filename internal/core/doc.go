@@ -1,0 +1,36 @@
+// Package core implements the Compadres component model — the paper's
+// primary contribution. Components are fine-grained software artifacts that
+// live in RTSJ memory areas (immortal or scoped, simulated by
+// internal/memory) and communicate exclusively through strongly typed In
+// and Out ports.
+//
+// # Structure
+//
+// An App owns a memory model and a set of immortal top-level components.
+// Components compose hierarchically: a parent *defines* scoped children
+// (ChildDef) that are instantiated on demand — when a message first arrives
+// for one of their ports, or explicitly via SMM.Connect — and reclaimed when
+// the last message has been processed and no Handle keeps them alive. Each
+// parent owns one Scoped Memory Manager (SMM) that mediates all
+// communication with and among its children, exactly as §2.2 of the paper
+// describes.
+//
+// # Ports and messages
+//
+// Out ports are connected to In ports by qualified name
+// ("Component.Port"); message types must match exactly. Messages come from
+// per-type pools allocated in the SMM's memory area (the shared-object
+// mechanism), are sent with a priority that the executing pool thread
+// inherits, and return to their pool once every receiver has processed
+// them. In ports carry a bounded buffer and a thread-pool policy
+// (shared/dedicated/synchronous) straight out of the CCL PortAttributes.
+//
+// # Cross-scope mechanisms
+//
+// The paper §2.2 discusses three ways to pass a message across scoped
+// regions: the shared object (default, most efficient), serialization
+// (copies through an encoded form), and the handoff pattern (the sending
+// thread walks through the common ancestor area). All three are
+// implemented and selectable per SMM so their costs can be compared; see
+// the AblationCrossScope benchmarks.
+package core

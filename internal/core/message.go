@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memory"
+)
+
+// Message is a value exchanged through ports. Messages are pooled, so they
+// must be resettable to a clean state before reuse. To be usable with the
+// serialization cross-scope mechanism a message additionally implements
+// encoding.BinaryMarshaler and encoding.BinaryUnmarshaler.
+//
+// The paper requires messages to be "RTSJ-safe": all data reachable from a
+// message must live in the same memory area as the message itself. The Go
+// analogue is that a Message must own its payload (no aliasing of buffers
+// owned by other components).
+type Message interface {
+	Reset()
+}
+
+// MessageType names a pooled message type and knows how to create
+// instances. Name equality is the port-compatibility check (the paper's
+// "message types must match exactly"); Size is the byte cost charged to the
+// owning memory area per pooled instance.
+type MessageType struct {
+	// Name identifies the type in CDL files and connection checks.
+	Name string
+	// Size is the per-instance byte charge against the pool's memory area.
+	Size int
+	// New allocates a fresh instance.
+	New func() Message
+}
+
+// valid reports a usable type descriptor.
+func (t MessageType) valid() bool {
+	return t.Name != "" && t.Size > 0 && t.New != nil
+}
+
+// msgPool is a fixed-capacity pool of messages of one type, allocated in an
+// SMM's memory area. It mirrors the paper's "message pool per message type
+// in the parent component's SMM": getMessage hands out an instance, send
+// transfers it, and the framework returns it after the receiver has
+// processed it, so parent areas never grow without bound.
+type msgPool struct {
+	typ  MessageType
+	area *memory.Area
+	ref  memory.Ref // the arena charge for the pooled instances
+
+	mu      sync.Mutex
+	free    []Message
+	total   int
+	gets    int64
+	returns int64
+}
+
+// newMsgPool charges capacity*typ.Size bytes to area and pre-creates the
+// instances.
+func newMsgPool(typ MessageType, area *memory.Area, ctx *memory.Context, capacity int) (*msgPool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: message pool %q: non-positive capacity %d", typ.Name, capacity)
+	}
+	ref, err := ctx.AllocIn(area, capacity*typ.Size)
+	if err != nil {
+		return nil, fmt.Errorf("message pool %q in %q: %w", typ.Name, area.Name(), err)
+	}
+	p := &msgPool{typ: typ, area: area, ref: ref, total: capacity}
+	p.free = make([]Message, 0, capacity)
+	for i := 0; i < capacity; i++ {
+		p.free = append(p.free, typ.New())
+	}
+	return p, nil
+}
+
+// get takes an instance, or reports ErrPoolEmpty when all are in flight.
+func (p *msgPool) get() (Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.free)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: type %q in %q (%d in flight)", ErrPoolEmpty, p.typ.Name, p.area.Name(), p.total)
+	}
+	m := p.free[n-1]
+	p.free = p.free[:n-1]
+	p.gets++
+	return m, nil
+}
+
+// put resets and returns an instance to the pool.
+func (p *msgPool) put(m Message) {
+	m.Reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, m)
+	p.returns++
+}
+
+// stats reports (capacity, in-flight, gets, returns).
+func (p *msgPool) stats() (capacity, inFlight int, gets, returns int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total, p.total - len(p.free), p.gets, p.returns
+}
+
+// envelope tracks one sent message through all of its receivers so it can
+// be returned to its pool exactly once.
+type envelope struct {
+	msg  Message
+	pool *msgPool
+
+	mu        sync.Mutex
+	remaining int
+	release   func() // optional extra cleanup (serialization scratch, etc.)
+}
+
+// done records one receiver finishing; the last one recycles the message.
+func (e *envelope) done() {
+	e.mu.Lock()
+	e.remaining--
+	last := e.remaining == 0
+	e.mu.Unlock()
+	if !last {
+		return
+	}
+	if e.pool != nil {
+		e.pool.put(e.msg)
+	}
+	if e.release != nil {
+		e.release()
+	}
+}

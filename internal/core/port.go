@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Threading selects an In port's dispatch policy (CCL <Threadpool>).
+type Threading int
+
+// Dispatch policies. Shared ports draw workers from the SMM's one shared
+// pool; Dedicated ports own a pool; Synchronous ports run the handler on
+// the sending thread (the paper's pool-size-zero case).
+const (
+	ThreadingShared Threading = iota + 1
+	ThreadingDedicated
+	ThreadingSynchronous
+)
+
+// String returns the CCL spelling of the policy.
+func (t Threading) String() string {
+	switch t {
+	case ThreadingShared:
+		return "Shared"
+	case ThreadingDedicated:
+		return "Dedicated"
+	case ThreadingSynchronous:
+		return "Synchronous"
+	default:
+		return fmt.Sprintf("Threading(%d)", int(t))
+	}
+}
+
+// DefaultBufferSize is the In-port buffer capacity when the config leaves
+// it zero.
+const DefaultBufferSize = 8
+
+// InPortConfig parameterises AddInPort. It mirrors the paper's
+// addInPort(name, smm, msgType, bufferSize, strategy, minPool, maxPool,
+// handler).
+type InPortConfig struct {
+	// Name is the port name, unique within the component.
+	Name string
+	// Type is the message type accepted by the port.
+	Type MessageType
+	// BufferSize bounds the port's message buffer; zero selects
+	// DefaultBufferSize.
+	BufferSize int
+	// Threading selects the dispatch policy; zero selects ThreadingShared.
+	Threading Threading
+	// MinThreads/MaxThreads size the thread pool (ignored for
+	// ThreadingSynchronous). Zero values select 1 and 4.
+	MinThreads, MaxThreads int
+	// Handler processes arriving messages. Required.
+	Handler Handler
+}
+
+// OutPortConfig parameterises AddOutPort. It mirrors the paper's
+// addOutPort(name, smm, msgType, destination...).
+type OutPortConfig struct {
+	// Name is the port name, unique within the component.
+	Name string
+	// Type is the message type emitted by the port.
+	Type MessageType
+	// Dests are qualified destination In-port names ("Component.Port").
+	// A send fans out to all of them.
+	Dests []string
+}
+
+// bufItem is one queued delivery.
+type bufItem struct {
+	env   *envelope
+	msg   Message
+	prio  sched.Priority
+	owner *Component
+	seq   uint64
+}
+
+// InPort receives messages for a component. The port structure (buffer,
+// thread pool, message pool share) lives in the mediating SMM's memory area
+// and persists across re-instantiations of a transient child; only the
+// owner/handler binding changes.
+type InPort struct {
+	qname string // "Component.Port"
+	short string
+	typ   MessageType
+	smm   *SMM
+
+	mu        sync.Mutex
+	owner     *Component // nil while the owning child is not instantiated
+	handler   Handler
+	buf       []bufItem // priority heap, bounded at the declared capacity
+	capacity  int
+	seq       uint64
+	pool      *sched.Pool
+	dedicated bool
+	received  int64
+	processed int64
+	dropped   int64
+}
+
+// Name returns the qualified port name ("Component.Port").
+func (p *InPort) Name() string { return p.qname }
+
+// Type returns the port's message type.
+func (p *InPort) Type() MessageType { return p.typ }
+
+// Capacity returns the buffer capacity.
+func (p *InPort) Capacity() int { return p.capacity }
+
+// Stats reports messages received (enqueued), processed, and dropped
+// (buffer full).
+func (p *InPort) Stats() (received, processed, dropped int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.received, p.processed, p.dropped
+}
+
+// push enqueues an item, or reports ErrBufferFull. The buffer is a priority
+// queue: pop hands out the highest-priority pending message (FIFO within a
+// priority), so the pool worker that dequeues — itself scheduled at the
+// message's priority — processes the message that justified its priority.
+func (p *InPort) push(it bufItem) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.buf) == p.capacity {
+		p.dropped++
+		return fmt.Errorf("%w: %q (capacity %d)", ErrBufferFull, p.qname, p.capacity)
+	}
+	p.seq++
+	it.seq = p.seq
+	p.buf = append(p.buf, it)
+	p.siftUp(len(p.buf) - 1)
+	p.received++
+	return nil
+}
+
+// pop dequeues the highest-priority item; ok reports whether one was
+// present.
+func (p *InPort) pop() (bufItem, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.buf) == 0 {
+		return bufItem{}, false
+	}
+	it := p.buf[0]
+	last := len(p.buf) - 1
+	p.buf[0] = p.buf[last]
+	p.buf[last] = bufItem{}
+	p.buf = p.buf[:last]
+	if len(p.buf) > 0 {
+		p.siftDown(0)
+	}
+	return it, true
+}
+
+// itemLess orders by descending priority, then FIFO.
+func itemLess(a, b bufItem) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (p *InPort) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !itemLess(p.buf[i], p.buf[parent]) {
+			return
+		}
+		p.buf[i], p.buf[parent] = p.buf[parent], p.buf[i]
+		i = parent
+	}
+}
+
+func (p *InPort) siftDown(i int) {
+	n := len(p.buf)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && itemLess(p.buf[l], p.buf[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && itemLess(p.buf[r], p.buf[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		p.buf[i], p.buf[best] = p.buf[best], p.buf[i]
+		i = best
+	}
+}
+
+// binding returns the current owner and handler.
+func (p *InPort) binding() (*Component, Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.owner, p.handler
+}
+
+// bind attaches the port to a (re)instantiated owner.
+func (p *InPort) bind(owner *Component, h Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.owner = owner
+	p.handler = h
+}
+
+// unbind detaches the port when its owner is disposed.
+func (p *InPort) unbind() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.owner = nil
+}
+
+// markProcessed bumps the processed counter.
+func (p *InPort) markProcessed() {
+	p.mu.Lock()
+	p.processed++
+	p.mu.Unlock()
+}
+
+// OutPort sends messages from a component. Like InPort, the structure
+// persists in the SMM across owner re-instantiations.
+type OutPort struct {
+	qname string
+	short string
+	typ   MessageType
+	smm   *SMM
+
+	mu    sync.Mutex
+	owner *Component
+	dests []string
+	sent  int64
+}
+
+// Name returns the qualified port name ("Component.Port").
+func (p *OutPort) Name() string { return p.qname }
+
+// Type returns the port's message type.
+func (p *OutPort) Type() MessageType { return p.typ }
+
+// Dests returns a copy of the destination port names.
+func (p *OutPort) Dests() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.dests))
+	copy(out, p.dests)
+	return out
+}
+
+// Sent reports the number of successful Send calls.
+func (p *OutPort) Sent() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// GetMessage takes a message instance from the SMM's pool for this port's
+// type, per the paper's getMessage(). The instance must either be sent
+// (ownership transfers to the framework) or returned with PutBack.
+func (p *OutPort) GetMessage() (Message, error) {
+	return p.smm.poolFor(p.typ).get()
+}
+
+// PutBack returns an unsent message to the pool.
+func (p *OutPort) PutBack(m Message) {
+	p.smm.poolFor(p.typ).put(m)
+}
+
+// Send delivers msg to every connected destination at the given priority
+// using the SMM's configured cross-scope mechanism. The handoff mechanism
+// needs the sender's memory context; use SendFrom for it.
+func (p *OutPort) Send(msg Message, prio sched.Priority) error {
+	return p.smm.send(p, nil, msg, prio)
+}
+
+// SendFrom is Send with the sender's memory context supplied, enabling the
+// handoff mechanism (the sending thread walks through the common ancestor
+// area into the receiver's area).
+func (p *OutPort) SendFrom(proc *Proc, msg Message, prio sched.Priority) error {
+	return p.smm.send(p, proc, msg, prio)
+}
+
+// AddInPort declares an In port on component c, mediated by smm. The SMM's
+// owner must be c or an ancestor of c (external ports register with the
+// parent's or an ancestor's SMM; internal ports with the component's own).
+func AddInPort(c *Component, smm *SMM, cfg InPortConfig) (*InPort, error) {
+	return smm.registerIn(c, cfg)
+}
+
+// AddOutPort declares an Out port on component c, mediated by smm, with the
+// given qualified destinations. The same ancestor rule as AddInPort applies;
+// registering with a non-immediate ancestor's SMM creates a shadow port.
+func AddOutPort(c *Component, smm *SMM, cfg OutPortConfig) (*OutPort, error) {
+	return smm.registerOut(c, cfg)
+}

@@ -1,0 +1,838 @@
+package core
+
+import (
+	"encoding"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// Mechanism selects how an SMM passes messages across scoped regions. The
+// paper (§2.2) identifies three options and adopts the shared object as the
+// most efficient; all three are implemented so the trade-off is measurable.
+type Mechanism int
+
+// Cross-scope message passing mechanisms.
+const (
+	// MechanismSharedObject pools messages in the SMM owner's area, which
+	// both sender and receiver may legally reference. The default.
+	MechanismSharedObject Mechanism = iota + 1
+	// MechanismSerialization marshals the message to bytes and rebuilds a
+	// copy for every receiver; the original returns to its pool at send
+	// time. Messages must implement encoding.BinaryMarshaler/Unmarshaler.
+	MechanismSerialization
+	// MechanismHandoff runs the handler synchronously on the sending
+	// thread, which walks through the common-ancestor area into the
+	// receiver's area (the handoff pattern). Requires OutPort.SendFrom.
+	MechanismHandoff
+)
+
+// String returns the mechanism name.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismSharedObject:
+		return "shared-object"
+	case MechanismSerialization:
+		return "serialization"
+	case MechanismHandoff:
+		return "handoff"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// SMM is a Scoped Memory Manager: one per parent component, mediating all
+// communication between the parent and its children and among the children.
+// It owns the message pools (one per message type) and the In-port buffers,
+// all charged to the parent's memory area; it maintains a proxy per child
+// definition and instantiates child components on demand.
+type SMM struct {
+	owner *Component
+	area  *memory.Area
+
+	// instMu serialises child instantiation; it is taken before mu and
+	// never while holding mu.
+	instMu sync.Mutex
+
+	mu        sync.Mutex
+	mechanism Mechanism
+	in        map[string]*InPort
+	out       map[string]*OutPort
+	children  map[string]*Component
+	msgPools  map[string]*msgPool
+	shared    *sched.Pool
+	pools     []*sched.Pool // all pools owned by this SMM, for shutdown
+	stopped   bool
+}
+
+func newSMM(owner *Component) *SMM {
+	return &SMM{
+		owner:     owner,
+		area:      owner.area,
+		mechanism: MechanismSharedObject,
+		in:        make(map[string]*InPort),
+		out:       make(map[string]*OutPort),
+		children:  make(map[string]*Component),
+		msgPools:  make(map[string]*msgPool),
+	}
+}
+
+// Owner returns the parent component this SMM belongs to.
+func (s *SMM) Owner() *Component { return s.owner }
+
+// Area returns the memory area backing the SMM's pools and buffers (the
+// owner's area).
+func (s *SMM) Area() *memory.Area { return s.area }
+
+// Mechanism returns the configured cross-scope mechanism.
+func (s *SMM) Mechanism() Mechanism {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mechanism
+}
+
+// SetMechanism selects the cross-scope mechanism for subsequent sends.
+func (s *SMM) SetMechanism(m Mechanism) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mechanism = m
+}
+
+// GetOutPort looks an Out port up by qualified name ("Component.Port") or,
+// when unambiguous, by short port name — the paper's smm.getOutPort().
+func (s *SMM) GetOutPort(name string) (*OutPort, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.out[name]; ok {
+		return p, nil
+	}
+	var found *OutPort
+	for _, p := range s.out {
+		if p.short == name {
+			if found != nil {
+				return nil, fmt.Errorf("%w: out port %q is ambiguous", ErrUnknownPort, name)
+			}
+			found = p
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("%w: out port %q", ErrUnknownPort, name)
+	}
+	return found, nil
+}
+
+// GetInPort looks an In port up by qualified or unambiguous short name.
+func (s *SMM) GetInPort(name string) (*InPort, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.in[name]; ok {
+		return p, nil
+	}
+	var found *InPort
+	for _, p := range s.in {
+		if p.short == name {
+			if found != nil {
+				return nil, fmt.Errorf("%w: in port %q is ambiguous", ErrUnknownPort, name)
+			}
+			found = p
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("%w: in port %q", ErrUnknownPort, name)
+	}
+	return found, nil
+}
+
+// Child returns the live instance of the named child, or nil.
+func (s *SMM) Child(name string) *Component {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.children[name]
+}
+
+// MsgPoolStats reports (capacity, in-flight, gets, returns) for the pool of
+// the given message type, or zeros if no pool exists yet.
+func (s *SMM) MsgPoolStats(typeName string) (capacity, inFlight int, gets, returns int64) {
+	s.mu.Lock()
+	p := s.msgPools[typeName]
+	s.mu.Unlock()
+	if p == nil {
+		return 0, 0, 0, 0
+	}
+	return p.stats()
+}
+
+// checkMediation verifies that this SMM may mediate ports of component c:
+// the SMM's owner must be c itself or an ancestor of c (registering with a
+// non-immediate ancestor is precisely the paper's shadow port). As a special
+// case, any immortal component's SMM may mediate another immortal
+// component's ports, since both live in the same immortal area and the
+// assignment rules are trivially satisfied.
+func (s *SMM) checkMediation(c *Component) error {
+	for cc := c; cc != nil; cc = cc.parent {
+		if cc == s.owner {
+			return nil
+		}
+	}
+	if s.area.Kind() == memory.KindImmortal && c.area.Kind() == memory.KindImmortal {
+		return nil
+	}
+	return fmt.Errorf("core: SMM of %q cannot mediate ports of non-descendant %q", s.owner.name, c.name)
+}
+
+// registerIn adds (or rebinds) an In port of component c.
+func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
+	if err := checkName(cfg.Name); err != nil {
+		return nil, err
+	}
+	if !cfg.Type.valid() {
+		return nil, fmt.Errorf("core: in port %q: invalid message type", cfg.Name)
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("core: in port %q: nil handler", cfg.Name)
+	}
+	if err := s.checkMediation(c); err != nil {
+		return nil, err
+	}
+	qname := c.name + "." + cfg.Name
+
+	s.mu.Lock()
+	if existing, ok := s.in[qname]; ok {
+		// Re-instantiation of a transient child: the port structure
+		// (buffer, pools) persists in the SMM; only the binding changes.
+		if existing.typ.Name != cfg.Type.Name {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: port %q re-registered as %q, was %q",
+				ErrTypeMismatch, qname, cfg.Type.Name, existing.typ.Name)
+		}
+		s.mu.Unlock()
+		existing.bind(c, cfg.Handler)
+		return existing, nil
+	}
+	s.mu.Unlock()
+
+	bufSize := cfg.BufferSize
+	if bufSize == 0 {
+		bufSize = DefaultBufferSize
+	}
+	if bufSize < 0 {
+		return nil, fmt.Errorf("core: in port %q: negative buffer size", qname)
+	}
+	threading := cfg.Threading
+	if threading == 0 {
+		threading = ThreadingShared
+	}
+	minT, maxT := cfg.MinThreads, cfg.MaxThreads
+	if threading != ThreadingSynchronous {
+		if minT == 0 {
+			minT = 1
+		}
+		if maxT == 0 {
+			maxT = 4
+		}
+	}
+
+	// Charge the port header and buffer slots to the SMM's area and make
+	// sure the message pool for the type exists.
+	if err := s.charge(portHeaderBytes + bufSize*bufferSlotBytes); err != nil {
+		return nil, fmt.Errorf("in port %q: %w", qname, err)
+	}
+	if _, err := s.ensurePool(cfg.Type); err != nil {
+		return nil, err
+	}
+
+	p := &InPort{
+		qname:    qname,
+		short:    cfg.Name,
+		typ:      cfg.Type,
+		smm:      s,
+		buf:      make([]bufItem, 0, bufSize),
+		capacity: bufSize,
+	}
+	p.bind(c, cfg.Handler)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.in[qname]; dup {
+		return nil, fmt.Errorf("%w: in port %q", ErrDuplicateName, qname)
+	}
+	switch threading {
+	case ThreadingShared:
+		if s.shared == nil {
+			s.shared = sched.NewPool(sched.PoolConfig{
+				Name: s.owner.name + ".shared", Min: minT, Max: maxT,
+			})
+			s.pools = append(s.pools, s.shared)
+		}
+		p.pool = s.shared
+	case ThreadingDedicated:
+		p.pool = sched.NewPool(sched.PoolConfig{Name: qname, Min: minT, Max: maxT})
+		p.dedicated = true
+		s.pools = append(s.pools, p.pool)
+	case ThreadingSynchronous:
+		p.pool = sched.NewPool(sched.PoolConfig{Name: qname, Max: 0})
+		p.dedicated = true
+		s.pools = append(s.pools, p.pool)
+	default:
+		return nil, fmt.Errorf("core: in port %q: unknown threading policy %v", qname, threading)
+	}
+	s.in[qname] = p
+	return p, nil
+}
+
+// registerOut adds (or rebinds) an Out port of component c.
+func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
+	if err := checkName(cfg.Name); err != nil {
+		return nil, err
+	}
+	if !cfg.Type.valid() {
+		return nil, fmt.Errorf("core: out port %q: invalid message type", cfg.Name)
+	}
+	if err := s.checkMediation(c); err != nil {
+		return nil, err
+	}
+	qname := c.name + "." + cfg.Name
+	dests := make([]string, len(cfg.Dests))
+	copy(dests, cfg.Dests)
+
+	s.mu.Lock()
+	if existing, ok := s.out[qname]; ok {
+		if existing.typ.Name != cfg.Type.Name {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: port %q re-registered as %q, was %q",
+				ErrTypeMismatch, qname, cfg.Type.Name, existing.typ.Name)
+		}
+		existing.mu.Lock()
+		existing.owner = c
+		existing.dests = dests
+		existing.mu.Unlock()
+		s.mu.Unlock()
+		return existing, nil
+	}
+	s.mu.Unlock()
+
+	if err := s.charge(portHeaderBytes); err != nil {
+		return nil, fmt.Errorf("out port %q: %w", qname, err)
+	}
+	if _, err := s.ensurePool(cfg.Type); err != nil {
+		return nil, err
+	}
+
+	p := &OutPort{qname: qname, short: cfg.Name, typ: cfg.Type, smm: s, owner: c, dests: dests}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.out[qname]; dup {
+		return nil, fmt.Errorf("%w: out port %q", ErrDuplicateName, qname)
+	}
+	s.out[qname] = p
+	return p, nil
+}
+
+// charge allocates n bookkeeping bytes in the SMM's area.
+func (s *SMM) charge(n int) error {
+	return s.owner.Exec(func(ctx *memory.Context) error {
+		_, err := ctx.Alloc(n)
+		return err
+	})
+}
+
+// ensurePool returns the message pool for typ, creating and charging it on
+// first use.
+func (s *SMM) ensurePool(typ MessageType) (*msgPool, error) {
+	s.mu.Lock()
+	if p, ok := s.msgPools[typ.Name]; ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+
+	var p *msgPool
+	err := s.owner.Exec(func(ctx *memory.Context) error {
+		var perr error
+		p, perr = newMsgPool(typ, s.area, ctx, s.owner.app.msgCap)
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.msgPools[typ.Name]; ok {
+		return existing, nil
+	}
+	s.msgPools[typ.Name] = p
+	return p, nil
+}
+
+// poolFor returns the (already ensured) pool for typ; panics are avoided by
+// falling back to ensurePool, whose only failure mode is area exhaustion.
+func (s *SMM) poolFor(typ MessageType) *msgPool {
+	s.mu.Lock()
+	p := s.msgPools[typ.Name]
+	s.mu.Unlock()
+	if p != nil {
+		return p
+	}
+	p, err := s.ensurePool(typ)
+	if err != nil {
+		// Report through the app and return an empty pool so callers see
+		// ErrPoolEmpty rather than a nil dereference.
+		s.owner.app.reportError(err)
+		return &msgPool{typ: typ, area: s.area}
+	}
+	return p
+}
+
+// Connect instantiates (or finds) the named child and returns a Handle that
+// keeps it alive until Disconnect — the paper's connect()/disconnect() with
+// a handle, implemented with a wedge on the child's scope.
+func (s *SMM) Connect(name string) (*Handle, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		child, err := s.materialize(name)
+		if err != nil {
+			return nil, err
+		}
+		if child.addHandle() {
+			return &Handle{smm: s, child: child}, nil
+		}
+		// The instance quiesced between materialize and addHandle; retry.
+	}
+	return nil, fmt.Errorf("core: connect %q: instance kept quiescing", name)
+}
+
+// Disconnect releases a handle obtained from Connect (paper-style spelling;
+// equivalent to h.Disconnect).
+func (s *SMM) Disconnect(h *Handle) { h.Disconnect() }
+
+// Handle keeps a child component instance alive.
+type Handle struct {
+	smm   *SMM
+	child *Component
+
+	mu       sync.Mutex
+	released bool
+}
+
+// Component returns the pinned child instance.
+func (h *Handle) Component() *Component { return h.child }
+
+// Disconnect releases the handle. When it was the last thing keeping a
+// quiescent child alive, the child is reclaimed. Disconnect is idempotent.
+func (h *Handle) Disconnect() {
+	h.mu.Lock()
+	if h.released {
+		h.mu.Unlock()
+		return
+	}
+	h.released = true
+	h.mu.Unlock()
+
+	c := h.child
+	c.liveMu.Lock()
+	c.handles--
+	// A disconnect is an explicit kill request: even persistent children
+	// become eligible for reclamation once quiescent.
+	c.autoDispose = true
+	c.liveMu.Unlock()
+	c.maybeQuiesce()
+}
+
+// materialize returns the live instance of the named child, instantiating
+// it if necessary. It never holds s.mu across user code.
+func (s *SMM) materialize(name string) (*Component, error) {
+	s.mu.Lock()
+	if c := s.children[name]; c != nil {
+		s.mu.Unlock()
+		return c, nil
+	}
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	s.mu.Unlock()
+
+	s.instMu.Lock()
+	// Double-check under instMu: another goroutine may have won.
+	s.mu.Lock()
+	if c := s.children[name]; c != nil {
+		s.mu.Unlock()
+		s.instMu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+
+	def := s.owner.childDef(name)
+	if def == nil {
+		s.instMu.Unlock()
+		return nil, fmt.Errorf("%w: %q in %q", ErrUnknownChild, name, s.owner.name)
+	}
+	child, err := s.instantiate(def)
+	s.instMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Run the start function outside instMu so it may send messages —
+	// including to siblings whose instantiation needs the same lock.
+	// Deliveries racing in meanwhile queue up: dispatch waits on startedCh.
+	startErr := child.runStart()
+	close(child.startedCh)
+	if startErr != nil {
+		child.forceDispose()
+		return nil, fmt.Errorf("child %q start: %w", def.Name, startErr)
+	}
+	return child, nil
+}
+
+// instantiate builds a child instance from its blueprint: acquire the
+// scoped area (from the level's pool when requested), pin it under the
+// owner's area, charge the component header, and run Setup. The caller
+// (materialize, holding instMu) runs the start function afterwards.
+func (s *SMM) instantiate(def *ChildDef) (*Component, error) {
+	app := s.owner.app
+	level := s.owner.level + 1
+
+	var area *memory.Area
+	if def.UsePool {
+		pool := app.ScopePool(level)
+		if pool == nil {
+			return nil, fmt.Errorf("core: child %q wants the level-%d scope pool, but none is configured", def.Name, level)
+		}
+		var err error
+		area, err = pool.Acquire()
+		if err != nil {
+			return nil, fmt.Errorf("child %q: %w", def.Name, err)
+		}
+	} else {
+		area = app.model.NewLTScoped(s.owner.Path()+"/"+def.Name, def.MemorySize)
+	}
+
+	wedge, err := memory.Pin(area, s.area)
+	if err != nil {
+		return nil, fmt.Errorf("child %q: %w", def.Name, err)
+	}
+
+	child := &Component{
+		app:         app,
+		name:        def.Name,
+		parent:      s.owner,
+		area:        area,
+		wedge:       wedge,
+		level:       level,
+		mgr:         s,
+		startedCh:   make(chan struct{}),
+		childDefs:   make(map[string]*ChildDef),
+		autoDispose: !def.Persistent,
+	}
+
+	fail := func(err error) (*Component, error) {
+		wedge.Release()
+		return nil, err
+	}
+	if err := child.Exec(func(ctx *memory.Context) error {
+		_, aerr := ctx.Alloc(componentHeaderBytes)
+		return aerr
+	}); err != nil {
+		return fail(fmt.Errorf("child %q header: %w", def.Name, err))
+	}
+	s.owner.childBorn()
+	if err := def.Setup(child); err != nil {
+		s.owner.childGone()
+		return fail(fmt.Errorf("child %q setup: %w", def.Name, err))
+	}
+
+	s.mu.Lock()
+	s.children[def.Name] = child
+	s.mu.Unlock()
+	return child, nil
+}
+
+// detach unbinds a disposed child's ports and forgets the instance. The
+// port structures stay registered so a future instantiation reuses them.
+func (s *SMM) detach(c *Component) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.children[c.name] == c {
+		delete(s.children, c.name)
+	}
+	for _, p := range s.in {
+		if owner, _ := p.binding(); owner == c {
+			p.unbind()
+		}
+	}
+	for _, p := range s.out {
+		p.mu.Lock()
+		if p.owner == c {
+			p.owner = nil
+		}
+		p.mu.Unlock()
+	}
+}
+
+// resolveIn returns the In port for a qualified destination name, with a
+// live owner bound — instantiating the owning child if needed. This is the
+// proxy behaviour of §2.2: "the SMM checks the proxies for the existing
+// component or, if none are found, creates a new scoped memory component
+// which should receive the message".
+func (s *SMM) resolveIn(qname string) (*InPort, *Component, error) {
+	compName, _, ok := strings.Cut(qname, ".")
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q is not a qualified name", ErrUnknownPort, qname)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		s.mu.Lock()
+		p := s.in[qname]
+		s.mu.Unlock()
+		if p != nil {
+			if owner, _ := p.binding(); owner != nil && owner.addPending() {
+				return p, owner, nil
+			}
+		}
+		if compName == s.owner.name {
+			if p == nil {
+				return nil, nil, fmt.Errorf("%w: %q", ErrUnknownPort, qname)
+			}
+			// The owner itself is never transient; a nil binding here means
+			// the app is stopping.
+			return nil, nil, ErrStopped
+		}
+		if _, err := s.materialize(compName); err != nil {
+			return nil, nil, fmt.Errorf("deliver to %q: %w", qname, err)
+		}
+	}
+	return nil, nil, fmt.Errorf("core: deliver to %q: owner kept quiescing", qname)
+}
+
+// send routes one message per the SMM's configured mechanism.
+func (s *SMM) send(p *OutPort, proc *Proc, msg Message, prio sched.Priority) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	mech := s.mechanism
+	s.mu.Unlock()
+
+	dests := p.Dests()
+	if len(dests) == 0 {
+		return fmt.Errorf("%w: out port %q has no destinations", ErrUnknownPort, p.qname)
+	}
+
+	var err error
+	switch mech {
+	case MechanismSharedObject:
+		err = s.sendShared(p, msg, prio, dests)
+	case MechanismSerialization:
+		err = s.sendSerialized(p, msg, prio, dests)
+	case MechanismHandoff:
+		if proc == nil {
+			return fmt.Errorf("%w: out port %q", ErrNeedsCallerContext, p.qname)
+		}
+		err = s.sendHandoff(p, proc, msg, prio, dests)
+	default:
+		err = fmt.Errorf("core: unknown mechanism %v", mech)
+	}
+	if err == nil {
+		p.mu.Lock()
+		p.sent++
+		p.mu.Unlock()
+	}
+	return err
+}
+
+// sendShared implements the default shared-object mechanism: the pooled
+// message itself is enqueued for every receiver and returns to the pool
+// after the last one processes it.
+func (s *SMM) sendShared(p *OutPort, msg Message, prio sched.Priority, dests []string) error {
+	env := &envelope{msg: msg, pool: s.poolFor(p.typ), remaining: len(dests)}
+	var firstErr error
+	for _, dest := range dests {
+		if err := s.deliverAsync(p, dest, env, msg, prio); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// sendSerialized implements the serialization mechanism: the message is
+// encoded once, returned to its pool immediately, and an independent copy
+// is rebuilt for every receiver.
+func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, dests []string) error {
+	bm, ok := msg.(encoding.BinaryMarshaler)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotSerializable, p.typ.Name)
+	}
+	data, err := bm.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("serialize %q: %w", p.typ.Name, err)
+	}
+	s.poolFor(p.typ).put(msg)
+
+	var firstErr error
+	for _, dest := range dests {
+		fresh := p.typ.New()
+		um, ok := fresh.(encoding.BinaryUnmarshaler)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNotSerializable, p.typ.Name)
+		}
+		if err := um.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("deserialize %q: %w", p.typ.Name, err)
+		}
+		env := &envelope{msg: fresh, remaining: 1} // no pool: the copy is dropped
+		if err := s.deliverAsync(p, dest, env, fresh, prio); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// deliverAsync resolves one destination, reserves the owner, enqueues the
+// item, and schedules a dispatch at the message priority.
+func (s *SMM) deliverAsync(p *OutPort, dest string, env *envelope, msg Message, prio sched.Priority) error {
+	in, owner, err := s.resolveIn(dest)
+	if err != nil {
+		env.done()
+		return err
+	}
+	if in.typ.Name != p.typ.Name {
+		owner.donePending()
+		env.done()
+		return fmt.Errorf("%w: %q sends %q, %q accepts %q",
+			ErrTypeMismatch, p.qname, p.typ.Name, dest, in.typ.Name)
+	}
+	if err := in.push(bufItem{env: env, msg: msg, prio: prio, owner: owner}); err != nil {
+		owner.donePending()
+		owner.maybeQuiesce()
+		env.done()
+		return err
+	}
+	if err := in.pool.Submit(prio, func(pr sched.Priority) { s.dispatch(in, pr) }); err != nil {
+		// Pool already shut down; the pushed item will be dropped with the
+		// SMM. Account for it now.
+		if it, ok := in.pop(); ok {
+			it.owner.donePending()
+			it.env.done()
+		}
+		return err
+	}
+	return nil
+}
+
+// dispatch runs on a pool worker (or inline for synchronous ports): it pops
+// one buffered message and processes it in the owner's memory context.
+func (s *SMM) dispatch(in *InPort, prio sched.Priority) {
+	it, ok := in.pop()
+	if !ok {
+		return
+	}
+	owner := it.owner
+	// Never process a message before the owner finished initialising. (A
+	// synchronous port whose owner sends to itself from its own start
+	// function would deadlock here; send asynchronously or after Start.)
+	owner.waitStarted()
+	_, handler := in.binding()
+	if handler == nil {
+		// Owner disposed between push and dispatch with no rebinding; the
+		// message is dropped.
+		s.owner.app.reportError(fmt.Errorf("core: %q: no handler bound", in.qname))
+	} else {
+		err := owner.Exec(func(ctx *memory.Context) error {
+			return s.process(handler, &Proc{comp: owner, smm: s, ctx: ctx, prio: prio}, it.msg)
+		})
+		if err != nil {
+			s.owner.app.reportError(fmt.Errorf("core: %q handler: %w", in.qname, err))
+		}
+	}
+	in.markProcessed()
+	it.env.done()
+	owner.donePending()
+	owner.maybeQuiesce()
+}
+
+// process invokes a handler, converting panics into errors so one failing
+// component cannot take the application down.
+func (s *SMM) process(h Handler, p *Proc, msg Message) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: handler panic: %v", r)
+		}
+	}()
+	return h.Process(p, msg)
+}
+
+// sendHandoff implements the handoff pattern: the sending thread leaves its
+// own scope via the common ancestor (the SMM's area, already on its scope
+// stack) and enters the receiver's area to run the handler synchronously.
+func (s *SMM) sendHandoff(p *OutPort, proc *Proc, msg Message, prio sched.Priority, dests []string) error {
+	var firstErr error
+	for _, dest := range dests {
+		in, owner, err := s.resolveIn(dest)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if in.typ.Name != p.typ.Name {
+			owner.donePending()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %q sends %q, %q accepts %q",
+					ErrTypeMismatch, p.qname, p.typ.Name, dest, in.typ.Name)
+			}
+			continue
+		}
+		owner.waitStarted()
+		_, handler := in.binding()
+		err = proc.ctx.ExecuteInArea(s.area, func(actx *memory.Context) error {
+			run := func(hctx *memory.Context) error {
+				return s.process(handler, &Proc{comp: owner, smm: s, ctx: hctx, prio: prio}, msg)
+			}
+			if owner.area == s.area {
+				return run(actx)
+			}
+			return actx.Enter(owner.area, run)
+		})
+		in.mu.Lock()
+		in.received++
+		in.processed++
+		in.mu.Unlock()
+		owner.donePending()
+		owner.maybeQuiesce()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.poolFor(p.typ).put(msg)
+	return firstErr
+}
+
+// shutdown drains and stops every pool owned by this SMM, then disposes
+// live children bottom-up.
+func (s *SMM) shutdown() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	pools := make([]*sched.Pool, len(s.pools))
+	copy(pools, s.pools)
+	s.mu.Unlock()
+
+	for _, p := range pools {
+		p.Shutdown()
+	}
+
+	s.mu.Lock()
+	children := make([]*Component, 0, len(s.children))
+	for _, c := range s.children {
+		children = append(children, c)
+	}
+	s.mu.Unlock()
+	for _, c := range children {
+		c.forceDispose()
+	}
+}

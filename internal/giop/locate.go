@@ -1,0 +1,95 @@
+package giop
+
+// GIOP 1.0 LocateRequest/LocateReply: a lightweight existence probe for an
+// object key, used by clients to confirm a servant is reachable before
+// issuing requests.
+
+// Locate status values (GIOP 1.0).
+const (
+	LocateUnknownObject LocateStatus = iota
+	LocateObjectHere
+	LocateObjectForward
+)
+
+// LocateStatus reports the outcome of a LocateRequest.
+type LocateStatus uint32
+
+// String returns the GIOP spelling of the status.
+func (s LocateStatus) String() string {
+	switch s {
+	case LocateUnknownObject:
+		return "UNKNOWN_OBJECT"
+	case LocateObjectHere:
+		return "OBJECT_HERE"
+	case LocateObjectForward:
+		return "OBJECT_FORWARD"
+	default:
+		return "LocateStatus(?)"
+	}
+}
+
+// LocateRequest asks whether the server hosts the object key.
+type LocateRequest struct {
+	// RequestID correlates the reply.
+	RequestID uint32
+	// ObjectKey addresses the probed servant.
+	ObjectKey []byte
+}
+
+// LocateReply answers a LocateRequest.
+type LocateReply struct {
+	// RequestID correlates the request.
+	RequestID uint32
+	// Status reports where the object is.
+	Status LocateStatus
+}
+
+// MarshalLocateRequest encodes a full LocateRequest message into buf.
+func MarshalLocateRequest(buf []byte, order ByteOrder, req *LocateRequest) []byte {
+	body := NewEncoder(order, nil)
+	body.WriteULong(req.RequestID)
+	body.WriteOctetSeq(req.ObjectKey)
+	buf = AppendHeader(buf, Header{Type: MsgLocateRequest, Order: order, Size: uint32(body.Len())})
+	return append(buf, body.Bytes()...)
+}
+
+// UnmarshalLocateRequest decodes a LocateRequest body. The ObjectKey
+// aliases body.
+func UnmarshalLocateRequest(order ByteOrder, body []byte) (*LocateRequest, error) {
+	d := NewDecoder(order, body)
+	var req LocateRequest
+	var err error
+	if req.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if req.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// MarshalLocateReply encodes a full LocateReply message into buf.
+func MarshalLocateReply(buf []byte, order ByteOrder, rep *LocateReply) []byte {
+	body := NewEncoder(order, nil)
+	body.WriteULong(rep.RequestID)
+	body.WriteULong(uint32(rep.Status))
+	buf = AppendHeader(buf, Header{Type: MsgLocateReply, Order: order, Size: uint32(body.Len())})
+	return append(buf, body.Bytes()...)
+}
+
+// UnmarshalLocateReply decodes a LocateReply body.
+func UnmarshalLocateReply(order ByteOrder, body []byte) (*LocateReply, error) {
+	d := NewDecoder(order, body)
+	var rep LocateReply
+	id, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	status, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	rep.RequestID = id
+	rep.Status = LocateStatus(status)
+	return &rep, nil
+}

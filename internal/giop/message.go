@@ -1,0 +1,307 @@
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// GIOP message types (GIOP 1.0).
+const (
+	MsgRequest MsgType = iota
+	MsgReply
+	MsgCancelRequest
+	MsgLocateRequest
+	MsgLocateReply
+	MsgCloseConnection
+	MsgMessageError
+)
+
+// MsgType identifies a GIOP message.
+type MsgType byte
+
+// String returns the GIOP message type name.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "Request"
+	case MsgReply:
+		return "Reply"
+	case MsgCancelRequest:
+		return "CancelRequest"
+	case MsgLocateRequest:
+		return "LocateRequest"
+	case MsgLocateReply:
+		return "LocateReply"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	case MsgMessageError:
+		return "MessageError"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// Reply status values (GIOP 1.0).
+const (
+	ReplyNoException ReplyStatus = iota
+	ReplyUserException
+	ReplySystemException
+	ReplyLocationForward
+)
+
+// ReplyStatus reports the outcome of a request.
+type ReplyStatus uint32
+
+// String returns the reply status name.
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyNoException:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// Protocol framing constants.
+const (
+	// HeaderSize is the fixed GIOP message header size.
+	HeaderSize = 12
+	// MaxMessageSize bounds accepted message bodies, protecting fixed-size
+	// scoped regions from hostile or corrupt length fields.
+	MaxMessageSize = 1 << 20
+)
+
+var giopMagic = [4]byte{'G', 'I', 'O', 'P'}
+
+// Header framing errors.
+var (
+	// ErrBadMagic reports a frame that does not start with "GIOP".
+	ErrBadMagic = errors.New("giop: bad magic")
+	// ErrBadVersion reports an unsupported GIOP version.
+	ErrBadVersion = errors.New("giop: unsupported version")
+	// ErrTooLarge reports a message body over MaxMessageSize.
+	ErrTooLarge = errors.New("giop: message too large")
+)
+
+// Header is the 12-byte GIOP message header.
+type Header struct {
+	// Type is the message type.
+	Type MsgType
+	// Order is the body's byte order (from the flags octet).
+	Order ByteOrder
+	// Size is the body length in bytes.
+	Size uint32
+}
+
+// AppendHeader appends the wire form of h to buf. The size field is encoded
+// in h.Order, as GIOP specifies.
+func AppendHeader(buf []byte, h Header) []byte {
+	buf = append(buf, giopMagic[:]...)
+	buf = append(buf, 1, 0) // GIOP 1.0
+	var flags byte
+	if h.Order == LittleEndian {
+		flags |= 1
+	}
+	buf = append(buf, flags, byte(h.Type))
+	return h.Order.order().AppendUint32(buf, h.Size)
+}
+
+// ParseHeader decodes a 12-byte GIOP header.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: header needs %d bytes, have %d", ErrTruncated, HeaderSize, len(b))
+	}
+	if [4]byte(b[:4]) != giopMagic {
+		return Header{}, fmt.Errorf("%w: %q", ErrBadMagic, b[:4])
+	}
+	if b[4] != 1 {
+		return Header{}, fmt.Errorf("%w: %d.%d", ErrBadVersion, b[4], b[5])
+	}
+	var h Header
+	if b[6]&1 == 1 {
+		h.Order = LittleEndian
+	}
+	h.Type = MsgType(b[7])
+	h.Size = h.Order.order().Uint32(b[8:12])
+	if h.Size > MaxMessageSize {
+		return Header{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, h.Size)
+	}
+	return h, nil
+}
+
+// Request is a simplified GIOP 1.0 request: header fields plus the
+// already-encoded body payload.
+type Request struct {
+	// RequestID correlates the reply.
+	RequestID uint32
+	// ResponseExpected is false for oneway operations.
+	ResponseExpected bool
+	// ObjectKey addresses the target servant.
+	ObjectKey []byte
+	// Operation is the method name.
+	Operation string
+	// Priority is the RT-CORBA priority propagated with the call (an
+	// extension octet after the GIOP 1.0 principal field; both ORBs in this
+	// repository speak it).
+	Priority byte
+	// Payload is the operation's marshalled in-parameters.
+	Payload []byte
+}
+
+// Reply is a simplified GIOP 1.0 reply.
+type Reply struct {
+	// RequestID correlates the request.
+	RequestID uint32
+	// Status reports the outcome.
+	Status ReplyStatus
+	// Payload is the marshalled result (or exception data).
+	Payload []byte
+}
+
+// MarshalRequest encodes a full Request message (header + body) into buf.
+func MarshalRequest(buf []byte, order ByteOrder, req *Request) []byte {
+	body := NewEncoder(order, nil)
+	body.WriteULong(0) // service context: empty sequence
+	body.WriteULong(req.RequestID)
+	body.WriteBool(req.ResponseExpected)
+	body.WriteOctetSeq(req.ObjectKey)
+	body.WriteString(req.Operation)
+	body.WriteULong(0) // principal: empty sequence
+	body.WriteOctet(req.Priority)
+	body.align(8) // body payload starts 8-aligned for simple demarshalling
+	bodyLen := body.Len() + len(req.Payload)
+
+	buf = AppendHeader(buf, Header{Type: MsgRequest, Order: order, Size: uint32(bodyLen)})
+	buf = append(buf, body.Bytes()...)
+	return append(buf, req.Payload...)
+}
+
+// UnmarshalRequest decodes a request body (excluding the 12-byte header).
+// The returned Request's ObjectKey and Payload alias body.
+func UnmarshalRequest(order ByteOrder, body []byte) (*Request, error) {
+	d := NewDecoder(order, body)
+	nctx, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nctx; i++ { // skip service contexts
+		if _, err := d.ReadULong(); err != nil { // context id
+			return nil, err
+		}
+		if _, err := d.ReadOctetSeq(); err != nil { // context data
+			return nil, err
+		}
+	}
+	var req Request
+	if req.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if req.ResponseExpected, err = d.ReadBool(); err != nil {
+		return nil, err
+	}
+	if req.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+		return nil, err
+	}
+	if req.Operation, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if _, err = d.ReadOctetSeq(); err != nil { // principal
+		return nil, err
+	}
+	if req.Priority, err = d.ReadOctet(); err != nil {
+		return nil, err
+	}
+	d.align(8)
+	if d.Remaining() > 0 {
+		req.Payload = body[d.Pos():]
+	}
+	return &req, nil
+}
+
+// MarshalReply encodes a full Reply message (header + body) into buf.
+func MarshalReply(buf []byte, order ByteOrder, rep *Reply) []byte {
+	body := NewEncoder(order, nil)
+	body.WriteULong(0) // service context: empty sequence
+	body.WriteULong(rep.RequestID)
+	body.WriteULong(uint32(rep.Status))
+	body.align(8)
+	bodyLen := body.Len() + len(rep.Payload)
+
+	buf = AppendHeader(buf, Header{Type: MsgReply, Order: order, Size: uint32(bodyLen)})
+	buf = append(buf, body.Bytes()...)
+	return append(buf, rep.Payload...)
+}
+
+// UnmarshalReply decodes a reply body (excluding the header). The returned
+// Reply's Payload aliases body.
+func UnmarshalReply(order ByteOrder, body []byte) (*Reply, error) {
+	d := NewDecoder(order, body)
+	nctx, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nctx; i++ {
+		if _, err := d.ReadULong(); err != nil {
+			return nil, err
+		}
+		if _, err := d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+	}
+	var rep Reply
+	if rep.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	status, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	rep.Status = ReplyStatus(status)
+	d.align(8)
+	if d.Remaining() > 0 {
+		rep.Payload = body[d.Pos():]
+	}
+	return &rep, nil
+}
+
+// ReadMessage reads one framed GIOP message from r, using buf as scratch
+// when large enough. It returns the header and the body (which may alias
+// buf). Bodies are bounded only by the protocol-wide MaxMessageSize; use
+// ReadMessageLimited to enforce an endpoint's region budget.
+func ReadMessage(r io.Reader, buf []byte) (Header, []byte, error) {
+	return ReadMessageLimited(r, buf, MaxMessageSize)
+}
+
+// ReadMessageLimited is ReadMessage with a caller-imposed bound on the body
+// size. An over-limit frame fails with ErrTooLarge before any body byte is
+// read — an endpoint whose buffers live in a fixed scoped region must
+// reject what it cannot hold rather than grow.
+func ReadMessageLimited(r io.Reader, buf []byte, maxBody uint32) (Header, []byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Header{}, nil, err
+	}
+	h, err := ParseHeader(hdr[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if h.Size > maxBody {
+		return Header{}, nil, fmt.Errorf("%w: %d-byte body over the %d-byte endpoint bound", ErrTooLarge, h.Size, maxBody)
+	}
+	body := buf
+	if cap(body) < int(h.Size) {
+		body = make([]byte, h.Size)
+	}
+	body = body[:h.Size]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Header{}, nil, fmt.Errorf("giop: body: %w", err)
+	}
+	return h, body, nil
+}

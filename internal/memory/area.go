@@ -1,0 +1,351 @@
+package memory
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind identifies the RTSJ region kind of an Area.
+type Kind int
+
+// Region kinds. Heap is garbage collected (and forbidden to no-heap
+// contexts); Immortal lives for the lifetime of the Model; Scoped is
+// reclaimed when its last entrant leaves.
+const (
+	KindHeap Kind = iota + 1
+	KindImmortal
+	KindScoped
+)
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindHeap:
+		return "heap"
+	case KindImmortal:
+		return "immortal"
+	case KindScoped:
+		return "scoped"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterises a Model.
+type Config struct {
+	// ImmortalSize is the byte budget of immortal memory.
+	// Zero selects DefaultImmortalSize.
+	ImmortalSize int64
+}
+
+// DefaultImmortalSize is the immortal budget used when Config.ImmortalSize
+// is zero. It matches the order of magnitude of the paper's CCL example
+// (ImmortalSize 400000).
+const DefaultImmortalSize = 1 << 20
+
+// Model is one simulated RTSJ memory system: a heap, an immortal region, and
+// any number of scoped regions. Independent Models are fully isolated, which
+// keeps tests and benchmarks hermetic.
+type Model struct {
+	heap     *Area
+	immortal *Area
+
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	scoped int64 // live scoped areas, for stats
+}
+
+// NewModel creates a memory model with the given configuration.
+func NewModel(cfg Config) *Model {
+	immortalSize := cfg.ImmortalSize
+	if immortalSize == 0 {
+		immortalSize = DefaultImmortalSize
+	}
+	m := &Model{}
+	m.heap = &Area{model: m, id: m.nextID.Add(1), name: "heap", kind: KindHeap}
+	m.immortal = &Area{
+		model:    m,
+		id:       m.nextID.Add(1),
+		name:     "immortal",
+		kind:     KindImmortal,
+		capacity: immortalSize,
+		buf:      make([]byte, immortalSize),
+	}
+	return m
+}
+
+// Heap returns the model's garbage-collected heap area.
+func (m *Model) Heap() *Area { return m.heap }
+
+// Immortal returns the model's immortal area.
+func (m *Model) Immortal() *Area { return m.immortal }
+
+// NewLTScoped creates a linear-time scoped area with the given byte budget.
+// Creation cost is proportional to size (the backing arena is zeroed),
+// mirroring LTScopedMemory. The area's parent is fixed when the first
+// context enters it.
+func (m *Model) NewLTScoped(name string, size int64) *Area {
+	return m.newScoped(name, size, true)
+}
+
+// NewVTScoped creates a variable-time scoped area with the given byte
+// budget. Unlike LT areas it does not pre-zero its arena, so creation is
+// cheap but allocation latency is less predictable — provided for
+// completeness; Compadres itself only uses LT areas.
+func (m *Model) NewVTScoped(name string, size int64) *Area {
+	return m.newScoped(name, size, false)
+}
+
+func (m *Model) newScoped(name string, size int64, linear bool) *Area {
+	a := &Area{
+		model:    m,
+		id:       m.nextID.Add(1),
+		name:     name,
+		kind:     KindScoped,
+		capacity: size,
+		linear:   linear,
+		buf:      make([]byte, size),
+	}
+	if linear {
+		zero(a.buf) // linear-time creation cost
+	}
+	m.mu.Lock()
+	m.scoped++
+	m.mu.Unlock()
+	return a
+}
+
+// LiveScopedAreas reports the number of scoped areas created and not yet
+// released back to a pool or dropped.
+func (m *Model) LiveScopedAreas() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scoped
+}
+
+// Area is one memory region. The zero value is not usable; create areas
+// through a Model.
+type Area struct {
+	model    *Model
+	id       uint64
+	name     string
+	kind     Kind
+	capacity int64
+	linear   bool
+
+	mu         sync.Mutex
+	parent     *Area
+	level      int
+	entrants   int
+	wedges     int
+	gen        uint64
+	used       int64
+	allocs     int64
+	buf        []byte
+	finalizers []func()
+	pool       *ScopePool
+	portal     Ref
+}
+
+// Name returns the area's diagnostic name.
+func (a *Area) Name() string { return a.name }
+
+// Kind returns the area's region kind.
+func (a *Area) Kind() Kind { return a.kind }
+
+// Capacity returns the area's byte budget; zero means unbounded (heap).
+func (a *Area) Capacity() int64 { return a.capacity }
+
+// Used returns the bytes currently allocated in the area.
+func (a *Area) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Free returns the bytes still available in the area. Unbounded areas
+// report a negative value.
+func (a *Area) Free() int64 {
+	if a.capacity == 0 {
+		return -1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capacity - a.used
+}
+
+// Allocations returns the number of allocations served since the last
+// reclamation.
+func (a *Area) Allocations() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocs
+}
+
+// Level returns the area's depth in the scope tree: 0 for heap, immortal,
+// and inactive scoped areas; parent level + 1 for active scoped areas.
+func (a *Area) Level() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.level
+}
+
+// Parent returns the current parent of an active scoped area, or nil for
+// primordial and inactive areas.
+func (a *Area) Parent() *Area {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.parent
+}
+
+// Active reports whether the area may be allocated from: heap and immortal
+// always are; a scoped area is active while at least one entrant or wedge
+// holds it open.
+func (a *Area) Active() bool {
+	if a.kind != KindScoped {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.entrants+a.wedges > 0
+}
+
+// Generation returns the area's reuse generation. It increments every time
+// a scoped area is reclaimed, invalidating outstanding Refs.
+func (a *Area) Generation() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gen
+}
+
+// AddFinalizer registers fn to run (LIFO) when the area is next reclaimed.
+// It is the analogue of scoped-object finalisation and is used by the
+// component runtime to tear down structures living in a dying scope.
+// Registering on heap or immortal areas is allowed but the finalizer will
+// never run.
+func (a *Area) AddFinalizer(fn func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.finalizers = append(a.finalizers, fn)
+}
+
+// String summarises the area for diagnostics.
+func (a *Area) String() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return fmt.Sprintf("%s(%s, %d/%d bytes, level %d, entrants %d, wedges %d)",
+		a.name, a.kind, a.used, a.capacity, a.level, a.entrants, a.wedges)
+}
+
+// enter records a context entering the area from the given current area,
+// enforcing the single-parent rule for scoped areas.
+func (a *Area) enter(from *Area) error {
+	if a.kind != KindScoped {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.entrants+a.wedges == 0 {
+		// First entrant fixes the parent (RTSJ binds the scope's parent at
+		// first entry and clears it on reclamation).
+		a.parent = from
+		a.level = from.scopeLevel() + 1
+	} else if a.parent != from {
+		return fmt.Errorf("%w: %q is already parented under %q, cannot enter from %q",
+			ErrScopedCycle, a.name, a.parent.Name(), from.Name())
+	}
+	a.entrants++
+	return nil
+}
+
+// exit records a context leaving the area, reclaiming it if it was the last
+// holder.
+func (a *Area) exit() {
+	if a.kind != KindScoped {
+		return
+	}
+	a.mu.Lock()
+	a.entrants--
+	reclaim := a.entrants+a.wedges == 0
+	var fins []func()
+	if reclaim {
+		fins = a.reclaimLocked()
+	}
+	a.mu.Unlock()
+	runFinalizers(fins)
+	if reclaim && a.pool != nil {
+		a.pool.put(a)
+	}
+}
+
+// scopeLevel returns the level used for a child parented under this area.
+func (a *Area) scopeLevel() int {
+	if a.kind != KindScoped {
+		return 0
+	}
+	return a.level
+}
+
+// reclaimLocked resets the area for reuse and returns the finalizers to run
+// (callers must run them after releasing the lock, LIFO order preserved by
+// runFinalizers).
+func (a *Area) reclaimLocked() []func() {
+	fins := a.finalizers
+	a.finalizers = nil
+	a.used = 0
+	a.allocs = 0
+	a.gen++
+	a.parent = nil
+	a.level = 0
+	a.portal = Ref{}
+	if a.linear {
+		zero(a.buf) // linear-time reuse cost, like LTScopedMemory
+	}
+	return fins
+}
+
+func runFinalizers(fins []func()) {
+	for i := len(fins) - 1; i >= 0; i-- {
+		fins[i]()
+	}
+}
+
+// alloc carves n bytes out of the area, or reports ErrOutOfMemory.
+func (a *Area) alloc(n int) (Ref, error) {
+	if n < 0 {
+		return Ref{}, fmt.Errorf("memory: negative allocation size %d", n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.kind == KindScoped && a.entrants+a.wedges == 0 {
+		return Ref{}, fmt.Errorf("%w: allocation in %q", ErrInactive, a.name)
+	}
+	if a.kind == KindHeap {
+		// The heap is unbounded and garbage collected; every allocation is
+		// its own slice so the Go GC reclaims it naturally.
+		a.used += int64(n)
+		a.allocs++
+		return Ref{area: a, gen: a.gen, data: make([]byte, n)}, nil
+	}
+	if a.used+int64(n) > a.capacity {
+		return Ref{}, fmt.Errorf("%w: %q needs %d bytes, %d free",
+			ErrOutOfMemory, a.name, n, a.capacity-a.used)
+	}
+	off := a.used
+	a.used += int64(n)
+	a.allocs++
+	data := a.buf[off : off+int64(n) : off+int64(n)]
+	if !a.linear && a.kind == KindScoped {
+		// VT areas zero lazily at allocation time.
+		zero(data)
+	}
+	return Ref{area: a, gen: a.gen, data: data}, nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,362 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewModelDefaults(t *testing.T) {
+	m := NewModel(Config{})
+	if got := m.Immortal().Capacity(); got != DefaultImmortalSize {
+		t.Errorf("immortal capacity = %d, want %d", got, DefaultImmortalSize)
+	}
+	if m.Heap().Kind() != KindHeap {
+		t.Errorf("heap kind = %v", m.Heap().Kind())
+	}
+	if m.Immortal().Kind() != KindImmortal {
+		t.Errorf("immortal kind = %v", m.Immortal().Kind())
+	}
+	if !m.Heap().Active() || !m.Immortal().Active() {
+		t.Error("primordial areas must always be active")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindHeap, "heap"},
+		{KindImmortal, "immortal"},
+		{KindScoped, "scoped"},
+		{Kind(42), "Kind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestImmortalAllocationBudget(t *testing.T) {
+	m := NewModel(Config{ImmortalSize: 100})
+	ctx := m.NewContext()
+
+	ref, err := ctx.AllocIn(m.Immortal(), 60)
+	if err != nil {
+		t.Fatalf("alloc 60: %v", err)
+	}
+	if ref.Len() != 60 {
+		t.Errorf("ref len = %d, want 60", ref.Len())
+	}
+	if got := m.Immortal().Used(); got != 60 {
+		t.Errorf("used = %d, want 60", got)
+	}
+	if got := m.Immortal().Free(); got != 40 {
+		t.Errorf("free = %d, want 40", got)
+	}
+
+	if _, err := ctx.AllocIn(m.Immortal(), 41); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("over-budget alloc err = %v, want ErrOutOfMemory", err)
+	}
+	// Exact fit still works.
+	if _, err := ctx.AllocIn(m.Immortal(), 40); err != nil {
+		t.Errorf("exact-fit alloc: %v", err)
+	}
+}
+
+func TestHeapIsUnbounded(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	for i := 0; i < 10; i++ {
+		if _, err := ctx.Alloc(1 << 20); err != nil {
+			t.Fatalf("heap alloc %d: %v", i, err)
+		}
+	}
+	if m.Heap().Free() != -1 {
+		t.Errorf("heap Free() = %d, want -1 (unbounded)", m.Heap().Free())
+	}
+}
+
+func TestNegativeAllocRejected(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	if _, err := ctx.Alloc(-1); err == nil {
+		t.Error("negative alloc succeeded")
+	}
+}
+
+func TestScopedAllocRequiresActive(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("s", 128)
+	if _, err := a.alloc(8); !errors.Is(err, ErrInactive) {
+		t.Errorf("alloc in inactive scope err = %v, want ErrInactive", err)
+	}
+}
+
+func TestScopedLifecycle(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewLTScoped("s", 128)
+
+	if a.Active() {
+		t.Fatal("fresh scope must be inactive")
+	}
+	gen0 := a.Generation()
+
+	var ref Ref
+	err := ctx.Enter(a, func(c *Context) error {
+		if !a.Active() {
+			t.Error("scope inactive while entered")
+		}
+		if a.Parent() != m.Heap() {
+			t.Errorf("parent = %v, want heap", a.Parent())
+		}
+		if a.Level() != 1 {
+			t.Errorf("level = %d, want 1", a.Level())
+		}
+		var aerr error
+		ref, aerr = c.Alloc(16)
+		return aerr
+	})
+	if err != nil {
+		t.Fatalf("enter: %v", err)
+	}
+
+	// After the last entrant leaves, the scope is reclaimed.
+	if a.Active() {
+		t.Error("scope still active after exit")
+	}
+	if a.Used() != 0 {
+		t.Errorf("used = %d after reclaim, want 0", a.Used())
+	}
+	if a.Parent() != nil {
+		t.Error("parent not cleared after reclaim")
+	}
+	if a.Level() != 0 {
+		t.Errorf("level = %d after reclaim, want 0", a.Level())
+	}
+	if a.Generation() != gen0+1 {
+		t.Errorf("generation = %d, want %d", a.Generation(), gen0+1)
+	}
+	if ref.Valid() {
+		t.Error("ref still valid after reclaim")
+	}
+	if _, err := ref.Bytes(); !errors.Is(err, ErrStale) {
+		t.Errorf("stale ref Bytes err = %v, want ErrStale", err)
+	}
+}
+
+func TestScopedReuseAfterReclaim(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewLTScoped("s", 64)
+
+	for i := 0; i < 3; i++ {
+		err := ctx.Enter(a, func(c *Context) error {
+			ref, err := c.Alloc(64) // full budget each cycle
+			if err != nil {
+				return err
+			}
+			b, err := ref.Bytes()
+			if err != nil {
+				return err
+			}
+			// LT areas are zeroed on reuse.
+			for j, v := range b {
+				if v != 0 {
+					t.Errorf("cycle %d byte %d = %d, want 0", i, j, v)
+					break
+				}
+			}
+			b[0] = 0xFF // dirty it for the next cycle's check
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+}
+
+func TestNestedScopesLevels(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewLTScoped("a", 64)
+	b := m.NewLTScoped("b", 64)
+	c := m.NewLTScoped("c", 64)
+
+	err := ctx.Enter(a, func(c1 *Context) error {
+		return c1.Enter(b, func(c2 *Context) error {
+			return c2.Enter(c, func(c3 *Context) error {
+				if a.Level() != 1 || b.Level() != 2 || c.Level() != 3 {
+					t.Errorf("levels = %d,%d,%d want 1,2,3", a.Level(), b.Level(), c.Level())
+				}
+				if c.Parent() != b || b.Parent() != a || a.Parent() != m.Heap() {
+					t.Error("parent chain wrong")
+				}
+				if c3.Depth() != 4 {
+					t.Errorf("depth = %d, want 4", c3.Depth())
+				}
+				return nil
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleParentRule(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("a", 64)
+	b := m.NewLTScoped("b", 64)
+	shared := m.NewLTScoped("shared", 64)
+
+	ctx1 := m.NewContext()
+	errCh := make(chan error, 1)
+	hold := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		errCh <- ctx1.Enter(a, func(c *Context) error {
+			return c.Enter(shared, func(*Context) error {
+				close(hold)
+				<-release
+				return nil
+			})
+		})
+	}()
+	<-hold
+
+	// While shared is parented under a, entering it from b must fail.
+	ctx2 := m.NewContext()
+	err := ctx2.Enter(b, func(c *Context) error {
+		return c.Enter(shared, func(*Context) error { return nil })
+	})
+	if !errors.Is(err, ErrScopedCycle) {
+		t.Errorf("second-parent enter err = %v, want ErrScopedCycle", err)
+	}
+
+	// Entering from the *same* parent concurrently is fine.
+	ctx3 := m.NewContext()
+	err = ctx3.Enter(a, func(c *Context) error {
+		return c.Enter(shared, func(*Context) error { return nil })
+	})
+	if err != nil {
+		t.Errorf("same-parent concurrent enter: %v", err)
+	}
+
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	// After reclamation the parent is cleared, so b may now adopt it.
+	err = ctx2.Enter(b, func(c *Context) error {
+		return c.Enter(shared, func(*Context) error {
+			if shared.Parent() != b {
+				t.Errorf("parent = %v, want b", shared.Parent())
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Errorf("re-parenting after reclaim: %v", err)
+	}
+}
+
+func TestFinalizersRunLIFOOnReclaim(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewLTScoped("s", 64)
+
+	var order []int
+	err := ctx.Enter(a, func(*Context) error {
+		a.AddFinalizer(func() { order = append(order, 1) })
+		a.AddFinalizer(func() { order = append(order, 2) })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Errorf("finalizer order = %v, want [2 1]", order)
+	}
+}
+
+func TestAreaStringAndAccessors(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("demo", 256)
+	if a.Name() != "demo" {
+		t.Errorf("name = %q", a.Name())
+	}
+	if a.Capacity() != 256 {
+		t.Errorf("capacity = %d", a.Capacity())
+	}
+	if s := a.String(); s == "" {
+		t.Error("empty String()")
+	}
+	ctx := m.NewContext()
+	if err := ctx.Enter(a, func(c *Context) error {
+		if _, err := c.Alloc(10); err != nil {
+			return err
+		}
+		if a.Allocations() != 1 {
+			t.Errorf("allocations = %d, want 1", a.Allocations())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVTScopedZeroesOnAlloc(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewVTScoped("vt", 64)
+	err := ctx.Enter(a, func(c *Context) error {
+		ref, err := c.Alloc(32)
+		if err != nil {
+			return err
+		}
+		b, _ := ref.Bytes()
+		for i := range b {
+			if b[i] != 0 {
+				t.Fatalf("byte %d not zeroed", i)
+			}
+			b[i] = 0xAB
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse: VT does not re-zero the arena at reclaim, but allocations
+	// themselves are zeroed.
+	err = ctx.Enter(a, func(c *Context) error {
+		ref, err := c.Alloc(32)
+		if err != nil {
+			return err
+		}
+		b, _ := ref.Bytes()
+		for i := range b {
+			if b[i] != 0 {
+				t.Fatalf("reused byte %d = %x, want 0", i, b[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveScopedAreasCount(t *testing.T) {
+	m := NewModel(Config{})
+	before := m.LiveScopedAreas()
+	m.NewLTScoped("x", 16)
+	m.NewVTScoped("y", 16)
+	if got := m.LiveScopedAreas() - before; got != 2 {
+		t.Errorf("live scoped delta = %d, want 2", got)
+	}
+}

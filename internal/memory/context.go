@@ -1,0 +1,147 @@
+package memory
+
+import "fmt"
+
+// Context models one (real-time) thread's scope stack. A Context must be
+// used by a single goroutine at a time, exactly like the thread whose stack
+// it models; the areas it enters are themselves safe for concurrent entry by
+// other contexts.
+type Context struct {
+	model  *Model
+	stack  []*Area
+	noHeap bool
+}
+
+// NewContext returns a context modelling a RealtimeThread: its scope stack
+// starts at the heap and it may reference heap memory.
+func (m *Model) NewContext() *Context {
+	return &Context{model: m, stack: []*Area{m.heap}}
+}
+
+// NewNoHeapContext returns a context modelling a NoHeapRealtimeThread: its
+// scope stack starts at immortal memory and any heap access fails with
+// ErrHeapAccess.
+func (m *Model) NewNoHeapContext() *Context {
+	return &Context{model: m, stack: []*Area{m.immortal}, noHeap: true}
+}
+
+// Model returns the memory model this context belongs to.
+func (c *Context) Model() *Model { return c.model }
+
+// NoHeap reports whether the context forbids heap access.
+func (c *Context) NoHeap() bool { return c.noHeap }
+
+// Current returns the context's allocation area (the top of its scope
+// stack).
+func (c *Context) Current() *Area { return c.stack[len(c.stack)-1] }
+
+// Depth returns the number of areas on the scope stack, including the
+// primordial area.
+func (c *Context) Depth() int { return len(c.stack) }
+
+// Fork returns a new context with a copy of this context's scope stack,
+// re-entering every scoped area on it. It models handing work to another
+// real-time thread that starts in the same memory area (as the Compadres
+// thread pools do when dispatching a message handler). The returned release
+// function must be called exactly once, when the forked context's work is
+// done, to exit the re-entered scopes.
+func (c *Context) Fork() (*Context, func(), error) {
+	nc := &Context{model: c.model, noHeap: c.noHeap, stack: make([]*Area, 0, len(c.stack))}
+	nc.stack = append(nc.stack, c.stack[0])
+	for i := 1; i < len(c.stack); i++ {
+		a := c.stack[i]
+		if err := a.enter(nc.Current()); err != nil {
+			nc.unwind()
+			return nil, nil, fmt.Errorf("fork scope stack: %w", err)
+		}
+		nc.stack = append(nc.stack, a)
+	}
+	return nc, nc.unwind, nil
+}
+
+func (c *Context) unwind() {
+	for len(c.stack) > 1 {
+		top := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		top.exit()
+	}
+}
+
+// Enter pushes the area onto the scope stack, runs fn, then pops it. For a
+// scoped area the single-parent rule is enforced: if the area is already
+// active its parent must equal the context's current area. When the last
+// holder leaves a scoped area it is reclaimed (finalizers run, arena reset,
+// generation bumped).
+//
+// Entering the heap from a no-heap context fails with ErrHeapAccess.
+func (c *Context) Enter(a *Area, fn func(*Context) error) error {
+	if c.noHeap && a.kind == KindHeap {
+		return fmt.Errorf("%w: enter %q", ErrHeapAccess, a.name)
+	}
+	if err := a.enter(c.Current()); err != nil {
+		return err
+	}
+	c.stack = append(c.stack, a)
+	defer func() {
+		c.stack = c.stack[:len(c.stack)-1]
+		a.exit()
+	}()
+	return fn(c)
+}
+
+// ExecuteInArea runs fn with the context's allocation area temporarily
+// switched to a, without pushing a new scope. As in RTSJ, a must already be
+// on the context's scope stack or be a primordial (heap/immortal) area;
+// otherwise ErrNotOnStack is reported. It is the mechanism behind the
+// handoff pattern: a thread deep in a child scope executes code "in" an
+// ancestor area to deposit a message there.
+func (c *Context) ExecuteInArea(a *Area, fn func(*Context) error) error {
+	if c.noHeap && a.kind == KindHeap {
+		return fmt.Errorf("%w: execute in %q", ErrHeapAccess, a.name)
+	}
+	if a.kind == KindScoped && !c.onStack(a) {
+		return fmt.Errorf("%w: %q", ErrNotOnStack, a.name)
+	}
+	c.stack = append(c.stack, a)
+	defer func() { c.stack = c.stack[:len(c.stack)-1] }()
+	return fn(c)
+}
+
+func (c *Context) onStack(a *Area) bool {
+	for _, s := range c.stack {
+		if s == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Alloc allocates n bytes in the context's current area.
+func (c *Context) Alloc(n int) (Ref, error) {
+	cur := c.Current()
+	if c.noHeap && cur.kind == KindHeap {
+		return Ref{}, fmt.Errorf("%w: alloc in %q", ErrHeapAccess, cur.name)
+	}
+	return cur.alloc(n)
+}
+
+// AllocIn allocates n bytes in area a, which must be on the context's scope
+// stack or primordial — RTSJ's MemoryArea.newInstance called on an outer
+// area. It is equivalent to ExecuteInArea + Alloc.
+func (c *Context) AllocIn(a *Area, n int) (Ref, error) {
+	var ref Ref
+	err := c.ExecuteInArea(a, func(ic *Context) error {
+		var aerr error
+		ref, aerr = ic.Alloc(n)
+		return aerr
+	})
+	return ref, err
+}
+
+// Stack returns a snapshot of the scope stack from primordial (index 0) to
+// current area, for diagnostics.
+func (c *Context) Stack() []*Area {
+	out := make([]*Area, len(c.stack))
+	copy(out, c.stack)
+	return out
+}

@@ -1,0 +1,29 @@
+// Package memory simulates the RTSJ memory model that Compadres is built on.
+//
+// The Real-Time Specification for Java defines three region kinds — heap,
+// immortal, and scoped — with strict rules about which references may be
+// stored where, a single-parent rule for nested scopes, and reclamation of a
+// scoped region once the last thread leaves it. Go has a garbage collector
+// and no region memory, so this package reproduces the *semantics* of those
+// regions at runtime:
+//
+//   - Area models a memory region. Immortal and scoped areas carry a fixed
+//     byte budget backed by an arena; allocations fail with
+//     ErrOutOfMemory when the budget is exhausted, exactly like an RTSJ
+//     region. Linear-time (LT) regions pay an allocation-proportional
+//     zeroing cost on creation and reuse, mirroring LTScopedMemory.
+//   - Context models a (real-time) thread's scope stack. Entering an area
+//     pushes it; the single-parent rule is enforced on entry; the area is
+//     reclaimed when the last entrant leaves and no wedge pins it.
+//   - CheckAccess implements the RTSJ assignment rules (Table 1 of the
+//     Compadres paper): anything may reference heap or immortal, while a
+//     scoped area may be referenced only from itself or a descendant.
+//   - ScopePool models the Compadres optimisation of pre-creating scoped
+//     regions in immortal memory and reusing them across component
+//     instantiations.
+//   - Wedge models the wedge-thread pattern: it pins a scope open without a
+//     real thread parked inside it.
+//
+// All types are safe for concurrent use unless noted otherwise; a Context is
+// owned by a single goroutine, like the thread whose scope stack it models.
+package memory

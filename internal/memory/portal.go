@@ -1,0 +1,55 @@
+package memory
+
+import "fmt"
+
+// Portal support: RTSJ gives every scoped memory area a single "portal"
+// slot (ScopedMemory.setPortal/getPortal) through which threads entering
+// the area find its root object. The Compadres SMM proxies are the paper's
+// higher-level take on the same need; the portal is provided for components
+// that manage their own in-scope state.
+//
+// The RTSJ constraints are enforced: the portal object must live in the
+// area itself (setting a reference the area could not legally hold is an
+// IllegalAssignmentError), and the slot is cleared on reclamation.
+
+// SetPortal stores ref as the area's portal. The reference must point into
+// the area itself, and the area must be active.
+func (a *Area) SetPortal(ref Ref) error {
+	if a.kind != KindScoped {
+		return fmt.Errorf("memory: %q: portals exist on scoped areas only", a.name)
+	}
+	if ref.area != a {
+		return &AccessError{From: a.name, To: refAreaName(ref)}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.entrants+a.wedges == 0 {
+		return fmt.Errorf("%w: set portal on %q", ErrInactive, a.name)
+	}
+	if ref.gen != a.gen {
+		return ErrStale
+	}
+	a.portal = ref
+	return nil
+}
+
+// Portal returns the area's portal reference. The zero Ref (and false) is
+// returned when no portal is set or the area has been reclaimed since.
+func (a *Area) Portal() (Ref, bool) {
+	if a.kind != KindScoped {
+		return Ref{}, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.portal.area == nil || a.portal.gen != a.gen {
+		return Ref{}, false
+	}
+	return a.portal, true
+}
+
+func refAreaName(r Ref) string {
+	if r.area == nil {
+		return "<nil>"
+	}
+	return r.area.name
+}

@@ -1,0 +1,128 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPortalLifecycle(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewLTScoped("a", 128)
+
+	if _, ok := a.Portal(); ok {
+		t.Fatal("portal set on fresh area")
+	}
+
+	var saved Ref
+	err := ctx.Enter(a, func(c *Context) error {
+		ref, err := c.Alloc(16)
+		if err != nil {
+			return err
+		}
+		if err := a.SetPortal(ref); err != nil {
+			return err
+		}
+		got, ok := a.Portal()
+		if !ok {
+			t.Error("portal not readable while active")
+		}
+		if got.Area() != a {
+			t.Error("portal area wrong")
+		}
+		saved = ref
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reclamation clears the portal.
+	if _, ok := a.Portal(); ok {
+		t.Error("portal survived reclamation")
+	}
+	_ = saved
+}
+
+func TestPortalRules(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewLTScoped("a", 128)
+	b := m.NewLTScoped("b", 128)
+
+	// Portals exist on scoped areas only.
+	if err := m.Immortal().SetPortal(Ref{}); err == nil {
+		t.Error("portal on immortal accepted")
+	}
+	if _, ok := m.Immortal().Portal(); ok {
+		t.Error("immortal portal readable")
+	}
+
+	err := ctx.Enter(a, func(ca *Context) error {
+		foreign, err := ca.AllocIn(m.Immortal(), 8)
+		if err != nil {
+			return err
+		}
+		// A portal must live inside the area itself.
+		if err := a.SetPortal(foreign); !errors.Is(err, ErrIllegalAssignment) {
+			t.Errorf("foreign portal err = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Setting on an inactive area fails.
+	err = ctx.Enter(a, func(ca *Context) error {
+		ref, err := ca.Alloc(8)
+		if err != nil {
+			return err
+		}
+		saved := ref
+		_ = saved
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a is now reclaimed; any old ref is stale and the area inactive.
+	err = ctx.Enter(b, func(cb *Context) error {
+		ref, err := cb.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := a.SetPortal(ref); err == nil {
+			t.Error("cross-area portal accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortalStaleRefRejected(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewLTScoped("a", 128)
+
+	var old Ref
+	if err := ctx.Enter(a, func(c *Context) error {
+		var err error
+		old, err = c.Alloc(8)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The area reclaimed; re-enter and try to install the stale ref.
+	err := ctx.Enter(a, func(c *Context) error {
+		if err := a.SetPortal(old); !errors.Is(err, ErrStale) {
+			t.Errorf("stale portal err = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

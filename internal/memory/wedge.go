@@ -1,0 +1,59 @@
+package memory
+
+import "fmt"
+
+// Wedge pins a scoped area open, modelling the wedge-thread pattern
+// (Pizlo et al., ISORC'04) used by the Compadres scoped memory managers: a
+// parked thread whose only job is to keep the scope's reference count above
+// zero so the region is not reclaimed between messages.
+type Wedge struct {
+	area     *Area
+	released bool
+}
+
+// Pin wedges the area open as if entered from `from` (the would-be parent).
+// For an inactive scoped area this fixes its parent exactly like a first
+// Enter; for an active one the single-parent rule is enforced. Pinning heap
+// or immortal areas is a no-op that still returns a releasable Wedge.
+func Pin(a *Area, from *Area) (*Wedge, error) {
+	if a.kind != KindScoped {
+		return &Wedge{area: a}, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.entrants+a.wedges == 0 {
+		a.parent = from
+		a.level = from.scopeLevel() + 1
+	} else if a.parent != from {
+		return nil, fmt.Errorf("%w: %q is parented under %q, cannot pin from %q",
+			ErrScopedCycle, a.name, a.parent.Name(), from.Name())
+	}
+	a.wedges++
+	return &Wedge{area: a}, nil
+}
+
+// Area returns the pinned area.
+func (w *Wedge) Area() *Area { return w.area }
+
+// Release removes the wedge. If it was the last holder the area is
+// reclaimed. Release is idempotent.
+func (w *Wedge) Release() {
+	if w.released || w.area.kind != KindScoped {
+		w.released = true
+		return
+	}
+	w.released = true
+	a := w.area
+	a.mu.Lock()
+	a.wedges--
+	reclaim := a.entrants+a.wedges == 0
+	var fins []func()
+	if reclaim {
+		fins = a.reclaimLocked()
+	}
+	a.mu.Unlock()
+	runFinalizers(fins)
+	if reclaim && a.pool != nil {
+		a.pool.put(a)
+	}
+}

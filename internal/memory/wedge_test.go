@@ -1,0 +1,132 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWedgeKeepsScopeAlive(t *testing.T) {
+	m := NewModel(Config{})
+	ctx := m.NewContext()
+	a := m.NewLTScoped("a", 64)
+
+	w, err := Pin(a, m.Heap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Active() {
+		t.Fatal("pinned area inactive")
+	}
+	if a.Parent() != m.Heap() || a.Level() != 1 {
+		t.Errorf("parent/level = %v/%d", a.Parent(), a.Level())
+	}
+
+	// A context can enter and leave without triggering reclamation.
+	var ref Ref
+	err = ctx.Enter(a, func(c *Context) error {
+		var aerr error
+		ref, aerr = c.Alloc(8)
+		return aerr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Valid() {
+		t.Error("ref invalidated while wedge held")
+	}
+
+	w.Release()
+	if a.Active() {
+		t.Error("area active after wedge release")
+	}
+	if ref.Valid() {
+		t.Error("ref valid after reclamation")
+	}
+}
+
+func TestWedgeSingleParentRule(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("a", 64)
+	b := m.NewLTScoped("b", 64)
+	shared := m.NewLTScoped("s", 64)
+
+	wa, err := Pin(a, m.Heap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Release()
+	wb, err := Pin(b, m.Heap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wb.Release()
+
+	ws, err := Pin(shared, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Release()
+
+	if _, err := Pin(shared, b); !errors.Is(err, ErrScopedCycle) {
+		t.Errorf("second-parent pin err = %v, want ErrScopedCycle", err)
+	}
+	// Same parent pin is fine.
+	ws2, err := Pin(shared, a)
+	if err != nil {
+		t.Errorf("same-parent pin: %v", err)
+	} else {
+		ws2.Release()
+	}
+}
+
+func TestWedgeReleaseIdempotent(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("a", 64)
+	w1, err := Pin(a, m.Heap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Pin(a, m.Heap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Release()
+	w1.Release() // must not double-decrement and reclaim under w2
+	if !a.Active() {
+		t.Fatal("area reclaimed while w2 holds it")
+	}
+	w2.Release()
+	if a.Active() {
+		t.Error("area active after final release")
+	}
+}
+
+func TestWedgeOnPrimordialIsNoOp(t *testing.T) {
+	m := NewModel(Config{})
+	w, err := Pin(m.Immortal(), m.Heap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Area() != m.Immortal() {
+		t.Error("wedge area accessor wrong")
+	}
+	w.Release()
+	if !m.Immortal().Active() {
+		t.Error("immortal deactivated by wedge release")
+	}
+}
+
+func TestWedgeRunsFinalizers(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("a", 64)
+	w, err := Pin(a, m.Heap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	a.AddFinalizer(func() { ran = true })
+	w.Release()
+	if !ran {
+		t.Error("finalizer not run on wedge-triggered reclamation")
+	}
+}

@@ -1,0 +1,419 @@
+package orb
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/corba"
+	"repro/internal/core"
+	"repro/internal/giop"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// ClientConfig parameterises a Compadres ORB client.
+type ClientConfig struct {
+	// Network and Addr locate the server.
+	Network transport.Network
+	Addr    string
+	// Order selects the CDR byte order; BigEndian by default.
+	Order giop.ByteOrder
+	// MaxMessage bounds a reply body; zero selects DefaultMaxMessage.
+	MaxMessage int
+	// ScopePoolCount pre-creates that many MessageProcessing scopes
+	// (paper's scope-pool optimisation); zero creates fresh scopes per
+	// instantiation.
+	ScopePoolCount int
+	// Synchronous dispatches the component ports on the calling thread
+	// instead of port thread pools.
+	Synchronous bool
+	// MsgPoolCapacity overrides the per-type message pool capacity.
+	MsgPoolCapacity int
+}
+
+// DefaultMaxMessage is the default bound on message bodies.
+const DefaultMaxMessage = 4096
+
+// Client is the component-structured ORB client of Fig. 10 (left).
+type Client struct {
+	app     *core.App
+	invoke  *core.OutPort
+	conn    *clientConn
+	reqPool *memory.ScopePool
+	nextID  atomic.Uint32
+	maxMsg  int
+	order   giop.ByteOrder
+	closed  atomic.Bool
+	network transport.Network
+	addr    string
+}
+
+// clientConn is the connection state owned by the Transport component
+// instance; the mutex serialises one request/reply exchange at a time, as a
+// single GIOP connection requires without a demultiplexing reactor.
+type clientConn struct {
+	mu   sync.Mutex
+	conn transport.Conn
+}
+
+// DialClient builds the client component structure and connects it. The
+// Transport component dials when it is instantiated — which happens when
+// the first request message arrives, exactly as §3.2 describes — so the
+// network connection is established lazily.
+func DialClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("orb: nil network")
+	}
+	maxMsg := cfg.MaxMessage
+	if maxMsg == 0 {
+		maxMsg = DefaultMaxMessage
+	}
+
+	// Area budgets: the Transport holds port structures and pools; each
+	// MessageProcessing marshals one request and one reply.
+	mpSize := int64(4*maxMsg + 8192)
+	transportSize := int64(8*maxMsg + 32768)
+
+	appCfg := core.AppConfig{Name: "CompadresORBClient", ImmortalSize: 1 << 20}
+	if cfg.MsgPoolCapacity != 0 {
+		appCfg.MsgPoolCapacity = cfg.MsgPoolCapacity
+	}
+	if cfg.ScopePoolCount > 0 {
+		appCfg.ScopePools = []core.ScopePoolSpec{
+			{Level: 2, AreaSize: mpSize, Count: cfg.ScopePoolCount, Grow: true},
+		}
+	}
+	app, err := core.NewApp(appCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Each in-flight request marshals into its own pooled scope nested
+	// under MessageProcessing, so pipelined invokes cannot exhaust the
+	// component's fixed region (the RTZen per-request scope pattern).
+	reqPool, err := app.Model().NewScopePool(memory.ScopePoolConfig{
+		Name:     "orb.client.request",
+		AreaSize: int64(3*maxMsg + 4096),
+		Count:    4,
+		Grow:     true,
+	})
+	if err != nil {
+		app.Stop()
+		return nil, err
+	}
+
+	cl := &Client{
+		app:     app,
+		conn:    &clientConn{},
+		reqPool: reqPool,
+		maxMsg:  maxMsg,
+		order:   cfg.Order,
+		network: cfg.Network,
+		addr:    cfg.Addr,
+	}
+
+	threading := core.ThreadingShared
+	if cfg.Synchronous {
+		threading = core.ThreadingSynchronous
+	}
+
+	orbComp, err := app.NewImmortalComponent("ORB", func(c *core.Component) error {
+		smm := c.SMM()
+		out, err := core.AddOutPort(c, smm, core.OutPortConfig{
+			Name: "toTransport", Type: invokeType, Dests: []string{"Transport.request"},
+		})
+		if err != nil {
+			return err
+		}
+		cl.invoke = out
+		return c.DefineChild(core.ChildDef{
+			Name:       "Transport",
+			MemorySize: transportSize,
+			Persistent: true,
+			Setup:      cl.transportSetup(threading, mpSize, cfg.ScopePoolCount > 0),
+		})
+	})
+	if err != nil {
+		app.Stop()
+		return nil, err
+	}
+	_ = orbComp
+	if err := app.Start(); err != nil {
+		app.Stop()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// transportSetup wires one Transport instance: the In port fed by the ORB,
+// the Out port feeding MessageProcessing, the per-request child definition,
+// and the start function that dials the server.
+func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool bool) func(*core.Component) error {
+	return func(tc *core.Component) error {
+		orbSMM := tc.Parent().SMM()
+		tSMM := tc.SMM()
+
+		toMP, err := core.AddOutPort(tc, tSMM, core.OutPortConfig{
+			Name: "toMP", Type: invokeType, Dests: []string{"MessageProcessing.request"},
+		})
+		if err != nil {
+			return err
+		}
+
+		// The Transport relays requests from the ORB into the deepest
+		// scope: get a fresh pooled message from its own SMM and copy the
+		// invocation over (messages never cross SMM pools).
+		if _, err := core.AddInPort(tc, orbSMM, core.InPortConfig{
+			Name: "request", Type: invokeType, Threading: threading,
+			MinThreads: 1, MaxThreads: 2, BufferSize: 32,
+			Handler: core.HandlerFunc(func(p *core.Proc, msg core.Message) error {
+				in := msg.(*invokeMsg)
+				fwd, err := toMP.GetMessage()
+				if err != nil {
+					in.done <- invokeResult{err: err}
+					return err
+				}
+				out := fwd.(*invokeMsg)
+				*out = *in
+				if err := toMP.Send(fwd, in.prio); err != nil {
+					in.done <- invokeResult{err: err}
+					return err
+				}
+				return nil
+			}),
+		}); err != nil {
+			return err
+		}
+
+		if err := tc.DefineChild(core.ChildDef{
+			Name:       "MessageProcessing",
+			MemorySize: mpSize,
+			UsePool:    usePool,
+			Setup: func(mp *core.Component) error {
+				_, err := core.AddInPort(mp, tSMM, core.InPortConfig{
+					Name: "request", Type: invokeType, Threading: threading,
+					MinThreads: 1, MaxThreads: 2, BufferSize: 32,
+					Handler: core.HandlerFunc(cl.processInvoke),
+				})
+				return err
+			},
+		}); err != nil {
+			return err
+		}
+
+		tc.SetStart(func(p *core.Proc) error {
+			conn, err := cl.network.Dial(cl.addr)
+			if err != nil {
+				return fmt.Errorf("orb client dial %q: %w", cl.addr, err)
+			}
+			cl.conn.mu.Lock()
+			cl.conn.conn = conn
+			cl.conn.mu.Unlock()
+			return nil
+		})
+		return nil
+	}
+}
+
+// processInvoke runs in the MessageProcessing component's scope: it enters
+// a pooled per-request scope nested under it, marshals the GIOP request
+// there, performs the wire exchange, demarshals the reply, and completes
+// the caller's channel. The request scope is reclaimed (back to its pool)
+// on return, so memory use is bounded per in-flight request rather than
+// per MessageProcessing lifetime.
+func (cl *Client) processInvoke(p *core.Proc, msg core.Message) error {
+	in := msg.(*invokeMsg)
+	var res invokeResult
+	area, err := cl.reqPool.Acquire()
+	if err != nil {
+		res = invokeResult{err: err}
+	} else if err := p.Context().Enter(area, func(ctx *memory.Context) error {
+		res = cl.exchange(ctx, in)
+		return nil
+	}); err != nil {
+		res = invokeResult{err: err}
+	}
+	in.done <- res
+	if res.err != nil {
+		return res.err
+	}
+	return nil
+}
+
+// exchange performs one marshalled round trip with buffers charged to the
+// current scope.
+func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
+	wireCap := giop.HeaderSize + 96 + len(in.key) + len(in.op) + len(in.payload)
+	wireRef, err := ctx.Alloc(wireCap)
+	if err != nil {
+		return invokeResult{err: fmt.Errorf("orb client: marshal buffer: %w", err)}
+	}
+	wireBuf, err := wireRef.Bytes()
+	if err != nil {
+		return invokeResult{err: err}
+	}
+	wire := giop.MarshalRequest(wireBuf[:0], cl.order, &giop.Request{
+		RequestID:        in.id,
+		ResponseExpected: !in.oneway,
+		ObjectKey:        []byte(in.key),
+		Operation:        in.op,
+		Priority:         byte(in.prio),
+		Payload:          in.payload,
+	})
+
+	scratchRef, err := ctx.Alloc(cl.maxMsg + giop.HeaderSize)
+	if err != nil {
+		return invokeResult{err: fmt.Errorf("orb client: reply buffer: %w", err)}
+	}
+	scratch, err := scratchRef.Bytes()
+	if err != nil {
+		return invokeResult{err: err}
+	}
+
+	cl.conn.mu.Lock()
+	defer cl.conn.mu.Unlock()
+	conn := cl.conn.conn
+	if conn == nil {
+		return invokeResult{err: corba.ErrClosed}
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return invokeResult{err: fmt.Errorf("orb client: write: %w", err)}
+	}
+	if in.oneway {
+		return invokeResult{}
+	}
+	h, body, err := giop.ReadMessageLimited(conn, scratch[:0], uint32(cl.maxMsg))
+	if err != nil {
+		if err == io.EOF {
+			err = corba.ErrClosed
+		}
+		return invokeResult{err: fmt.Errorf("orb client: read: %w", err)}
+	}
+	if h.Type != giop.MsgReply {
+		return invokeResult{err: fmt.Errorf("orb client: unexpected %v message", h.Type)}
+	}
+	rep, err := giop.UnmarshalReply(h.Order, body)
+	if err != nil {
+		return invokeResult{err: err}
+	}
+	if rep.RequestID != in.id {
+		return invokeResult{err: fmt.Errorf("orb client: reply id %d for request %d", rep.RequestID, in.id)}
+	}
+	switch rep.Status {
+	case giop.ReplyNoException:
+		// Copy the result out of scoped memory before the scope dies.
+		out := make([]byte, len(rep.Payload))
+		copy(out, rep.Payload)
+		return invokeResult{payload: out}
+	case giop.ReplyUserException:
+		return invokeResult{err: fmt.Errorf("%w: %s", corba.ErrUserException, rep.Payload)}
+	default:
+		return invokeResult{err: fmt.Errorf("%w: %s", corba.ErrSystemException, rep.Payload)}
+	}
+}
+
+// Invoke performs one synchronous request/reply at the given priority. The
+// payload is not retained past the call.
+func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([]byte, error) {
+	if cl.closed.Load() {
+		return nil, corba.ErrClosed
+	}
+	msg, err := cl.invoke.GetMessage()
+	if err != nil {
+		return nil, err
+	}
+	m := msg.(*invokeMsg)
+	m.id = cl.nextID.Add(1)
+	m.key, m.op, m.payload, m.prio = key, op, payload, prio
+	m.oneway = false
+	done := make(chan invokeResult, 1)
+	m.done = done
+	if err := cl.invoke.Send(msg, prio); err != nil {
+		return nil, err
+	}
+	res := <-done
+	return res.payload, res.err
+}
+
+// Locate probes whether the server hosts the object key, using the GIOP
+// LocateRequest/LocateReply exchange. Unlike Invoke it bypasses the
+// component structure: locate is a transport-level question. The Transport
+// must already be connected (issue any Invoke first, or rely on lazy
+// instantiation via a throwaway call).
+func (cl *Client) Locate(key string) (bool, error) {
+	if cl.closed.Load() {
+		return false, corba.ErrClosed
+	}
+	cl.conn.mu.Lock()
+	defer cl.conn.mu.Unlock()
+	conn := cl.conn.conn
+	if conn == nil {
+		return false, fmt.Errorf("%w: transport not yet connected; invoke first", corba.ErrClosed)
+	}
+	id := cl.nextID.Add(1)
+	wire := giop.MarshalLocateRequest(nil, cl.order, &giop.LocateRequest{
+		RequestID: id, ObjectKey: []byte(key),
+	})
+	if _, err := conn.Write(wire); err != nil {
+		return false, fmt.Errorf("orb client: locate write: %w", err)
+	}
+	h, body, err := giop.ReadMessageLimited(conn, nil, uint32(cl.maxMsg))
+	if err != nil {
+		return false, fmt.Errorf("orb client: locate read: %w", err)
+	}
+	if h.Type != giop.MsgLocateReply {
+		return false, fmt.Errorf("orb client: unexpected %v message", h.Type)
+	}
+	rep, err := giop.UnmarshalLocateReply(h.Order, body)
+	if err != nil {
+		return false, err
+	}
+	if rep.RequestID != id {
+		return false, fmt.Errorf("orb client: locate reply id %d for request %d", rep.RequestID, id)
+	}
+	return rep.Status == giop.LocateObjectHere, nil
+}
+
+// InvokeOneway sends a request without waiting for a reply.
+func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priority) error {
+	if cl.closed.Load() {
+		return corba.ErrClosed
+	}
+	msg, err := cl.invoke.GetMessage()
+	if err != nil {
+		return err
+	}
+	m := msg.(*invokeMsg)
+	m.id = cl.nextID.Add(1)
+	m.key, m.op, m.payload, m.prio = key, op, payload, prio
+	m.oneway = true
+	done := make(chan invokeResult, 1)
+	m.done = done
+	if err := cl.invoke.Send(msg, prio); err != nil {
+		return err
+	}
+	res := <-done
+	return res.err
+}
+
+// App exposes the underlying component application (for tests and the bench
+// harness).
+func (cl *Client) App() *core.App { return cl.app }
+
+// Close shuts the client down: the connection is closed and the component
+// application stopped.
+func (cl *Client) Close() {
+	if cl.closed.Swap(true) {
+		return
+	}
+	cl.conn.mu.Lock()
+	if cl.conn.conn != nil {
+		_ = cl.conn.conn.Close()
+		cl.conn.conn = nil
+	}
+	cl.conn.mu.Unlock()
+	cl.app.Stop()
+}

@@ -1,0 +1,65 @@
+package orb
+
+import (
+	"repro/internal/core"
+	"repro/internal/giop"
+	"repro/internal/sched"
+)
+
+// invokeResult carries a completed invocation back to the caller.
+type invokeResult struct {
+	payload []byte
+	err     error
+}
+
+// invokeMsg travels from the client ORB component through the Transport to
+// the MessageProcessing component. Each Invoke installs a fresh done
+// channel, so pooled reuse cannot cross replies between concurrent callers.
+type invokeMsg struct {
+	id      uint32
+	key     string
+	op      string
+	payload []byte
+	oneway  bool
+	prio    sched.Priority
+	done    chan invokeResult
+}
+
+// Reset implements core.Message.
+func (m *invokeMsg) Reset() {
+	*m = invokeMsg{}
+}
+
+var invokeType = core.MessageType{
+	Name: "InvokeRequest",
+	Size: 128,
+	New:  func() core.Message { return &invokeMsg{} },
+}
+
+// requestMsg travels from a server Transport to its RequestProcessing
+// child: one framed GIOP request body. The raw buffer is owned by the
+// message and reused across pool cycles.
+type requestMsg struct {
+	raw   []byte
+	order giop.ByteOrder
+	conn  *serverConn
+}
+
+// Reset implements core.Message; it keeps the buffer capacity so pooled
+// messages stop allocating in steady state.
+func (m *requestMsg) Reset() {
+	m.raw = m.raw[:0]
+	m.order = giop.BigEndian
+	m.conn = nil
+}
+
+// setRaw copies one frame body into the message-owned buffer.
+func (m *requestMsg) setRaw(b []byte) {
+	m.raw = append(m.raw[:0], b...)
+}
+
+var requestType = core.MessageType{
+	Name: "GIOPRequest",
+	Size: 256,
+	New:  func() core.Message { return &requestMsg{} },
+}

@@ -1,0 +1,168 @@
+package orb
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/corba"
+	"repro/internal/giop"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+func TestOversizedReplyFailsCleanly(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{MaxMessage: 16384})
+	// The client only accepts 1 KiB bodies; ask the server to echo 4 KiB.
+	cl := dial(t, net, srv.Addr(), ClientConfig{MaxMessage: 1024})
+
+	payload := bytes.Repeat([]byte{1}, 4096)
+	if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err == nil {
+		t.Error("oversized reply accepted")
+	}
+}
+
+func TestLittleEndianClient(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{Order: giop.LittleEndian})
+	_ = srv
+	got, err := cl.Invoke("echo", "echo", []byte("LE"), sched.NormPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "LE" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestConcurrentInvokesOneClient(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{MsgPoolCapacity: 64})
+	_ = srv
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte{byte(i)}
+			got, err := cl.Invoke("echo", "echo", payload, sched.Priority(i%31+1))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs <- errors.New("echo mismatch under concurrency")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestOnewayAfterCloseRejected(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	_ = srv
+	cl.Close()
+	if err := cl.InvokeOneway("echo", "ping", nil, sched.NormPriority); !errors.Is(err, corba.ErrClosed) {
+		t.Errorf("oneway after close err = %v", err)
+	}
+}
+
+func TestServerComponentTopology(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 10 right: ORB (immortal) -> POA -> TransportN (per connection).
+	orbComp := srv.App().Component("ORB")
+	if orbComp == nil {
+		t.Fatal("no ORB component")
+	}
+	poa := orbComp.SMM().Child("POA")
+	if poa == nil {
+		t.Fatal("no POA instance")
+	}
+	if poa.Level() != 1 {
+		t.Errorf("POA level = %d, want 1", poa.Level())
+	}
+	tr := poa.SMM().Child("Transport1")
+	if tr == nil {
+		t.Fatal("no Transport1 instance")
+	}
+	if tr.Level() != 2 {
+		t.Errorf("Transport level = %d, want 2", tr.Level())
+	}
+	if tr.Path() != "ORB/POA/Transport1" {
+		t.Errorf("path = %q", tr.Path())
+	}
+
+	// Fig. 10 left: client ORB (immortal) -> Transport (lazy, persistent).
+	clOrb := cl.App().Component("ORB")
+	clTr := clOrb.SMM().Child("Transport")
+	if clTr == nil {
+		t.Fatal("client Transport not instantiated after first invoke")
+	}
+	if clTr.Level() != 1 {
+		t.Errorf("client Transport level = %d", clTr.Level())
+	}
+}
+
+func TestDialFailureSurfacesOnFirstInvoke(t *testing.T) {
+	// The Transport dials lazily, so a bad address fails at first Invoke.
+	net := transport.NewInproc()
+	cl, err := DialClient(ClientConfig{Network: net, Addr: "nowhere"})
+	if err != nil {
+		t.Fatalf("lazy client construction failed eagerly: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err == nil {
+		t.Error("invoke against unreachable server succeeded")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	_ = srv
+
+	// Before any invoke the transport is not yet connected.
+	if _, err := cl.Locate("echo"); err == nil {
+		t.Error("locate before transport connect succeeded")
+	}
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	here, err := cl.Locate("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !here {
+		t.Error("registered servant not located")
+	}
+	here, err = cl.Locate("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if here {
+		t.Error("unregistered servant located")
+	}
+	// The connection remains usable for requests afterwards.
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err != nil {
+		t.Errorf("post-locate invoke: %v", err)
+	}
+}

@@ -1,0 +1,242 @@
+package orb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/corba"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+func startEchoServer(t *testing.T, net transport.Network, addr string, cfg ServerConfig) *Server {
+	t.Helper()
+	cfg.Network = net
+	cfg.Addr = addr
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterServant("echo", corba.EchoServant{})
+	srv.ServeBackground()
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func dial(t *testing.T, net transport.Network, addr string, cfg ClientConfig) *Client {
+	t.Helper()
+	cfg.Network = net
+	cfg.Addr = addr
+	cl, err := DialClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestEchoRoundTripInproc(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+
+	payload := []byte("hello through the ORB")
+	got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("echo = %q, want %q", got, payload)
+	}
+
+	// A second call exercises re-instantiation of the transient
+	// MessageProcessing / RequestProcessing components.
+	got2, err := cl.Invoke("echo", "echo", []byte("again"), sched.NormPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != "again" {
+		t.Errorf("second echo = %q", got2)
+	}
+
+	if n, err := cl.App().Errors(); n != 0 {
+		t.Errorf("client handler errors: %d (%v)", n, err)
+	}
+	if n, err := srv.App().Errors(); n != 0 {
+		t.Errorf("server handler errors: %d (%v)", n, err)
+	}
+}
+
+func TestEchoRoundTripTCP(t *testing.T) {
+	srv := startEchoServer(t, transport.TCP{}, "127.0.0.1:0", ServerConfig{})
+	cl := dial(t, transport.TCP{}, srv.Addr(), ClientConfig{})
+	got, err := cl.Invoke("echo", "echo", []byte("over tcp"), sched.NormPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "over tcp" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestEchoWithScopePoolsAndSynchronous(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{ScopePoolCount: 2, Synchronous: true})
+	cl := dial(t, net, srv.Addr(), ClientConfig{ScopePoolCount: 2, Synchronous: true})
+
+	for i := 0; i < 20; i++ {
+		msg := []byte(fmt.Sprintf("msg-%d", i))
+		got, err := cl.Invoke("echo", "echo", msg, sched.NormPriority)
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("invoke %d: got %q", i, got)
+		}
+	}
+	// The client scope pool must be recycling MessageProcessing areas.
+	created, reused, _ := cl.App().ScopePool(2).Stats()
+	if created > 4 {
+		t.Errorf("client MP scopes created = %d, pooling not effective", created)
+	}
+	if reused < 10 {
+		t.Errorf("client MP scopes reused = %d", reused)
+	}
+	// And the server pool likewise for RequestProcessing.
+	sc, sr, _ := srv.App().ScopePool(3).Stats()
+	if sc > 4 || sr < 10 {
+		t.Errorf("server RP scopes: created %d reused %d", sc, sr)
+	}
+}
+
+func TestOnewayInvocation(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+
+	if err := cl.InvokeOneway("echo", "ping", nil, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	// A subsequent two-way call confirms the stream stayed in sync.
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+}
+
+func TestUnknownObjectAndOperation(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	_ = srv
+
+	if _, err := cl.Invoke("ghost", "echo", nil, sched.NormPriority); !errors.Is(err, corba.ErrSystemException) {
+		t.Errorf("unknown object err = %v, want system exception", err)
+	}
+	if _, err := cl.Invoke("echo", "frobnicate", nil, sched.NormPriority); !errors.Is(err, corba.ErrUserException) {
+		t.Errorf("unknown op err = %v, want user exception", err)
+	}
+	// The connection survives exceptions.
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err != nil {
+		t.Errorf("post-exception call: %v", err)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+
+	clients := make([]*Client, 3)
+	for i := range clients {
+		clients[i] = dial(t, net, srv.Addr(), ClientConfig{})
+	}
+	for i, cl := range clients {
+		msg := []byte(fmt.Sprintf("client-%d", i))
+		got, err := cl.Invoke("echo", "echo", msg, sched.NormPriority)
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("client %d echo = %q", i, got)
+		}
+	}
+}
+
+func TestCustomServant(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	srv.RegisterServant("calc", corba.ServantFunc(func(op string, in []byte) ([]byte, error) {
+		if op != "sum" {
+			return nil, fmt.Errorf("no such op")
+		}
+		var sum byte
+		for _, b := range in {
+			sum += b
+		}
+		return []byte{sum}, nil
+	}))
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	got, err := cl.Invoke("calc", "sum", []byte{1, 2, 3}, sched.NormPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 6 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestClientCloseRejectsInvokes(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); !errors.Is(err, corba.ErrClosed) {
+		t.Errorf("invoke after close err = %v", err)
+	}
+	cl.Close() // idempotent
+	_ = srv
+}
+
+func TestServerCloseIsClean(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	// Invocations now fail (connection torn down).
+	if _, err := cl.Invoke("echo", "ping", nil, sched.NormPriority); err == nil {
+		t.Error("invoke against closed server succeeded")
+	}
+}
+
+func TestLargePayloadWithinBound(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{MaxMessage: 8192})
+	cl := dial(t, net, srv.Addr(), ClientConfig{MaxMessage: 8192})
+	_ = srv
+	payload := bytes.Repeat([]byte{0xA5}, 4096)
+	got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("large payload corrupted")
+	}
+}
+
+func TestNilNetworkRejected(t *testing.T) {
+	if _, err := DialClient(ClientConfig{}); err == nil {
+		t.Error("nil network client accepted")
+	}
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("nil network server accepted")
+	}
+}

@@ -1,0 +1,417 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/corba"
+	"repro/internal/core"
+	"repro/internal/giop"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// ServerConfig parameterises a Compadres ORB server.
+type ServerConfig struct {
+	// Network and Addr select where to listen.
+	Network transport.Network
+	Addr    string
+	// MaxMessage bounds a request body; zero selects DefaultMaxMessage.
+	MaxMessage int
+	// ScopePoolCount pre-creates that many RequestProcessing scopes; zero
+	// creates fresh scopes per instantiation.
+	ScopePoolCount int
+	// Synchronous dispatches ports on the reading thread instead of port
+	// thread pools.
+	Synchronous bool
+	// MsgPoolCapacity overrides the per-type message pool capacity.
+	MsgPoolCapacity int
+}
+
+// Server is the component-structured ORB server of Fig. 10 (right):
+// ORB → POA/Acceptor → per-connection Transport → per-request
+// RequestProcessing.
+type Server struct {
+	app    *core.App
+	poa    *core.Component
+	ln     transport.Listener
+	maxMsg int
+
+	servants sync.Map // string -> corba.Servant
+
+	mu      sync.Mutex
+	conns   []*serverConn
+	handles []*core.Handle
+	connSeq atomic.Uint64
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	threading core.Threading
+	usePool   bool
+	rpSize    int64
+	repPool   *memory.ScopePool
+}
+
+// serverConn is the per-connection state owned by a Transport instance.
+type serverConn struct {
+	conn transport.Conn
+	wmu  sync.Mutex // serialises reply writes
+}
+
+// write sends one framed message.
+func (sc *serverConn) write(b []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	_, err := sc.conn.Write(b)
+	return err
+}
+
+// NewServer builds the server component structure and binds the listener.
+// Call Serve (or ServeBackground) to start accepting.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("orb: nil network")
+	}
+	maxMsg := cfg.MaxMessage
+	if maxMsg == 0 {
+		maxMsg = DefaultMaxMessage
+	}
+	rpSize := int64(4*maxMsg + 8192)
+
+	appCfg := core.AppConfig{Name: "CompadresORBServer", ImmortalSize: 1 << 20}
+	if cfg.MsgPoolCapacity != 0 {
+		appCfg.MsgPoolCapacity = cfg.MsgPoolCapacity
+	}
+	if cfg.ScopePoolCount > 0 {
+		appCfg.ScopePools = []core.ScopePoolSpec{
+			// Level 3 holds the RequestProcessing scopes (ORB is level 0,
+			// POA 1, Transport 2).
+			{Level: 3, AreaSize: rpSize, Count: cfg.ScopePoolCount, Grow: true},
+		}
+	}
+	app, err := core.NewApp(appCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reply buffers live in pooled per-request scopes nested under
+	// RequestProcessing, so pipelined requests cannot exhaust the
+	// component's fixed region.
+	repPool, err := app.Model().NewScopePool(memory.ScopePoolConfig{
+		Name:     "orb.server.reply",
+		AreaSize: int64(2*maxMsg + 4096),
+		Count:    4,
+		Grow:     true,
+	})
+	if err != nil {
+		app.Stop()
+		return nil, err
+	}
+
+	srv := &Server{
+		app:       app,
+		maxMsg:    maxMsg,
+		threading: core.ThreadingShared,
+		usePool:   cfg.ScopePoolCount > 0,
+		rpSize:    rpSize,
+		repPool:   repPool,
+	}
+	if cfg.Synchronous {
+		srv.threading = core.ThreadingSynchronous
+	}
+
+	ln, err := cfg.Network.Listen(cfg.Addr)
+	if err != nil {
+		app.Stop()
+		return nil, err
+	}
+	srv.ln = ln
+
+	_, err = app.NewImmortalComponent("ORB", func(c *core.Component) error {
+		return c.DefineChild(core.ChildDef{
+			Name:       "POA",
+			MemorySize: 1 << 16,
+			Persistent: true,
+			Setup: func(poa *core.Component) error {
+				srv.poa = poa
+				return nil
+			},
+		})
+	})
+	if err != nil {
+		ln.Close()
+		app.Stop()
+		return nil, err
+	}
+	if err := app.Start(); err != nil {
+		ln.Close()
+		app.Stop()
+		return nil, err
+	}
+	// Instantiate the POA/Acceptor (level-2 scope in the paper's counting)
+	// and keep it pinned for the server's lifetime.
+	h, err := app.Component("ORB").SMM().Connect("POA")
+	if err != nil {
+		ln.Close()
+		app.Stop()
+		return nil, err
+	}
+	srv.mu.Lock()
+	srv.handles = append(srv.handles, h)
+	srv.mu.Unlock()
+	return srv, nil
+}
+
+// RegisterServant binds a servant to an object key.
+func (s *Server) RegisterServant(key string, sv corba.Servant) {
+	s.servants.Store(key, sv)
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr() }
+
+// App exposes the underlying component application.
+func (s *Server) App() *core.App { return s.app }
+
+// ServeBackground starts the accept loop on its own goroutine — the
+// POA/Acceptor component "listens to and waits for client request
+// messages".
+func (s *Server) ServeBackground() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if s.closed.Load() {
+			conn.Close()
+			return
+		}
+		if err := s.addConnection(conn); err != nil {
+			conn.Close()
+		}
+	}
+}
+
+// addConnection builds the per-connection Transport component (a scoped
+// child of the POA) and pins it open for the connection's lifetime.
+func (s *Server) addConnection(conn transport.Conn) error {
+	sc := &serverConn{conn: conn}
+	s.mu.Lock()
+	s.conns = append(s.conns, sc)
+	s.mu.Unlock()
+
+	name := fmt.Sprintf("Transport%d", s.connSeq.Add(1))
+	if err := s.poa.DefineChild(core.ChildDef{
+		Name:       name,
+		MemorySize: int64(8*s.maxMsg + 32768),
+		Persistent: true,
+		Setup:      s.transportSetup(sc),
+	}); err != nil {
+		return err
+	}
+	h, err := s.poa.SMM().Connect(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.handles = append(s.handles, h)
+	s.mu.Unlock()
+	return nil
+}
+
+// transportSetup wires one Transport instance: the Out port feeding its
+// RequestProcessing child and the reader loop that frames GIOP requests.
+func (s *Server) transportSetup(sc *serverConn) func(*core.Component) error {
+	return func(tc *core.Component) error {
+		tSMM := tc.SMM()
+		toRP, err := core.AddOutPort(tc, tSMM, core.OutPortConfig{
+			Name: "toRP", Type: requestType, Dests: []string{"RequestProcessing.request"},
+		})
+		if err != nil {
+			return err
+		}
+		if err := tc.DefineChild(core.ChildDef{
+			Name:       "RequestProcessing",
+			MemorySize: s.rpSize,
+			UsePool:    s.usePool,
+			Setup: func(rp *core.Component) error {
+				_, err := core.AddInPort(rp, tSMM, core.InPortConfig{
+					Name: "request", Type: requestType, Threading: s.threading,
+					MinThreads: 1, MaxThreads: 2, BufferSize: 32,
+					Handler: core.HandlerFunc(s.processRequest),
+				})
+				return err
+			},
+		}); err != nil {
+			return err
+		}
+		tc.SetStart(func(p *core.Proc) error {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.readLoop(sc, toRP)
+			}()
+			return nil
+		})
+		return nil
+	}
+}
+
+// readLoop frames inbound GIOP messages and relays each into the
+// RequestProcessing scope through the component port.
+func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
+	scratch := make([]byte, s.maxMsg+giop.HeaderSize)
+	for {
+		h, body, err := giop.ReadMessageLimited(sc.conn, scratch[:0], uint32(s.maxMsg))
+		if err != nil {
+			// EOF and closed-pipe are normal teardown; anything else is an
+			// abrupt peer failure — either way the connection is done.
+			_ = errors.Is(err, io.EOF)
+			sc.conn.Close()
+			return
+		}
+		switch h.Type {
+		case giop.MsgRequest:
+			msg, err := toRP.GetMessage()
+			if err != nil {
+				// Pool exhausted: apply backpressure by dropping the
+				// connection, the hard-real-time stance on overload.
+				sc.conn.Close()
+				return
+			}
+			m := msg.(*requestMsg)
+			m.setRaw(body)
+			m.order = h.Order
+			m.conn = sc
+			if err := toRP.Send(msg, sched.NormPriority); err != nil {
+				sc.conn.Close()
+				return
+			}
+		case giop.MsgLocateRequest:
+			// Locate is a transport-level probe; answer on the reader
+			// thread without entering the component structure.
+			req, err := giop.UnmarshalLocateRequest(h.Order, body)
+			if err != nil {
+				sc.conn.Close()
+				return
+			}
+			status := giop.LocateUnknownObject
+			if _, ok := s.servants.Load(string(req.ObjectKey)); ok {
+				status = giop.LocateObjectHere
+			}
+			wire := giop.MarshalLocateReply(nil, h.Order, &giop.LocateReply{
+				RequestID: req.RequestID, Status: status,
+			})
+			if err := sc.write(wire); err != nil {
+				sc.conn.Close()
+				return
+			}
+		case giop.MsgCloseConnection:
+			sc.conn.Close()
+			return
+		default:
+			// Ignore other message types.
+		}
+	}
+}
+
+// processRequest runs in the RequestProcessing component's scope: it
+// demarshals the request there, invokes the servant, and marshals and
+// writes the reply from the same scope, which is reclaimed (or returned to
+// the pool) when the component quiesces.
+func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
+	m := msg.(*requestMsg)
+	req, err := giop.UnmarshalRequest(m.order, m.raw)
+	if err != nil {
+		return fmt.Errorf("orb server: demarshal: %w", err)
+	}
+
+	var (
+		status  giop.ReplyStatus
+		payload []byte
+	)
+	sv, ok := s.servants.Load(string(req.ObjectKey))
+	if !ok {
+		status = giop.ReplySystemException
+		payload = []byte(corba.ErrNoServant.Error())
+	} else {
+		out, err := invokeServant(sv.(corba.Servant), req)
+		if err != nil {
+			status = giop.ReplyUserException
+			payload = []byte(err.Error())
+		} else {
+			payload = out
+		}
+	}
+	if !req.ResponseExpected {
+		return nil
+	}
+
+	area, err := s.repPool.Acquire()
+	if err != nil {
+		return fmt.Errorf("orb server: reply scope: %w", err)
+	}
+	return p.Context().Enter(area, func(ctx *memory.Context) error {
+		wireCap := giop.HeaderSize + 48 + len(payload)
+		ref, err := ctx.Alloc(wireCap)
+		if err != nil {
+			return fmt.Errorf("orb server: reply buffer: %w", err)
+		}
+		buf, err := ref.Bytes()
+		if err != nil {
+			return err
+		}
+		wire := giop.MarshalReply(buf[:0], m.order, &giop.Reply{
+			RequestID: req.RequestID,
+			Status:    status,
+			Payload:   payload,
+		})
+		if err := m.conn.write(wire); err != nil {
+			return fmt.Errorf("orb server: write reply: %w", err)
+		}
+		return nil
+	})
+}
+
+// invokeServant dispatches to the priority-aware interface when the servant
+// provides it.
+func invokeServant(sv corba.Servant, req *giop.Request) ([]byte, error) {
+	if ps, ok := sv.(corba.PrioritizedServant); ok {
+		return ps.InvokeWithPriority(req.Operation, req.Payload, req.Priority)
+	}
+	return sv.Invoke(req.Operation, req.Payload)
+}
+
+// Close shuts the server down: the listener and all connections close, the
+// reader loops exit, and the component application stops.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	_ = s.ln.Close()
+	s.mu.Lock()
+	conns := s.conns
+	handles := s.handles
+	s.conns, s.handles = nil, nil
+	s.mu.Unlock()
+	for _, sc := range conns {
+		_ = sc.conn.Close()
+	}
+	s.wg.Wait()
+	for i := len(handles) - 1; i >= 0; i-- {
+		handles[i].Disconnect()
+	}
+	s.app.Stop()
+}

@@ -1,0 +1,68 @@
+package orb
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// TestSteadyStateMemory drives thousands of invocations and verifies the
+// central RTSJ claim the whole design serves: in steady state, no memory
+// region grows. Immortal usage is flat, the scope pools balance, and every
+// pooled message returns.
+func TestSteadyStateMemory(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{ScopePoolCount: 2})
+	cl := dial(t, net, srv.Addr(), ClientConfig{ScopePoolCount: 2})
+
+	payload := make([]byte, 256)
+	invoke := func() {
+		t.Helper()
+		got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(payload) {
+			t.Fatal("short echo")
+		}
+	}
+
+	// Warm up until every lazy structure exists.
+	for i := 0; i < 50; i++ {
+		invoke()
+	}
+	clientImmortal := cl.App().Model().Immortal().Used()
+	serverImmortal := srv.App().Model().Immortal().Used()
+
+	for i := 0; i < 2000; i++ {
+		invoke()
+	}
+
+	if got := cl.App().Model().Immortal().Used(); got != clientImmortal {
+		t.Errorf("client immortal grew: %d -> %d bytes", clientImmortal, got)
+	}
+	if got := srv.App().Model().Immortal().Used(); got != serverImmortal {
+		t.Errorf("server immortal grew: %d -> %d bytes", serverImmortal, got)
+	}
+
+	// The MessageProcessing scope pool recycles; new areas stopped being
+	// created after warm-up.
+	created, reused, _ := cl.App().ScopePool(2).Stats()
+	if created > 6 {
+		t.Errorf("client MP areas created = %d; pool not recycling", created)
+	}
+	if reused < 2000 {
+		t.Errorf("client MP areas reused = %d", reused)
+	}
+	sc, sr, _ := srv.App().ScopePool(3).Stats()
+	if sc > 6 || sr < 2000 {
+		t.Errorf("server RP areas: created %d reused %d", sc, sr)
+	}
+
+	// All pooled messages are back home on both sides.
+	clOrb := cl.App().Component("ORB")
+	if _, inFlight, _, _ := clOrb.SMM().MsgPoolStats("InvokeRequest"); inFlight != 0 {
+		t.Errorf("client ORB pool in flight = %d", inFlight)
+	}
+}

@@ -1,0 +1,116 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestModelsOrder(t *testing.T) {
+	models := Models()
+	if len(models) != 3 {
+		t.Fatalf("models = %d", len(models))
+	}
+	if models[0].Name != "Mackinac" || models[1].Name != "TimesysRI" || models[2].Name != "JDK14" {
+		t.Errorf("order = %v %v %v", models[0].Name, models[1].Name, models[2].Name)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		inj := NewInjector(JDK14(), 42)
+		for i := 0; i < 2000; i++ {
+			inj.Operation()
+		}
+		return inj.Stats()
+	}
+	p1, g1 := run()
+	p2, g2 := run()
+	if p1 != p2 || g1 != g2 {
+		t.Errorf("runs differ: (%d,%d) vs (%d,%d)", p1, g1, p2, g2)
+	}
+	if p1 == 0 || g1 == 0 {
+		t.Errorf("no events injected: preempts %d, gc %d", p1, g1)
+	}
+}
+
+func TestIdealInjectsNothing(t *testing.T) {
+	inj := NewInjector(Ideal(), 1)
+	start := time.Now()
+	for i := 0; i < 10000; i++ {
+		inj.Operation()
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("ideal platform spent %v on 10k ops", elapsed)
+	}
+	if p, g := inj.Stats(); p != 0 || g != 0 {
+		t.Errorf("ideal injected events: %d, %d", p, g)
+	}
+	if inj.Model().Name != "Ideal" {
+		t.Error("model accessor wrong")
+	}
+}
+
+// TestJitterOrdering verifies the paper's Table 2 shape on the simulated
+// platforms: JDK 1.4 jitter far above both RTSJ platforms, and Mackinac
+// above the TimeSys RI. Jitter is max − min, so one host-scheduler hiccup
+// (other packages' tests share the CPU) can corrupt a run; the ordering
+// must hold in at least one of a few attempts.
+func TestJitterOrdering(t *testing.T) {
+	measure := func(m Model, seed int64) metrics.Summary {
+		inj := NewInjector(m, seed)
+		c := metrics.NewCollector(3000)
+		for i := 0; i < 3000; i++ {
+			start := time.Now()
+			inj.Operation()
+			c.Record(time.Since(start))
+		}
+		return c.Summarize()
+	}
+	var lastErr string
+	for attempt := int64(0); attempt < 3; attempt++ {
+		ri := measure(TimesysRI(), 7+attempt)
+		mack := measure(Mackinac(), 7+attempt)
+		jdk := measure(JDK14(), 7+attempt)
+		switch {
+		case jdk.Jitter <= mack.Jitter:
+			lastErr = fmt.Sprintf("JDK jitter %v not above Mackinac %v", jdk.Jitter, mack.Jitter)
+		case mack.Jitter <= ri.Jitter:
+			lastErr = fmt.Sprintf("Mackinac jitter %v not above RI %v", mack.Jitter, ri.Jitter)
+		case jdk.Jitter < 2*mack.Jitter:
+			// The GC-driven gap should be large (order 3x+), as in Fig. 9.
+			lastErr = fmt.Sprintf("JDK jitter %v not clearly dominated by GC pauses (Mackinac %v)", jdk.Jitter, mack.Jitter)
+		default:
+			return // shape holds
+		}
+		t.Logf("attempt %d: %s", attempt, lastErr)
+	}
+	t.Errorf("jitter ordering never held: %s", lastErr)
+}
+
+func TestUniformBounds(t *testing.T) {
+	inj := NewInjector(Mackinac(), 3)
+	for i := 0; i < 1000; i++ {
+		d := inj.uniform(10*time.Microsecond, 20*time.Microsecond)
+		if d < 10*time.Microsecond || d >= 20*time.Microsecond {
+			t.Fatalf("uniform out of bounds: %v", d)
+		}
+	}
+	if d := inj.uniform(30*time.Microsecond, 30*time.Microsecond); d != 30*time.Microsecond {
+		t.Errorf("degenerate uniform = %v", d)
+	}
+}
+
+func TestNextEventMeanIsPositive(t *testing.T) {
+	inj := NewInjector(TimesysRI(), 9)
+	for i := 0; i < 100; i++ {
+		if g := inj.nextEvent(50); g < 1 || g > 100 {
+			t.Fatalf("gap out of range: %d", g)
+		}
+	}
+	if g := inj.nextEvent(0); g < 1<<29 {
+		t.Errorf("disabled event gap too small: %d", g)
+	}
+}

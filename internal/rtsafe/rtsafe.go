@@ -1,0 +1,300 @@
+// Package rtsafe provides RTSJ-safe collections for component
+// implementations — the role Javolution plays in the paper ("the components
+// may also use an RTSJ-safe library such as Javolution", §2 footnote).
+//
+// RTSJ-safe here means: every collection is created with a fixed capacity,
+// charges its backing storage to a memory area up front, never allocates
+// after construction, and therefore never triggers the collector or
+// exhausts its region mid-flight. Operations are O(1) or O(n) with bounds
+// known at construction, as predictable real-time code requires.
+//
+// Collections are not safe for concurrent use; like component state, each
+// instance belongs to the single component whose scope it lives in.
+package rtsafe
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+var (
+	// ErrFull reports an insertion into a collection at capacity.
+	ErrFull = errors.New("rtsafe: collection full")
+	// ErrEmpty reports removal from an empty collection.
+	ErrEmpty = errors.New("rtsafe: collection empty")
+	// ErrNotFound reports a lookup of an absent key.
+	ErrNotFound = errors.New("rtsafe: key not found")
+)
+
+// bytesPerSlot is the storage charged to the memory area per element slot.
+// Elements are Go values held by reference; the charge models the RTSJ
+// in-region storage an equivalent Javolution structure would occupy.
+const bytesPerSlot = 32
+
+// charge allocates the collection's backing budget from the area via ctx.
+func charge(ctx *memory.Context, area *memory.Area, slots int) error {
+	if slots <= 0 {
+		return fmt.Errorf("rtsafe: non-positive capacity %d", slots)
+	}
+	_, err := ctx.AllocIn(area, slots*bytesPerSlot)
+	return err
+}
+
+// List is a fixed-capacity slice-backed list.
+type List[T any] struct {
+	items []T
+}
+
+// NewList creates a list with the given capacity, charged to area.
+func NewList[T any](ctx *memory.Context, area *memory.Area, capacity int) (*List[T], error) {
+	if err := charge(ctx, area, capacity); err != nil {
+		return nil, err
+	}
+	return &List[T]{items: make([]T, 0, capacity)}, nil
+}
+
+// Len returns the number of elements.
+func (l *List[T]) Len() int { return len(l.items) }
+
+// Cap returns the fixed capacity.
+func (l *List[T]) Cap() int { return cap(l.items) }
+
+// Append adds v at the end, or reports ErrFull.
+func (l *List[T]) Append(v T) error {
+	if len(l.items) == cap(l.items) {
+		return ErrFull
+	}
+	l.items = append(l.items, v)
+	return nil
+}
+
+// Get returns the element at index i.
+func (l *List[T]) Get(i int) (T, error) {
+	var zero T
+	if i < 0 || i >= len(l.items) {
+		return zero, fmt.Errorf("rtsafe: index %d out of range [0,%d)", i, len(l.items))
+	}
+	return l.items[i], nil
+}
+
+// Set replaces the element at index i.
+func (l *List[T]) Set(i int, v T) error {
+	if i < 0 || i >= len(l.items) {
+		return fmt.Errorf("rtsafe: index %d out of range [0,%d)", i, len(l.items))
+	}
+	l.items[i] = v
+	return nil
+}
+
+// RemoveLast removes and returns the final element.
+func (l *List[T]) RemoveLast() (T, error) {
+	var zero T
+	n := len(l.items)
+	if n == 0 {
+		return zero, ErrEmpty
+	}
+	v := l.items[n-1]
+	l.items[n-1] = zero
+	l.items = l.items[:n-1]
+	return v, nil
+}
+
+// Clear removes all elements, keeping capacity.
+func (l *List[T]) Clear() {
+	var zero T
+	for i := range l.items {
+		l.items[i] = zero
+	}
+	l.items = l.items[:0]
+}
+
+// Each calls fn for every element in order; fn returning false stops early.
+func (l *List[T]) Each(fn func(i int, v T) bool) {
+	for i, v := range l.items {
+		if !fn(i, v) {
+			return
+		}
+	}
+}
+
+// Queue is a fixed-capacity FIFO ring buffer.
+type Queue[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// NewQueue creates a queue with the given capacity, charged to area.
+func NewQueue[T any](ctx *memory.Context, area *memory.Area, capacity int) (*Queue[T], error) {
+	if err := charge(ctx, area, capacity); err != nil {
+		return nil, err
+	}
+	return &Queue[T]{buf: make([]T, capacity)}, nil
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return q.n }
+
+// Cap returns the fixed capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Push enqueues v, or reports ErrFull.
+func (q *Queue[T]) Push(v T) error {
+	if q.n == len(q.buf) {
+		return ErrFull
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	return nil
+}
+
+// Pop dequeues the oldest element, or reports ErrEmpty.
+func (q *Queue[T]) Pop() (T, error) {
+	var zero T
+	if q.n == 0 {
+		return zero, ErrEmpty
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, nil
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Queue[T]) Peek() (T, error) {
+	var zero T
+	if q.n == 0 {
+		return zero, ErrEmpty
+	}
+	return q.buf[q.head], nil
+}
+
+// Map is a fixed-capacity open-addressing hash map with comparable keys.
+// The probe sequence is linear; the table is sized at 2x capacity so load
+// never exceeds 50%, keeping probes short and bounded.
+type Map[K comparable, V any] struct {
+	keys     []K
+	vals     []V
+	occupied []bool
+	deleted  []bool
+	n        int
+	capacity int
+	hash     func(K) uint64
+}
+
+// NewMap creates a map that holds up to capacity entries, charged to area.
+// hash must be a stable hash of the key; use maphash or a domain hash.
+func NewMap[K comparable, V any](ctx *memory.Context, area *memory.Area, capacity int, hash func(K) uint64) (*Map[K, V], error) {
+	if hash == nil {
+		return nil, fmt.Errorf("rtsafe: nil hash function")
+	}
+	if err := charge(ctx, area, capacity*2); err != nil {
+		return nil, err
+	}
+	slots := 2 * capacity
+	return &Map[K, V]{
+		keys:     make([]K, slots),
+		vals:     make([]V, slots),
+		occupied: make([]bool, slots),
+		deleted:  make([]bool, slots),
+		capacity: capacity,
+		hash:     hash,
+	}, nil
+}
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int { return m.n }
+
+// Cap returns the fixed capacity.
+func (m *Map[K, V]) Cap() int { return m.capacity }
+
+// Put inserts or replaces the value for key, or reports ErrFull.
+func (m *Map[K, V]) Put(key K, val V) error {
+	slots := len(m.keys)
+	start := int(m.hash(key) % uint64(slots))
+	firstFree := -1
+	for p := 0; p < slots; p++ {
+		i := (start + p) % slots
+		if m.occupied[i] {
+			if m.keys[i] == key {
+				m.vals[i] = val
+				return nil
+			}
+			continue
+		}
+		if firstFree == -1 {
+			firstFree = i
+		}
+		if !m.deleted[i] {
+			break // untouched slot: the key is definitely absent
+		}
+	}
+	if m.n == m.capacity {
+		return ErrFull
+	}
+	m.keys[firstFree] = key
+	m.vals[firstFree] = val
+	m.occupied[firstFree] = true
+	m.deleted[firstFree] = false
+	m.n++
+	return nil
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (m *Map[K, V]) Get(key K) (V, error) {
+	var zero V
+	i, ok := m.find(key)
+	if !ok {
+		return zero, fmt.Errorf("%w: %v", ErrNotFound, key)
+	}
+	return m.vals[i], nil
+}
+
+// Delete removes the entry for key, or reports ErrNotFound.
+func (m *Map[K, V]) Delete(key K) error {
+	i, ok := m.find(key)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, key)
+	}
+	var zeroK K
+	var zeroV V
+	m.keys[i] = zeroK
+	m.vals[i] = zeroV
+	m.occupied[i] = false
+	m.deleted[i] = true
+	m.n--
+	return nil
+}
+
+// Each calls fn for every entry (iteration order is unspecified); fn
+// returning false stops early.
+func (m *Map[K, V]) Each(fn func(k K, v V) bool) {
+	for i := range m.keys {
+		if m.occupied[i] {
+			if !fn(m.keys[i], m.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (m *Map[K, V]) find(key K) (int, bool) {
+	slots := len(m.keys)
+	start := int(m.hash(key) % uint64(slots))
+	for p := 0; p < slots; p++ {
+		i := (start + p) % slots
+		if m.occupied[i] {
+			if m.keys[i] == key {
+				return i, true
+			}
+			continue
+		}
+		if !m.deleted[i] {
+			return 0, false // untouched slot terminates the probe chain
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,297 @@
+package rtsafe
+
+import (
+	"errors"
+	"hash/maphash"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+)
+
+func testArena(t *testing.T) (*memory.Context, *memory.Area) {
+	t.Helper()
+	model := memory.NewModel(memory.Config{ImmortalSize: 1 << 20})
+	return model.NewContext(), model.Immortal()
+}
+
+func TestListBasics(t *testing.T) {
+	ctx, area := testArena(t)
+	l, err := NewList[int](ctx, area, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cap() != 3 || l.Len() != 0 {
+		t.Errorf("cap/len = %d/%d", l.Cap(), l.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(i * 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Append(40); !errors.Is(err, ErrFull) {
+		t.Errorf("overflow err = %v", err)
+	}
+	if v, err := l.Get(1); err != nil || v != 20 {
+		t.Errorf("Get(1) = %d, %v", v, err)
+	}
+	if _, err := l.Get(3); err == nil {
+		t.Error("out of range Get accepted")
+	}
+	if _, err := l.Get(-1); err == nil {
+		t.Error("negative Get accepted")
+	}
+	if err := l.Set(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set(9, 1); err == nil {
+		t.Error("out of range Set accepted")
+	}
+
+	var seen []int
+	l.Each(func(i, v int) bool {
+		seen = append(seen, v)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != 11 || seen[1] != 20 || seen[2] != 30 {
+		t.Errorf("each = %v", seen)
+	}
+	// Early stop.
+	count := 0
+	l.Each(func(i, v int) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+
+	if v, err := l.RemoveLast(); err != nil || v != 30 {
+		t.Errorf("RemoveLast = %d, %v", v, err)
+	}
+	l.Clear()
+	if l.Len() != 0 {
+		t.Error("clear failed")
+	}
+	if _, err := l.RemoveLast(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty RemoveLast err = %v", err)
+	}
+}
+
+func TestListChargesArea(t *testing.T) {
+	model := memory.NewModel(memory.Config{ImmortalSize: 64})
+	ctx := model.NewContext()
+	// 3 slots * 32 bytes = 96 > 64.
+	if _, err := NewList[int](ctx, model.Immortal(), 3); !errors.Is(err, memory.ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := NewList[int](ctx, model.Immortal(), 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	ctx, area := testArena(t)
+	q, err := NewQueue[string](ctx, area, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Pop(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty pop err = %v", err)
+	}
+	if _, err := q.Peek(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty peek err = %v", err)
+	}
+	if err := q.Push("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("c"); !errors.Is(err, ErrFull) {
+		t.Errorf("overflow err = %v", err)
+	}
+	if v, _ := q.Peek(); v != "a" {
+		t.Errorf("peek = %q", v)
+	}
+	if v, _ := q.Pop(); v != "a" {
+		t.Errorf("pop = %q", v)
+	}
+	// Wrap-around.
+	if err := q.Push("c"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := q.Pop(); v != "b" {
+		t.Errorf("pop = %q", v)
+	}
+	if v, _ := q.Pop(); v != "c" {
+		t.Errorf("pop = %q", v)
+	}
+	if q.Len() != 0 || q.Cap() != 2 {
+		t.Errorf("len/cap = %d/%d", q.Len(), q.Cap())
+	}
+}
+
+func strHash() func(string) uint64 {
+	seed := maphash.MakeSeed()
+	return func(s string) uint64 { return maphash.String(seed, s) }
+}
+
+func TestMapBasics(t *testing.T) {
+	ctx, area := testArena(t)
+	m, err := NewMap[string, int](ctx, area, 4, strHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cap() != 4 {
+		t.Errorf("cap = %d", m.Cap())
+	}
+	for i, k := range []string{"a", "b", "c", "d"} {
+		if err := m.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Put("e", 5); !errors.Is(err, ErrFull) {
+		t.Errorf("overflow err = %v", err)
+	}
+	// Replacement of an existing key is allowed at capacity.
+	if err := m.Put("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Get("a"); err != nil || v != 100 {
+		t.Errorf("Get(a) = %d, %v", v, err)
+	}
+	if _, err := m.Get("zz"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key err = %v", err)
+	}
+	if err := m.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if m.Len() != 3 {
+		t.Errorf("len = %d", m.Len())
+	}
+	// Tombstone reuse: a new key fits where b was.
+	if err := m.Put("e", 5); err != nil {
+		t.Fatalf("post-delete insert: %v", err)
+	}
+	if v, err := m.Get("e"); err != nil || v != 5 {
+		t.Errorf("Get(e) = %d, %v", v, err)
+	}
+
+	sum := 0
+	m.Each(func(k string, v int) bool { sum += v; return true })
+	if sum != 100+2+3+5 {
+		t.Errorf("each sum = %d", sum)
+	}
+	n := 0
+	m.Each(func(k string, v int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	ctx, area := testArena(t)
+	if _, err := NewMap[string, int](ctx, area, 4, nil); err == nil {
+		t.Error("nil hash accepted")
+	}
+}
+
+// Property: the map behaves like Go's built-in map under any sequence of
+// put/delete operations that fits in capacity.
+func TestPropertyMapModel(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Val    int16
+		Delete bool
+	}
+	hash := func(k uint8) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+	f := func(ops []op) bool {
+		const capacity = 32
+		ctx, area := func() (*memory.Context, *memory.Area) {
+			model := memory.NewModel(memory.Config{ImmortalSize: 1 << 20})
+			return model.NewContext(), model.Immortal()
+		}()
+		m, err := NewMap[uint8, int16](ctx, area, capacity, hash)
+		if err != nil {
+			return false
+		}
+		model := make(map[uint8]int16)
+		for _, o := range ops {
+			if o.Delete {
+				_, inModel := model[o.Key]
+				err := m.Delete(o.Key)
+				if inModel != (err == nil) {
+					return false
+				}
+				delete(model, o.Key)
+				continue
+			}
+			_, exists := model[o.Key]
+			if !exists && len(model) == capacity {
+				if err := m.Put(o.Key, o.Val); !errors.Is(err, ErrFull) {
+					return false
+				}
+				continue
+			}
+			if err := m.Put(o.Key, o.Val); err != nil {
+				return false
+			}
+			model[o.Key] = o.Val
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, err := m.Get(k)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the queue preserves FIFO order for any push/pop interleaving.
+func TestPropertyQueueFIFO(t *testing.T) {
+	f := func(pushes []int32, popBias uint8) bool {
+		model := memory.NewModel(memory.Config{ImmortalSize: 1 << 20})
+		ctx := model.NewContext()
+		q, err := NewQueue[int32](ctx, model.Immortal(), 16)
+		if err != nil {
+			return false
+		}
+		var ref []int32
+		for i, v := range pushes {
+			if err := q.Push(v); err != nil {
+				if !errors.Is(err, ErrFull) || len(ref) != 16 {
+					return false
+				}
+			} else {
+				ref = append(ref, v)
+			}
+			if (uint8(i)+popBias)%3 == 0 && len(ref) > 0 {
+				got, err := q.Pop()
+				if err != nil || got != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+		}
+		for len(ref) > 0 {
+			got, err := q.Pop()
+			if err != nil || got != ref[0] {
+				return false
+			}
+			ref = ref[1:]
+		}
+		_, err = q.Pop()
+		return errors.Is(err, ErrEmpty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

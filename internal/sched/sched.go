@@ -1,0 +1,247 @@
+// Package sched models RTSJ real-time thread scheduling for the Compadres
+// runtime. Go offers no strict thread priorities, so the package reproduces
+// the observable property the paper relies on: when messages carry
+// priorities, a port's thread pool executes the highest-priority pending
+// handler first (FIFO within a priority), and the executing thread inherits
+// the message's priority, exactly as §2.2 of the paper describes.
+//
+// A Pool is either shared among several In ports or dedicated to one; it
+// starts with Min workers and grows on backlog up to Max. A pool configured
+// with Max == 0 executes submissions synchronously on the caller, matching
+// the paper's "if these values are 0, the calling thread executes the
+// process() method of the In port synchronously".
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Priority is an RTSJ-style real-time priority. Higher values run first.
+type Priority int
+
+// Priority bounds mirror the RTSJ real-time priority band.
+const (
+	MinPriority  Priority = 1
+	NormPriority Priority = 15
+	MaxPriority  Priority = 31
+)
+
+// ErrPoolShutdown reports a Submit after Shutdown.
+var ErrPoolShutdown = errors.New("sched: pool is shut down")
+
+// Valid reports whether p lies within the real-time priority band.
+func (p Priority) Valid() bool { return p >= MinPriority && p <= MaxPriority }
+
+// Clamp returns p limited to the real-time priority band.
+func (p Priority) Clamp() Priority {
+	if p < MinPriority {
+		return MinPriority
+	}
+	if p > MaxPriority {
+		return MaxPriority
+	}
+	return p
+}
+
+// PoolConfig parameterises a Pool. It mirrors the CCL PortAttributes:
+// threadpool strategy is expressed by sharing (or not) the constructed Pool,
+// and Min/Max map to MinThreadpoolSize/MaxThreadpoolSize.
+type PoolConfig struct {
+	// Name is used in diagnostics.
+	Name string
+	// Min is the number of workers started eagerly.
+	Min int
+	// Max bounds worker growth. Max == 0 selects synchronous execution on
+	// the caller; otherwise Max is raised to at least Min.
+	Max int
+}
+
+// Pool dispatches prioritised tasks to a bounded set of workers.
+type Pool struct {
+	name string
+	min  int
+	max  int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    taskHeap
+	seq      uint64
+	workers  int
+	idle     int
+	shutdown bool
+	done     sync.WaitGroup
+
+	stats PoolStats
+}
+
+// PoolStats is a snapshot of pool activity.
+type PoolStats struct {
+	// Workers is the current worker count.
+	Workers int
+	// Spawned is the total number of workers ever started.
+	Spawned int64
+	// Executed is the number of tasks completed.
+	Executed int64
+	// MaxQueue is the high-water mark of the pending queue.
+	MaxQueue int
+	// Synchronous reports a Max == 0 pool.
+	Synchronous bool
+}
+
+// NewPool creates a pool per cfg and starts cfg.Min workers.
+func NewPool(cfg PoolConfig) *Pool {
+	minWorkers := cfg.Min
+	if minWorkers < 0 {
+		minWorkers = 0
+	}
+	maxWorkers := cfg.Max
+	if maxWorkers < 0 {
+		maxWorkers = 0
+	}
+	if maxWorkers > 0 && maxWorkers < minWorkers {
+		maxWorkers = minWorkers
+	}
+	p := &Pool{name: cfg.Name, min: minWorkers, max: maxWorkers}
+	p.cond = sync.NewCond(&p.mu)
+	if p.max > 0 {
+		for i := 0; i < p.min; i++ {
+			p.spawnLocked()
+		}
+	}
+	return p
+}
+
+// Name returns the pool's diagnostic name.
+func (p *Pool) Name() string { return p.name }
+
+// Synchronous reports whether Submit executes tasks inline on the caller.
+func (p *Pool) Synchronous() bool { return p.max == 0 }
+
+// Submit schedules fn at the given priority. The worker that eventually runs
+// fn passes the (clamped) priority through, modelling priority inheritance
+// from the message. For a synchronous pool, fn runs before Submit returns.
+func (p *Pool) Submit(prio Priority, fn func(Priority)) error {
+	prio = prio.Clamp()
+	if p.max == 0 {
+		p.mu.Lock()
+		if p.shutdown {
+			p.mu.Unlock()
+			return ErrPoolShutdown
+		}
+		p.stats.Executed++
+		p.mu.Unlock()
+		fn(prio)
+		return nil
+	}
+
+	p.mu.Lock()
+	if p.shutdown {
+		p.mu.Unlock()
+		return ErrPoolShutdown
+	}
+	p.seq++
+	heap.Push(&p.queue, task{prio: prio, seq: p.seq, fn: fn})
+	if len(p.queue) > p.stats.MaxQueue {
+		p.stats.MaxQueue = len(p.queue)
+	}
+	// Grow when there is backlog that idle workers will not absorb.
+	if p.idle == 0 && p.workers < p.max {
+		p.spawnLocked()
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+	return nil
+}
+
+// Shutdown drains the pending queue, stops all workers, and waits for them
+// to exit. It is idempotent.
+func (p *Pool) Shutdown() {
+	p.mu.Lock()
+	if p.shutdown {
+		p.mu.Unlock()
+		p.done.Wait()
+		return
+	}
+	p.shutdown = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.done.Wait()
+}
+
+// Stats returns a snapshot of pool activity.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Workers = p.workers
+	s.Synchronous = p.max == 0
+	return s
+}
+
+// String summarises the pool for diagnostics.
+func (p *Pool) String() string {
+	s := p.Stats()
+	return fmt.Sprintf("pool %q (workers %d, executed %d, maxq %d)", p.name, s.Workers, s.Executed, s.MaxQueue)
+}
+
+func (p *Pool) spawnLocked() {
+	p.workers++
+	p.stats.Spawned++
+	p.done.Add(1)
+	go p.run()
+}
+
+func (p *Pool) run() {
+	defer p.done.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.shutdown {
+			p.idle++
+			p.cond.Wait()
+			p.idle--
+		}
+		if len(p.queue) == 0 && p.shutdown {
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&p.queue).(task)
+		p.mu.Unlock()
+
+		t.fn(t.prio)
+
+		p.mu.Lock()
+		p.stats.Executed++
+		p.mu.Unlock()
+	}
+}
+
+// task is one queued unit of work.
+type task struct {
+	prio Priority
+	seq  uint64
+	fn   func(Priority)
+}
+
+// taskHeap orders by descending priority, then FIFO by sequence.
+type taskHeap []task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(task)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,173 @@
+// Package transport provides the byte-stream substrate both ORBs run on:
+// real TCP (the paper's loopback-network setup) and an in-process pipe
+// network for deterministic benchmarking. Both expose the same Dial/Listen
+// interface, so the ORBs are transport-agnostic.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional byte stream between a client and a server.
+type Conn interface {
+	io.ReadWriteCloser
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks until a connection arrives or the listener closes.
+	Accept() (Conn, error)
+	// Close stops the listener; blocked Accepts return ErrClosed.
+	Close() error
+	// Addr returns the bound address, usable with Dial.
+	Addr() string
+}
+
+// Network creates listeners and connections.
+type Network interface {
+	// Listen binds addr; for TCP an empty port picks an ephemeral one.
+	Listen(addr string) (Listener, error)
+	// Dial connects to a listener's address.
+	Dial(addr string) (Conn, error)
+}
+
+// ErrClosed reports use of a closed listener or network endpoint.
+var ErrClosed = errors.New("transport: closed")
+
+// TCP is the real-network implementation, matching the paper's
+// "single machine connected via loopback network" setup.
+type TCP struct{}
+
+// Listen implements Network.
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Network.
+func (TCP) Dial(addr string) (Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Request/reply traffic: never batch small frames.
+		_ = tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// Inproc is an in-process network: Dial returns one end of a net.Pipe whose
+// other end is delivered to the listener. It gives the benchmarks a
+// deterministic, kernel-free transport.
+type Inproc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	next      int
+}
+
+// NewInproc returns an empty in-process network.
+func NewInproc() *Inproc {
+	return &Inproc{listeners: make(map[string]*inprocListener)}
+}
+
+// Listen implements Network. An empty addr allocates "inproc-N".
+func (n *Inproc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		n.next++
+		addr = fmt.Sprintf("inproc-%d", n.next)
+	}
+	if _, dup := n.listeners[addr]; dup {
+		return nil, fmt.Errorf("transport: address %q already bound", addr)
+	}
+	l := &inprocListener{net: n, addr: addr, backlog: make(chan Conn, 16)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *Inproc) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l := n.listeners[addr]
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+type inprocListener struct {
+	net     *Inproc
+	addr    string
+	backlog chan Conn
+
+	mu     sync.Mutex
+	closed chan struct{}
+}
+
+func (l *inprocListener) done() chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed == nil {
+		l.closed = make(chan struct{})
+	}
+	return l.closed
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.mu.Lock()
+	if l.closed == nil {
+		l.closed = make(chan struct{})
+	}
+	select {
+	case <-l.closed:
+		l.mu.Unlock()
+		return nil
+	default:
+	}
+	close(l.closed)
+	l.mu.Unlock()
+
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func exchange(t *testing.T, n Network, addr string) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := c.Write([]byte("pong!")); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping!")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong!" {
+		t.Errorf("reply = %q", buf)
+	}
+	wg.Wait()
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	exchange(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestInprocRoundTrip(t *testing.T) {
+	exchange(t, NewInproc(), "")
+}
+
+func TestInprocAddresses(t *testing.T) {
+	n := NewInproc()
+	l1, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1.Close()
+	l2, err := n.Listen("custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l1.Addr() == l2.Addr() {
+		t.Error("addresses collide")
+	}
+	if _, err := n.Listen("custom"); err == nil {
+		t.Error("duplicate bind accepted")
+	}
+	if _, err := n.Dial("nowhere"); err == nil {
+		t.Error("dial to unbound address accepted")
+	}
+}
+
+func TestInprocClose(t *testing.T) {
+	n := NewInproc()
+	l, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("accept after close err = %v", err)
+	}
+	// Close is idempotent.
+	if err := l.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	// Dial after close fails.
+	if _, err := n.Dial("x"); err == nil {
+		t.Error("dial to closed listener accepted")
+	}
+	// The address is reusable.
+	l2, err := n.Listen("x")
+	if err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	l2.Close()
+}
+
+func TestTCPListenerClose(t *testing.T) {
+	l, err := TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("accept after close err = %v", err)
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a Go reproduction of "Compadres: A Lightweight Component
+// Middleware Framework for Composing Distributed Real-time Embedded Systems
+// with Real-time Java" (Hu, Gorappa, Colmenares, Klefstad — Middleware
+// 2007).
+//
+// The implementation lives under internal/: the simulated RTSJ memory model
+// (internal/memory), real-time scheduling (internal/sched), the component
+// model itself (internal/core), the CDL/CCL languages and compiler
+// (internal/cdl, internal/ccl, internal/compiler, internal/codegen), the
+// GIOP codec (internal/giop), the component-structured ORB (internal/orb)
+// and the hand-coded RTZen baseline (internal/rtzen), and the evaluation
+// harness (internal/experiments). See README.md for a tour, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for the reproduced evaluation.
+//
+// The benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem .
+package repro
