@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke verify bench1
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs every benchmark a handful of iterations — enough to
+# catch a bench that no longer compiles or errors out, without the cost of
+# a full measurement run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=10x .
+
+verify: vet build race bench-smoke
+
+# bench1 regenerates BENCH_1.json, the checked-in snapshot of the Fig. 11
+# grid and the dispatch-path latency/allocation numbers.
+bench1:
+	$(GO) run ./cmd/benchharness -experiment bench1 -warmup 200 -observations 2000 -out BENCH_1.json

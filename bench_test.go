@@ -42,6 +42,7 @@ func benchPingPong(b *testing.B, model platform.Model) {
 	}
 	defer pp.Close()
 	inj := platform.NewInjector(model, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inj.Operation()
@@ -82,6 +83,7 @@ func benchCompadresEcho(b *testing.B, size int) {
 
 	payload := make([]byte, size)
 	b.SetBytes(int64(size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
@@ -109,6 +111,7 @@ func benchRTZenEcho(b *testing.B, size int) {
 
 	payload := make([]byte, size)
 	b.SetBytes(int64(size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
@@ -140,6 +143,36 @@ func benchMechanism(b *testing.B, mech core.Mechanism) {
 		b.Fatal(err)
 	}
 	defer pp.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pp.RoundTrip(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateRoundTrip is the tentpole's acceptance benchmark: the
+// in-process Fig. 6 round trip (shared-object mechanism, persistent
+// children, synchronous ports) after the pools are warm. The fast path —
+// cached routes, pooled envelopes/contexts/dispatch state, preallocated
+// buffers — must not allocate.
+func BenchmarkSteadyStateRoundTrip(b *testing.B) {
+	pp, err := experiments.NewPingPong(experiments.PingPongConfig{
+		Synchronous: true, Persistent: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pp.Close()
+	// Warm every pool (envelopes, contexts, dispatch states, route caches)
+	// before measuring.
+	for i := 0; i < 64; i++ {
+		if _, err := pp.RoundTrip(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pp.RoundTrip(int64(i)); err != nil {
@@ -198,6 +231,7 @@ func BenchmarkAblationDispatch(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer pp.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := pp.RoundTrip(int64(i)); err != nil {
@@ -259,6 +293,7 @@ func BenchmarkFrameworkGIOPMarshal(b *testing.B) {
 			}
 			buf := make([]byte, 0, size+256)
 			b.SetBytes(int64(size))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				wire := giop.MarshalRequest(buf[:0], giop.BigEndian, req)
@@ -269,6 +304,44 @@ func BenchmarkFrameworkGIOPMarshal(b *testing.B) {
 				if _, err := giop.UnmarshalRequest(h.Order, wire[giop.HeaderSize:]); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrameworkGIOPMarshalPooled is the codec path the ORBs actually
+// run at steady state: a pooled scratch buffer, in-place marshal, and a
+// decode into a reused struct. Marshalling itself is allocation-free; the
+// single residual allocation is the operation-name string materialised by
+// the decode.
+func BenchmarkFrameworkGIOPMarshalPooled(b *testing.B) {
+	for _, size := range []int{32, 1024} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			req := &giop.Request{
+				RequestID: 1, ResponseExpected: true,
+				ObjectKey: []byte("echo"), Operation: "echo", Payload: payload,
+			}
+			// Warm the buffer pool so measured iterations recycle.
+			wb := giop.GetBuffer()
+			wb.B = giop.MarshalRequest(wb.B, giop.BigEndian, req)
+			giop.PutBuffer(wb)
+			var into giop.Request
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wb := giop.GetBuffer()
+				wire := giop.MarshalRequest(wb.B, giop.BigEndian, req)
+				h, err := giop.ParseHeader(wire)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := giop.DecodeRequest(h.Order, wire[giop.HeaderSize:], &into); err != nil {
+					b.Fatal(err)
+				}
+				wb.B = wire[:0]
+				giop.PutBuffer(wb)
 			}
 		})
 	}

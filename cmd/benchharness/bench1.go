@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// bench1Snapshot is the schema of BENCH_1.json: the Fig. 11 grid plus the
+// dispatch-path numbers the fast-path work is judged by. Durations are
+// nanoseconds so the file diffs cleanly across runs.
+type bench1Snapshot struct {
+	Observations int               `json:"observations"`
+	Warmup       int               `json:"warmup"`
+	Fig11        []bench1Fig11Cell `json:"fig11"`
+	Dispatch     []bench1Dispatch  `json:"dispatch"`
+	SteadyState  bench1SteadyState `json:"steady_state_round_trip"`
+}
+
+type bench1Fig11Cell struct {
+	ORB      string `json:"orb"`
+	SizeB    int    `json:"size_bytes"`
+	MedianNs int64  `json:"median_ns"`
+	P99Ns    int64  `json:"p99_ns"`
+	JitterNs int64  `json:"jitter_ns"`
+	MinNs    int64  `json:"min_ns"`
+	MaxNs    int64  `json:"max_ns"`
+}
+
+type bench1Dispatch struct {
+	Variant     string  `json:"variant"`
+	MedianNs    int64   `json:"median_ns"`
+	JitterNs    int64   `json:"jitter_ns"`
+	MinNs       int64   `json:"min_ns"`
+	MaxNs       int64   `json:"max_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type bench1SteadyState struct {
+	// AllocsPerOp is testing.AllocsPerRun over the warmed Fig. 6 shared-
+	// object round trip; the fast-path acceptance target is 0.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func runBench1(warmup, obs int, outPath string) error {
+	snap := bench1Snapshot{Observations: obs, Warmup: warmup}
+
+	fmt.Printf("== BENCH_1 snapshot: Fig. 11 grid + dispatch path ==\n")
+	fmt.Printf("   (%d observations after %d warm-up iterations)\n\n", obs, warmup)
+
+	points, err := experiments.RunFig11(nil, warmup, obs)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		s := p.Summary
+		snap.Fig11 = append(snap.Fig11, bench1Fig11Cell{
+			ORB: p.ORB, SizeB: p.Size,
+			MedianNs: int64(s.Median), P99Ns: int64(s.P99), JitterNs: int64(s.Jitter),
+			MinNs: int64(s.Min), MaxNs: int64(s.Max),
+		})
+		fmt.Printf("  fig11 %-10s %5dB  median %sµs  p99 %sµs\n",
+			p.ORB, p.Size, metrics.Micros(s.Median), metrics.Micros(s.P99))
+	}
+
+	rows, err := experiments.RunAblationDispatch(warmup, obs)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		allocs, err := dispatchAllocs(r.Variant == "synchronous")
+		if err != nil {
+			return err
+		}
+		s := r.Summary
+		snap.Dispatch = append(snap.Dispatch, bench1Dispatch{
+			Variant:  r.Variant,
+			MedianNs: int64(s.Median), JitterNs: int64(s.Jitter),
+			MinNs: int64(s.Min), MaxNs: int64(s.Max),
+			AllocsPerOp: allocs,
+		})
+		fmt.Printf("  dispatch %-12s median %sµs  allocs/op %.2f\n",
+			r.Variant, metrics.Micros(s.Median), allocs)
+	}
+
+	allocs, err := dispatchAllocs(true)
+	if err != nil {
+		return err
+	}
+	snap.SteadyState = bench1SteadyState{AllocsPerOp: allocs}
+	fmt.Printf("  steady-state round trip allocs/op %.2f\n\n", allocs)
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// dispatchAllocs measures steady-state allocations per round trip for one
+// dispatch variant, after warming every pool on the path.
+func dispatchAllocs(synchronous bool) (float64, error) {
+	pp, err := experiments.NewPingPong(experiments.PingPongConfig{
+		Synchronous: synchronous, Persistent: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer pp.Close()
+	for i := 0; i < 128; i++ {
+		if _, err := pp.RoundTrip(int64(i)); err != nil {
+			return 0, err
+		}
+	}
+	var rtErr error
+	allocs := testing.AllocsPerRun(400, func() {
+		if _, err := pp.RoundTrip(1); err != nil && rtErr == nil {
+			rtErr = err
+		}
+	})
+	if rtErr != nil {
+		return 0, rtErr
+	}
+	return allocs, nil
+}

@@ -5,6 +5,7 @@
 //	benchharness -experiment fig9        # Fig. 9: latency distributions per platform
 //	benchharness -experiment fig11       # Fig. 11: Compadres ORB vs RTZen by size
 //	benchharness -experiment ablations   # cross-scope / shadow-port / scope-pool
+//	benchharness -experiment bench1      # BENCH_1.json snapshot (Fig. 11 + dispatch path)
 //	benchharness -experiment all
 //
 // Use -observations and -warmup to trade accuracy for time; the defaults
@@ -23,18 +24,19 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | all")
+		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | all")
 		obs        = flag.Int("observations", metrics.DefaultObservations, "steady-state observations per configuration")
 		warmup     = flag.Int("warmup", metrics.DefaultWarmup, "warm-up iterations discarded before measuring")
+		out        = flag.String("out", "BENCH_1.json", "output path for the bench1 snapshot")
 	)
 	flag.Parse()
-	if err := run(*experiment, *warmup, *obs); err != nil {
+	if err := run(*experiment, *warmup, *obs, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, warmup, obs int) error {
+func run(experiment string, warmup, obs int, out string) error {
 	switch experiment {
 	case "table2":
 		return runTable2(warmup, obs, false)
@@ -44,6 +46,8 @@ func run(experiment string, warmup, obs int) error {
 		return runFig11(warmup, obs)
 	case "ablations":
 		return runAblations(warmup, obs)
+	case "bench1":
+		return runBench1(warmup, obs, out)
 	case "all":
 		if err := runTable2(warmup, obs, true); err != nil {
 			return err

@@ -69,6 +69,24 @@ type App struct {
 	stopped  bool
 	errCount int64
 	lastErr  error
+
+	// ctxPool recycles no-heap memory contexts across Exec calls, so the
+	// steady-state dispatch path does not allocate a context (and its scope
+	// stack) per message.
+	ctxPool sync.Pool
+}
+
+// getNoHeapCtx takes a recycled no-heap context (scope stack at immortal).
+func (a *App) getNoHeapCtx() *memory.Context {
+	return a.ctxPool.Get().(*memory.Context)
+}
+
+// putNoHeapCtx recycles a context whose scope stack is back at its base;
+// unbalanced stacks (a panic unwound past Exec) are dropped.
+func (a *App) putNoHeapCtx(ctx *memory.Context) {
+	if ctx.Depth() == 1 {
+		a.ctxPool.Put(ctx)
+	}
 }
 
 // NewApp creates an application per cfg.
@@ -86,6 +104,7 @@ func NewApp(cfg AppConfig) (*App, error) {
 		topNames: make(map[string]*Component),
 		pools:    make(map[int]*memory.ScopePool),
 	}
+	a.ctxPool.New = func() any { return a.model.NewNoHeapContext() }
 	for _, spec := range cfg.ScopePools {
 		if spec.Level < 1 {
 			return nil, fmt.Errorf("core: scope pool level %d: levels start at 1", spec.Level)

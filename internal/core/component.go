@@ -55,6 +55,11 @@ type Component struct {
 	childDefs map[string]*ChildDef
 	startFn   func(*Proc) error
 
+	// chain caches the component's scoped ancestor path (outermost first),
+	// built once: area and parent are fixed for the instance's lifetime.
+	chainOnce sync.Once
+	chain     []*memory.Area
+
 	// Liveness accounting. liveMu is the innermost lock: it is taken with
 	// an SMM lock held but never the other way around.
 	liveMu       sync.Mutex
@@ -138,10 +143,30 @@ func (c *Component) DefineChild(def ChildDef) error {
 
 // Exec runs fn inside the component's memory context: a no-heap context
 // whose scope stack is entered down to the component's area, so allocations
-// land in the component's region and the RTSJ access rules apply.
+// land in the component's region and the RTSJ access rules apply. Contexts
+// are drawn from the app's pool; a context is recycled only when fn left the
+// scope stack balanced (a panic drops it instead).
 func (c *Component) Exec(fn func(*memory.Context) error) error {
-	ctx := c.app.model.NewNoHeapContext()
-	return c.enterChain(ctx, fn)
+	ctx := c.app.getNoHeapCtx()
+	err := c.enterChain(ctx, fn)
+	c.app.putNoHeapCtx(ctx)
+	return err
+}
+
+// scopeChain returns the component's cached scoped-area path, outermost
+// first, ending at c's own area.
+func (c *Component) scopeChain() []*memory.Area {
+	c.chainOnce.Do(func() {
+		var chain []*memory.Area
+		for cc := c; cc != nil && cc.area.Kind() == memory.KindScoped; cc = cc.parent {
+			chain = append(chain, cc.area)
+		}
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+		c.chain = chain
+	})
+	return c.chain
 }
 
 // enterChain enters the component's ancestor areas outermost-first, then
@@ -150,18 +175,7 @@ func (c *Component) enterChain(ctx *memory.Context, fn func(*memory.Context) err
 	if c.area.Kind() != memory.KindScoped {
 		return ctx.ExecuteInArea(c.area, fn)
 	}
-	var chain []*memory.Area
-	for cc := c; cc != nil && cc.area.Kind() == memory.KindScoped; cc = cc.parent {
-		chain = append([]*memory.Area{cc.area}, chain...)
-	}
-	var rec func(ctx *memory.Context, i int) error
-	rec = func(ctx *memory.Context, i int) error {
-		if i == len(chain) {
-			return fn(ctx)
-		}
-		return ctx.Enter(chain[i], func(nc *memory.Context) error { return rec(nc, i+1) })
-	}
-	return rec(ctx, 0)
+	return ctx.EnterChain(c.scopeChain(), fn)
 }
 
 // waitStarted blocks until the instance's start function has completed.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/memory"
 )
@@ -48,11 +49,12 @@ type msgPool struct {
 	area *memory.Area
 	ref  memory.Ref // the arena charge for the pooled instances
 
-	mu      sync.Mutex
-	free    []Message
-	total   int
-	gets    int64
-	returns int64
+	mu    sync.Mutex // guards free only
+	free  []Message
+	total int
+
+	gets    atomic.Int64
+	returns atomic.Int64
 }
 
 // newMsgPool charges capacity*typ.Size bytes to area and pre-creates the
@@ -76,14 +78,15 @@ func newMsgPool(typ MessageType, area *memory.Area, ctx *memory.Context, capacit
 // get takes an instance, or reports ErrPoolEmpty when all are in flight.
 func (p *msgPool) get() (Message, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := len(p.free)
 	if n == 0 {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: type %q in %q (%d in flight)", ErrPoolEmpty, p.typ.Name, p.area.Name(), p.total)
 	}
 	m := p.free[n-1]
 	p.free = p.free[:n-1]
-	p.gets++
+	p.mu.Unlock()
+	p.gets.Add(1)
 	return m, nil
 }
 
@@ -91,36 +94,44 @@ func (p *msgPool) get() (Message, error) {
 func (p *msgPool) put(m Message) {
 	m.Reset()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.free = append(p.free, m)
-	p.returns++
+	p.mu.Unlock()
+	p.returns.Add(1)
 }
 
 // stats reports (capacity, in-flight, gets, returns).
 func (p *msgPool) stats() (capacity, inFlight int, gets, returns int64) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.total, p.total - len(p.free), p.gets, p.returns
+	freeN := len(p.free)
+	p.mu.Unlock()
+	return p.total, p.total - freeN, p.gets.Load(), p.returns.Load()
 }
 
 // envelope tracks one sent message through all of its receivers so it can
-// be returned to its pool exactly once.
+// be returned to its pool exactly once. Envelopes themselves are recycled
+// through a sync.Pool, so the steady-state send path does not allocate one
+// per message.
 type envelope struct {
-	msg  Message
-	pool *msgPool
-
-	mu        sync.Mutex
-	remaining int
+	msg       Message
+	pool      *msgPool
+	remaining atomic.Int32
 	release   func() // optional extra cleanup (serialization scratch, etc.)
 }
 
-// done records one receiver finishing; the last one recycles the message.
+var envelopePool = sync.Pool{New: func() any { return new(envelope) }}
+
+// newEnvelope takes a recycled envelope and arms it for n receivers.
+func newEnvelope(msg Message, pool *msgPool, n int) *envelope {
+	e := envelopePool.Get().(*envelope)
+	e.msg, e.pool, e.release = msg, pool, nil
+	e.remaining.Store(int32(n))
+	return e
+}
+
+// done records one receiver finishing; the last one recycles the message
+// and returns the envelope to its pool.
 func (e *envelope) done() {
-	e.mu.Lock()
-	e.remaining--
-	last := e.remaining == 0
-	e.mu.Unlock()
-	if !last {
+	if e.remaining.Add(-1) != 0 {
 		return
 	}
 	if e.pool != nil {
@@ -129,4 +140,6 @@ func (e *envelope) done() {
 	if e.release != nil {
 		e.release()
 	}
+	e.msg, e.pool, e.release = nil, nil, nil
+	envelopePool.Put(e)
 }

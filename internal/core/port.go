@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
@@ -78,6 +79,13 @@ type bufItem struct {
 	seq   uint64
 }
 
+// portBinding is an InPort's current owner/handler pair, swapped atomically
+// on (re)instantiation so the send path reads it without a lock.
+type portBinding struct {
+	owner   *Component // nil while the owning child is not instantiated
+	handler Handler
+}
+
 // InPort receives messages for a component. The port structure (buffer,
 // thread pool, message pool share) lives in the mediating SMM's memory area
 // and persists across re-instantiations of a transient child; only the
@@ -88,17 +96,21 @@ type InPort struct {
 	typ   MessageType
 	smm   *SMM
 
-	mu        sync.Mutex
-	owner     *Component // nil while the owning child is not instantiated
-	handler   Handler
-	buf       []bufItem // priority heap, bounded at the declared capacity
-	capacity  int
-	seq       uint64
-	pool      *sched.Pool
-	dedicated bool
-	received  int64
-	processed int64
-	dropped   int64
+	// mu guards only the buffer; the binding and the stats counters are
+	// read and written without it.
+	mu       sync.Mutex
+	buf      []bufItem // priority heap, preallocated at the declared capacity
+	capacity int
+	seq      uint64
+
+	bound      atomic.Pointer[portBinding]
+	pool       *sched.Pool
+	dedicated  bool
+	dispatchFn func(sched.Priority) // created once; avoids a closure per send
+
+	received  atomic.Int64
+	processed atomic.Int64
+	dropped   atomic.Int64
 }
 
 // Name returns the qualified port name ("Component.Port").
@@ -113,27 +125,28 @@ func (p *InPort) Capacity() int { return p.capacity }
 // Stats reports messages received (enqueued), processed, and dropped
 // (buffer full).
 func (p *InPort) Stats() (received, processed, dropped int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.received, p.processed, p.dropped
+	return p.received.Load(), p.processed.Load(), p.dropped.Load()
 }
 
 // push enqueues an item, or reports ErrBufferFull. The buffer is a priority
 // queue: pop hands out the highest-priority pending message (FIFO within a
 // priority), so the pool worker that dequeues — itself scheduled at the
 // message's priority — processes the message that justified its priority.
+// The backing array is preallocated at the port's declared capacity, so
+// push never allocates.
 func (p *InPort) push(it bufItem) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if len(p.buf) == p.capacity {
-		p.dropped++
+		p.mu.Unlock()
+		p.dropped.Add(1)
 		return fmt.Errorf("%w: %q (capacity %d)", ErrBufferFull, p.qname, p.capacity)
 	}
 	p.seq++
 	it.seq = p.seq
 	p.buf = append(p.buf, it)
 	p.siftUp(len(p.buf) - 1)
-	p.received++
+	p.mu.Unlock()
+	p.received.Add(1)
 	return nil
 }
 
@@ -195,31 +208,33 @@ func (p *InPort) siftDown(i int) {
 
 // binding returns the current owner and handler.
 func (p *InPort) binding() (*Component, Handler) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.owner, p.handler
+	b := p.bound.Load()
+	if b == nil {
+		return nil, nil
+	}
+	return b.owner, b.handler
 }
 
 // bind attaches the port to a (re)instantiated owner.
 func (p *InPort) bind(owner *Component, h Handler) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.owner = owner
-	p.handler = h
+	p.bound.Store(&portBinding{owner: owner, handler: h})
 }
 
-// unbind detaches the port when its owner is disposed.
+// unbind detaches the port when its owner is disposed. The handler is kept,
+// matching the port structure surviving the instance: a delivery already
+// buffered drains against the old handler only if a rebind restores an
+// owner first.
 func (p *InPort) unbind() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.owner = nil
+	var h Handler
+	if b := p.bound.Load(); b != nil {
+		h = b.handler
+	}
+	p.bound.Store(&portBinding{handler: h})
 }
 
 // markProcessed bumps the processed counter.
 func (p *InPort) markProcessed() {
-	p.mu.Lock()
-	p.processed++
-	p.mu.Unlock()
+	p.processed.Add(1)
 }
 
 // OutPort sends messages from a component. Like InPort, the structure
@@ -229,11 +244,14 @@ type OutPort struct {
 	short string
 	typ   MessageType
 	smm   *SMM
+	pool  *msgPool // resolved once at registration; pools are never removed
 
-	mu    sync.Mutex
+	mu    sync.Mutex // guards owner
 	owner *Component
-	dests []string
-	sent  int64
+
+	dests  atomic.Pointer[[]string] // immutable destination list
+	routes atomic.Pointer[routeSet] // cached resolution, see SMM.routesFor
+	sent   atomic.Int64
 }
 
 // Name returns the qualified port name ("Component.Port").
@@ -242,32 +260,47 @@ func (p *OutPort) Name() string { return p.qname }
 // Type returns the port's message type.
 func (p *OutPort) Type() MessageType { return p.typ }
 
-// Dests returns a copy of the destination port names.
+// Dests returns the destination port names. The returned slice is shared
+// and immutable: callers must not modify it. It is replaced wholesale (and
+// the port's route cache invalidated) only when the port is re-registered
+// with a different destination list.
 func (p *OutPort) Dests() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]string, len(p.dests))
-	copy(out, p.dests)
-	return out
+	d := p.dests.Load()
+	if d == nil {
+		return nil
+	}
+	return *d
+}
+
+// setDests installs a new immutable destination list.
+func (p *OutPort) setDests(dests []string) {
+	p.dests.Store(&dests)
+	p.routes.Store(nil)
 }
 
 // Sent reports the number of successful Send calls.
 func (p *OutPort) Sent() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.sent
+	return p.sent.Load()
+}
+
+// msgPool returns the message pool for the port's type.
+func (p *OutPort) msgPool() *msgPool {
+	if p.pool != nil {
+		return p.pool
+	}
+	return p.smm.poolFor(p.typ)
 }
 
 // GetMessage takes a message instance from the SMM's pool for this port's
 // type, per the paper's getMessage(). The instance must either be sent
 // (ownership transfers to the framework) or returned with PutBack.
 func (p *OutPort) GetMessage() (Message, error) {
-	return p.smm.poolFor(p.typ).get()
+	return p.msgPool().get()
 }
 
 // PutBack returns an unsent message to the pool.
 func (p *OutPort) PutBack(m Message) {
-	p.smm.poolFor(p.typ).put(m)
+	p.msgPool().put(m)
 }
 
 // Send delivers msg to every connected destination at the given priority

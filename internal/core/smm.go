@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/memory"
 	"repro/internal/sched"
@@ -49,6 +50,12 @@ func (m Mechanism) String() string {
 // It owns the message pools (one per message type) and the In-port buffers,
 // all charged to the parent's memory area; it maintains a proxy per child
 // definition and instantiates child components on demand.
+//
+// The steady-state send path is lock-free with respect to the SMM: the
+// mechanism and stop flag are atomics, and each OutPort caches its resolved
+// destination In-ports (see routesFor), invalidated by a generation counter
+// that port registration bumps. The SMM mutex is only taken to mutate the
+// port/child/pool tables or on the cold resolution path.
 type SMM struct {
 	owner *Component
 	area  *memory.Area
@@ -57,27 +64,30 @@ type SMM struct {
 	// never while holding mu.
 	instMu sync.Mutex
 
-	mu        sync.Mutex
-	mechanism Mechanism
-	in        map[string]*InPort
-	out       map[string]*OutPort
-	children  map[string]*Component
-	msgPools  map[string]*msgPool
-	shared    *sched.Pool
-	pools     []*sched.Pool // all pools owned by this SMM, for shutdown
-	stopped   bool
+	mu       sync.Mutex
+	in       map[string]*InPort
+	out      map[string]*OutPort
+	children map[string]*Component
+	msgPools map[string]*msgPool
+	shared   *sched.Pool
+	pools    []*sched.Pool // all pools owned by this SMM, for shutdown
+
+	mechanism atomic.Int32
+	stopped   atomic.Bool
+	routeGen  atomic.Uint64 // bumped on registerIn/registerOut
 }
 
 func newSMM(owner *Component) *SMM {
-	return &SMM{
-		owner:     owner,
-		area:      owner.area,
-		mechanism: MechanismSharedObject,
-		in:        make(map[string]*InPort),
-		out:       make(map[string]*OutPort),
-		children:  make(map[string]*Component),
-		msgPools:  make(map[string]*msgPool),
+	s := &SMM{
+		owner:    owner,
+		area:     owner.area,
+		in:       make(map[string]*InPort),
+		out:      make(map[string]*OutPort),
+		children: make(map[string]*Component),
+		msgPools: make(map[string]*msgPool),
 	}
+	s.mechanism.Store(int32(MechanismSharedObject))
+	return s
 }
 
 // Owner returns the parent component this SMM belongs to.
@@ -89,16 +99,12 @@ func (s *SMM) Area() *memory.Area { return s.area }
 
 // Mechanism returns the configured cross-scope mechanism.
 func (s *SMM) Mechanism() Mechanism {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mechanism
+	return Mechanism(s.mechanism.Load())
 }
 
 // SetMechanism selects the cross-scope mechanism for subsequent sends.
 func (s *SMM) SetMechanism(m Mechanism) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mechanism = m
+	s.mechanism.Store(int32(m))
 }
 
 // GetOutPort looks an Out port up by qualified name ("Component.Port") or,
@@ -252,6 +258,9 @@ func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
 		buf:      make([]bufItem, 0, bufSize),
 		capacity: bufSize,
 	}
+	// The dispatch closure is created once per port, so the per-message
+	// Submit passes a preexisting function value instead of allocating.
+	p.dispatchFn = func(prio sched.Priority) { s.dispatch(p, prio) }
 	p.bind(c, cfg.Handler)
 
 	s.mu.Lock()
@@ -280,6 +289,7 @@ func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
 		return nil, fmt.Errorf("core: in port %q: unknown threading policy %v", qname, threading)
 	}
 	s.in[qname] = p
+	s.routeGen.Add(1) // a new In port may resolve a previously dangling route
 	return p, nil
 }
 
@@ -307,9 +317,10 @@ func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
 		}
 		existing.mu.Lock()
 		existing.owner = c
-		existing.dests = dests
 		existing.mu.Unlock()
+		existing.setDests(dests)
 		s.mu.Unlock()
+		s.routeGen.Add(1)
 		return existing, nil
 	}
 	s.mu.Unlock()
@@ -317,17 +328,20 @@ func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
 	if err := s.charge(portHeaderBytes); err != nil {
 		return nil, fmt.Errorf("out port %q: %w", qname, err)
 	}
-	if _, err := s.ensurePool(cfg.Type); err != nil {
+	pool, err := s.ensurePool(cfg.Type)
+	if err != nil {
 		return nil, err
 	}
 
-	p := &OutPort{qname: qname, short: cfg.Name, typ: cfg.Type, smm: s, owner: c, dests: dests}
+	p := &OutPort{qname: qname, short: cfg.Name, typ: cfg.Type, smm: s, owner: c, pool: pool}
+	p.setDests(dests)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.out[qname]; dup {
 		return nil, fmt.Errorf("%w: out port %q", ErrDuplicateName, qname)
 	}
 	s.out[qname] = p
+	s.routeGen.Add(1)
 	return p, nil
 }
 
@@ -448,7 +462,7 @@ func (s *SMM) materialize(name string) (*Component, error) {
 		s.mu.Unlock()
 		return c, nil
 	}
-	if s.stopped {
+	if s.stopped.Load() {
 		s.mu.Unlock()
 		return nil, ErrStopped
 	}
@@ -606,39 +620,75 @@ func (s *SMM) resolveIn(qname string) (*InPort, *Component, error) {
 	return nil, nil, fmt.Errorf("core: deliver to %q: owner kept quiescing", qname)
 }
 
+// routeSet is one OutPort's cached resolution of destination names to In
+// ports; it stays valid while gen matches the SMM's routeGen.
+type routeSet struct {
+	gen    uint64
+	routes []route
+}
+
+// route is one cached destination. in is nil when the port was not yet
+// registered at build time (the owning child has never been instantiated);
+// such routes resolve through the slow path until a registration bumps the
+// generation.
+type route struct {
+	in   *InPort
+	dest string
+}
+
+// routesFor returns p's cached route set, rebuilding it when port
+// registration has invalidated it. In the steady state this is one atomic
+// load and a generation compare — no SMM lock, no map lookups, no string
+// work per message.
+func (s *SMM) routesFor(p *OutPort) *routeSet {
+	gen := s.routeGen.Load()
+	if rs := p.routes.Load(); rs != nil && rs.gen == gen {
+		return rs
+	}
+	return s.buildRoutes(p, gen)
+}
+
+// buildRoutes resolves p's destination names against the In-port table.
+// Racing builders produce equivalent sets; the last store wins.
+func (s *SMM) buildRoutes(p *OutPort, gen uint64) *routeSet {
+	dests := p.Dests()
+	rs := &routeSet{gen: gen, routes: make([]route, len(dests))}
+	s.mu.Lock()
+	for i, d := range dests {
+		rs.routes[i] = route{in: s.in[d], dest: d}
+	}
+	s.mu.Unlock()
+	p.routes.Store(rs)
+	return rs
+}
+
 // send routes one message per the SMM's configured mechanism.
 func (s *SMM) send(p *OutPort, proc *Proc, msg Message, prio sched.Priority) error {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
+	if s.stopped.Load() {
 		return ErrStopped
 	}
-	mech := s.mechanism
-	s.mu.Unlock()
-
-	dests := p.Dests()
-	if len(dests) == 0 {
+	mech := Mechanism(s.mechanism.Load())
+	rs := s.routesFor(p)
+	if len(rs.routes) == 0 {
 		return fmt.Errorf("%w: out port %q has no destinations", ErrUnknownPort, p.qname)
 	}
 
 	var err error
 	switch mech {
 	case MechanismSharedObject:
-		err = s.sendShared(p, msg, prio, dests)
+		err = s.sendShared(p, msg, prio, rs)
 	case MechanismSerialization:
-		err = s.sendSerialized(p, msg, prio, dests)
+		err = s.sendSerialized(p, msg, prio, rs)
 	case MechanismHandoff:
 		if proc == nil {
 			return fmt.Errorf("%w: out port %q", ErrNeedsCallerContext, p.qname)
 		}
-		err = s.sendHandoff(p, proc, msg, prio, dests)
+		err = s.sendHandoff(p, proc, msg, prio, rs)
 	default:
 		err = fmt.Errorf("core: unknown mechanism %v", mech)
 	}
 	if err == nil {
-		p.mu.Lock()
-		p.sent++
-		p.mu.Unlock()
+		p.sent.Add(1)
 	}
 	return err
 }
@@ -646,11 +696,11 @@ func (s *SMM) send(p *OutPort, proc *Proc, msg Message, prio sched.Priority) err
 // sendShared implements the default shared-object mechanism: the pooled
 // message itself is enqueued for every receiver and returns to the pool
 // after the last one processes it.
-func (s *SMM) sendShared(p *OutPort, msg Message, prio sched.Priority, dests []string) error {
-	env := &envelope{msg: msg, pool: s.poolFor(p.typ), remaining: len(dests)}
+func (s *SMM) sendShared(p *OutPort, msg Message, prio sched.Priority, rs *routeSet) error {
+	env := newEnvelope(msg, p.msgPool(), len(rs.routes))
 	var firstErr error
-	for _, dest := range dests {
-		if err := s.deliverAsync(p, dest, env, msg, prio); err != nil && firstErr == nil {
+	for i := range rs.routes {
+		if err := s.deliverAsync(p, &rs.routes[i], env, msg, prio); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -660,7 +710,7 @@ func (s *SMM) sendShared(p *OutPort, msg Message, prio sched.Priority, dests []s
 // sendSerialized implements the serialization mechanism: the message is
 // encoded once, returned to its pool immediately, and an independent copy
 // is rebuilt for every receiver.
-func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, dests []string) error {
+func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, rs *routeSet) error {
 	bm, ok := msg.(encoding.BinaryMarshaler)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotSerializable, p.typ.Name)
@@ -669,10 +719,10 @@ func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, dests
 	if err != nil {
 		return fmt.Errorf("serialize %q: %w", p.typ.Name, err)
 	}
-	s.poolFor(p.typ).put(msg)
+	p.msgPool().put(msg)
 
 	var firstErr error
-	for _, dest := range dests {
+	for i := range rs.routes {
 		fresh := p.typ.New()
 		um, ok := fresh.(encoding.BinaryUnmarshaler)
 		if !ok {
@@ -681,27 +731,40 @@ func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, dests
 		if err := um.UnmarshalBinary(data); err != nil {
 			return fmt.Errorf("deserialize %q: %w", p.typ.Name, err)
 		}
-		env := &envelope{msg: fresh, remaining: 1} // no pool: the copy is dropped
-		if err := s.deliverAsync(p, dest, env, fresh, prio); err != nil && firstErr == nil {
+		env := newEnvelope(fresh, nil, 1) // no pool: the copy is dropped
+		if err := s.deliverAsync(p, &rs.routes[i], env, fresh, prio); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// deliverAsync resolves one destination, reserves the owner, enqueues the
-// item, and schedules a dispatch at the message priority.
-func (s *SMM) deliverAsync(p *OutPort, dest string, env *envelope, msg Message, prio sched.Priority) error {
-	in, owner, err := s.resolveIn(dest)
-	if err != nil {
-		env.done()
-		return err
+// deliverAsync reserves the destination owner, enqueues the item, and
+// schedules a dispatch at the message priority. The cached route resolves
+// the In port without touching the SMM; the slow path (unregistered port,
+// quiescing or never-instantiated owner) falls back to resolveIn, which
+// materializes the owning child.
+func (s *SMM) deliverAsync(p *OutPort, r *route, env *envelope, msg Message, prio sched.Priority) error {
+	in := r.in
+	var owner *Component
+	if in != nil {
+		if o, _ := in.binding(); o != nil && o.addPending() {
+			owner = o
+		}
+	}
+	if owner == nil {
+		var err error
+		in, owner, err = s.resolveIn(r.dest)
+		if err != nil {
+			env.done()
+			return err
+		}
 	}
 	if in.typ.Name != p.typ.Name {
 		owner.donePending()
 		env.done()
 		return fmt.Errorf("%w: %q sends %q, %q accepts %q",
-			ErrTypeMismatch, p.qname, p.typ.Name, dest, in.typ.Name)
+			ErrTypeMismatch, p.qname, p.typ.Name, r.dest, in.typ.Name)
 	}
 	if err := in.push(bufItem{env: env, msg: msg, prio: prio, owner: owner}); err != nil {
 		owner.donePending()
@@ -709,7 +772,7 @@ func (s *SMM) deliverAsync(p *OutPort, dest string, env *envelope, msg Message, 
 		env.done()
 		return err
 	}
-	if err := in.pool.Submit(prio, func(pr sched.Priority) { s.dispatch(in, pr) }); err != nil {
+	if err := in.pool.Submit(prio, in.dispatchFn); err != nil {
 		// Pool already shut down; the pushed item will be dropped with the
 		// SMM. Account for it now.
 		if it, ok := in.pop(); ok {
@@ -720,6 +783,29 @@ func (s *SMM) deliverAsync(p *OutPort, dest string, env *envelope, msg Message, 
 	}
 	return nil
 }
+
+// dispatchState carries one in-flight dispatch through the owner's memory
+// context. Instances are pooled and each owns a preconstructed closure over
+// itself, so the steady-state dispatch allocates neither a closure nor a
+// Proc. Handlers must not retain the *Proc past the call (the same contract
+// as for the message itself).
+type dispatchState struct {
+	smm     *SMM
+	it      bufItem
+	handler Handler
+	prio    sched.Priority
+	proc    Proc
+	fn      func(*memory.Context) error
+}
+
+var dispatchStatePool = sync.Pool{New: func() any {
+	ds := new(dispatchState)
+	ds.fn = func(ctx *memory.Context) error {
+		ds.proc = Proc{comp: ds.it.owner, smm: ds.smm, ctx: ctx, prio: ds.prio}
+		return ds.smm.process(ds.handler, &ds.proc, ds.it.msg)
+	}
+	return ds
+}}
 
 // dispatch runs on a pool worker (or inline for synchronous ports): it pops
 // one buffered message and processes it in the owner's memory context.
@@ -739,9 +825,11 @@ func (s *SMM) dispatch(in *InPort, prio sched.Priority) {
 		// message is dropped.
 		s.owner.app.reportError(fmt.Errorf("core: %q: no handler bound", in.qname))
 	} else {
-		err := owner.Exec(func(ctx *memory.Context) error {
-			return s.process(handler, &Proc{comp: owner, smm: s, ctx: ctx, prio: prio}, it.msg)
-		})
+		ds := dispatchStatePool.Get().(*dispatchState)
+		ds.smm, ds.it, ds.handler, ds.prio = s, it, handler, prio
+		err := owner.Exec(ds.fn)
+		ds.smm, ds.it, ds.handler, ds.proc = nil, bufItem{}, nil, Proc{}
+		dispatchStatePool.Put(ds)
 		if err != nil {
 			s.owner.app.reportError(fmt.Errorf("core: %q handler: %w", in.qname, err))
 		}
@@ -766,27 +854,38 @@ func (s *SMM) process(h Handler, p *Proc, msg Message) (err error) {
 // sendHandoff implements the handoff pattern: the sending thread leaves its
 // own scope via the common ancestor (the SMM's area, already on its scope
 // stack) and enters the receiver's area to run the handler synchronously.
-func (s *SMM) sendHandoff(p *OutPort, proc *Proc, msg Message, prio sched.Priority, dests []string) error {
+func (s *SMM) sendHandoff(p *OutPort, proc *Proc, msg Message, prio sched.Priority, rs *routeSet) error {
 	var firstErr error
-	for _, dest := range dests {
-		in, owner, err := s.resolveIn(dest)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+	for i := range rs.routes {
+		r := &rs.routes[i]
+		in := r.in
+		var owner *Component
+		if in != nil {
+			if o, _ := in.binding(); o != nil && o.addPending() {
+				owner = o
 			}
-			continue
+		}
+		if owner == nil {
+			var err error
+			in, owner, err = s.resolveIn(r.dest)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
 		}
 		if in.typ.Name != p.typ.Name {
 			owner.donePending()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: %q sends %q, %q accepts %q",
-					ErrTypeMismatch, p.qname, p.typ.Name, dest, in.typ.Name)
+					ErrTypeMismatch, p.qname, p.typ.Name, r.dest, in.typ.Name)
 			}
 			continue
 		}
 		owner.waitStarted()
 		_, handler := in.binding()
-		err = proc.ctx.ExecuteInArea(s.area, func(actx *memory.Context) error {
+		err := proc.ctx.ExecuteInArea(s.area, func(actx *memory.Context) error {
 			run := func(hctx *memory.Context) error {
 				return s.process(handler, &Proc{comp: owner, smm: s, ctx: hctx, prio: prio}, msg)
 			}
@@ -795,29 +894,25 @@ func (s *SMM) sendHandoff(p *OutPort, proc *Proc, msg Message, prio sched.Priori
 			}
 			return actx.Enter(owner.area, run)
 		})
-		in.mu.Lock()
-		in.received++
-		in.processed++
-		in.mu.Unlock()
+		in.received.Add(1)
+		in.processed.Add(1)
 		owner.donePending()
 		owner.maybeQuiesce()
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	s.poolFor(p.typ).put(msg)
+	p.msgPool().put(msg)
 	return firstErr
 }
 
 // shutdown drains and stops every pool owned by this SMM, then disposes
 // live children bottom-up.
 func (s *SMM) shutdown() {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
+	if s.stopped.Swap(true) {
 		return
 	}
-	s.stopped = true
+	s.mu.Lock()
 	pools := make([]*sched.Pool, len(s.pools))
 	copy(pools, s.pools)
 	s.mu.Unlock()

@@ -128,12 +128,17 @@ func NewPingPong(cfg PingPongConfig) (*PingPong, error) {
 			Name: "Client", MemorySize: 1 << 15,
 			UsePool: cfg.UseScopePool, Persistent: cfg.Persistent,
 			Setup: func(cl *core.Component) error {
+				// Register the Out port first and capture it in the handler
+				// closure: the steady-state hop does no port lookup per
+				// message.
+				p3, err := core.AddOutPort(cl, smm, core.OutPortConfig{
+					Name: "P3", Type: pingType, Dests: []string{"Server.P4"},
+				})
+				if err != nil {
+					return err
+				}
 				p2 := port(core.HandlerFunc(func(p *core.Proc, m core.Message) error {
 					in := m.(*pingMsg)
-					p3, err := p.SMM().GetOutPort("Client.P3")
-					if err != nil {
-						return err
-					}
 					req, err := p3.GetMessage()
 					if err != nil {
 						return err
@@ -145,17 +150,12 @@ func NewPingPong(cfg PingPongConfig) (*PingPong, error) {
 				if _, err := core.AddInPort(cl, smm, p2); err != nil {
 					return err
 				}
-				if _, err := core.AddOutPort(cl, smm, core.OutPortConfig{
-					Name: "P3", Type: pingType, Dests: []string{"Server.P4"},
-				}); err != nil {
-					return err
-				}
 				p6 := port(core.HandlerFunc(func(p *core.Proc, m core.Message) error {
 					pp.done <- m.(*pingMsg).value
 					return nil
 				}), 20)
 				p6.Name = "P6"
-				_, err := core.AddInPort(cl, smm, p6)
+				_, err = core.AddInPort(cl, smm, p6)
 				return err
 			},
 		}
@@ -163,12 +163,14 @@ func NewPingPong(cfg PingPongConfig) (*PingPong, error) {
 			Name: "Server", MemorySize: 1 << 15,
 			UsePool: cfg.UseScopePool, Persistent: cfg.Persistent,
 			Setup: func(sv *core.Component) error {
+				p5, err := core.AddOutPort(sv, smm, core.OutPortConfig{
+					Name: "P5", Type: pingType, Dests: []string{"Client.P6"},
+				})
+				if err != nil {
+					return err
+				}
 				p4 := port(core.HandlerFunc(func(p *core.Proc, m core.Message) error {
 					in := m.(*pingMsg)
-					p5, err := p.SMM().GetOutPort("Server.P5")
-					if err != nil {
-						return err
-					}
 					rep, err := p5.GetMessage()
 					if err != nil {
 						return err
@@ -177,12 +179,7 @@ func NewPingPong(cfg PingPongConfig) (*PingPong, error) {
 					return sendVia(p5, p, rep, 3)
 				}), 20)
 				p4.Name = "P4"
-				if _, err := core.AddInPort(sv, smm, p4); err != nil {
-					return err
-				}
-				_, err := core.AddOutPort(sv, smm, core.OutPortConfig{
-					Name: "P5", Type: pingType, Dests: []string{"Client.P6"},
-				})
+				_, err = core.AddInPort(sv, smm, p4)
 				return err
 			},
 		}

@@ -1,0 +1,36 @@
+package giop
+
+import "sync"
+
+// Buffer is a pooled scratch buffer for building or receiving full GIOP
+// messages. Both ORBs in this repository (the Compadres ORB and the RTZen
+// baseline) draw their marshalling scratch space from the shared pool, so a
+// steady-state request/reply cycle reuses warmed buffers instead of
+// allocating per message.
+type Buffer struct {
+	// B is the byte slice; append to it and reslice freely. PutBuffer
+	// truncates it to zero length but keeps the capacity.
+	B []byte
+}
+
+// bufferInitialCap sizes fresh pool buffers generously enough for the echo
+// payloads of the paper's experiments (≤1 KiB) without a growth step.
+const bufferInitialCap = 2048
+
+var bufferPool = sync.Pool{New: func() any {
+	return &Buffer{B: make([]byte, 0, bufferInitialCap)}
+}}
+
+// GetBuffer takes a scratch buffer from the pool. The returned buffer has
+// zero length and at least bufferInitialCap capacity on first use; recycled
+// buffers keep whatever capacity they grew to.
+func GetBuffer() *Buffer {
+	return bufferPool.Get().(*Buffer)
+}
+
+// PutBuffer returns a scratch buffer to the pool. The caller must not use
+// b.B (or anything aliasing it) afterwards.
+func PutBuffer(b *Buffer) {
+	b.B = b.B[:0]
+	bufferPool.Put(b)
+}

@@ -57,11 +57,15 @@ var (
 )
 
 // Encoder marshals values into an aligned CDR stream. The zero value is not
-// usable; construct with NewEncoder. Alignment is relative to the start of
-// the stream, as for a CDR encapsulation.
+// usable; construct with NewEncoder or arm a reused value with Reset.
+// Alignment is relative to the stream origin (base), so an encoder can write
+// a CDR encapsulation in place at any offset of a larger buffer — the
+// message marshallers use this to build header and body in one pass with no
+// intermediate copy.
 type Encoder struct {
 	order ByteOrder
 	buf   []byte
+	base  int // buffer offset of the stream origin; alignment is relative to it
 }
 
 // NewEncoder returns an encoder with the given byte order. The initial
@@ -71,18 +75,28 @@ func NewEncoder(order ByteOrder, buf []byte) *Encoder {
 	return &Encoder{order: order, buf: buf[:0]}
 }
 
-// Bytes returns the encoded stream.
+// Reset re-arms the encoder to append a new stream to buf with the given
+// byte order, treating the current end of buf as the stream origin for
+// alignment. It lets one Encoder value (stack-allocated or pooled) serve any
+// number of messages without reallocating.
+func (e *Encoder) Reset(order ByteOrder, buf []byte) {
+	e.order, e.buf, e.base = order, buf, len(buf)
+}
+
+// Bytes returns the whole backing buffer, including anything that preceded
+// the stream origin.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
-// Len returns the number of bytes encoded so far.
-func (e *Encoder) Len() int { return len(e.buf) }
+// Len returns the number of bytes encoded since the stream origin.
+func (e *Encoder) Len() int { return len(e.buf) - e.base }
 
 // Order returns the encoder's byte order.
 func (e *Encoder) Order() ByteOrder { return e.order }
 
-// align pads the stream so the next value starts at a multiple of n.
+// align pads the stream so the next value starts at a multiple of n from the
+// stream origin.
 func (e *Encoder) align(n int) {
-	for len(e.buf)%n != 0 {
+	for (len(e.buf)-e.base)%n != 0 {
 		e.buf = append(e.buf, 0)
 	}
 }

@@ -44,52 +44,77 @@ type LocateReply struct {
 	Status LocateStatus
 }
 
-// MarshalLocateRequest encodes a full LocateRequest message into buf.
+// MarshalLocateRequest encodes a full LocateRequest message into buf, in
+// place (see MarshalRequest).
 func MarshalLocateRequest(buf []byte, order ByteOrder, req *LocateRequest) []byte {
-	body := NewEncoder(order, nil)
-	body.WriteULong(req.RequestID)
-	body.WriteOctetSeq(req.ObjectKey)
-	buf = AppendHeader(buf, Header{Type: MsgLocateRequest, Order: order, Size: uint32(body.Len())})
-	return append(buf, body.Bytes()...)
+	start := len(buf)
+	buf = AppendHeader(buf, Header{Type: MsgLocateRequest, Order: order})
+	var e Encoder
+	e.Reset(order, buf)
+	e.WriteULong(req.RequestID)
+	e.WriteOctetSeq(req.ObjectKey)
+	buf = e.buf
+	patchSize(buf, start, order)
+	return buf
 }
 
-// UnmarshalLocateRequest decodes a LocateRequest body. The ObjectKey
+// DecodeLocateRequest decodes a LocateRequest body into req. The ObjectKey
 // aliases body.
-func UnmarshalLocateRequest(order ByteOrder, body []byte) (*LocateRequest, error) {
-	d := NewDecoder(order, body)
-	var req LocateRequest
+func DecodeLocateRequest(order ByteOrder, body []byte, req *LocateRequest) error {
+	d := Decoder{order: order, buf: body}
 	var err error
 	if req.RequestID, err = d.ReadULong(); err != nil {
-		return nil, err
+		return err
 	}
 	if req.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// UnmarshalLocateRequest decodes a LocateRequest body into a fresh struct.
+func UnmarshalLocateRequest(order ByteOrder, body []byte) (*LocateRequest, error) {
+	var req LocateRequest
+	if err := DecodeLocateRequest(order, body, &req); err != nil {
 		return nil, err
 	}
 	return &req, nil
 }
 
-// MarshalLocateReply encodes a full LocateReply message into buf.
+// MarshalLocateReply encodes a full LocateReply message into buf, in place.
 func MarshalLocateReply(buf []byte, order ByteOrder, rep *LocateReply) []byte {
-	body := NewEncoder(order, nil)
-	body.WriteULong(rep.RequestID)
-	body.WriteULong(uint32(rep.Status))
-	buf = AppendHeader(buf, Header{Type: MsgLocateReply, Order: order, Size: uint32(body.Len())})
-	return append(buf, body.Bytes()...)
+	start := len(buf)
+	buf = AppendHeader(buf, Header{Type: MsgLocateReply, Order: order})
+	var e Encoder
+	e.Reset(order, buf)
+	e.WriteULong(rep.RequestID)
+	e.WriteULong(uint32(rep.Status))
+	buf = e.buf
+	patchSize(buf, start, order)
+	return buf
 }
 
-// UnmarshalLocateReply decodes a LocateReply body.
-func UnmarshalLocateReply(order ByteOrder, body []byte) (*LocateReply, error) {
-	d := NewDecoder(order, body)
-	var rep LocateReply
+// DecodeLocateReply decodes a LocateReply body into rep.
+func DecodeLocateReply(order ByteOrder, body []byte, rep *LocateReply) error {
+	d := Decoder{order: order, buf: body}
 	id, err := d.ReadULong()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	status, err := d.ReadULong()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rep.RequestID = id
 	rep.Status = LocateStatus(status)
+	return nil
+}
+
+// UnmarshalLocateReply decodes a LocateReply body into a fresh struct.
+func UnmarshalLocateReply(order ByteOrder, body []byte) (*LocateReply, error) {
+	var rep LocateReply
+	if err := DecodeLocateReply(order, body, &rep); err != nil {
+		return nil, err
+	}
 	return &rep, nil
 }

@@ -165,108 +165,140 @@ type Reply struct {
 	Payload []byte
 }
 
-// MarshalRequest encodes a full Request message (header + body) into buf.
-func MarshalRequest(buf []byte, order ByteOrder, req *Request) []byte {
-	body := NewEncoder(order, nil)
-	body.WriteULong(0) // service context: empty sequence
-	body.WriteULong(req.RequestID)
-	body.WriteBool(req.ResponseExpected)
-	body.WriteOctetSeq(req.ObjectKey)
-	body.WriteString(req.Operation)
-	body.WriteULong(0) // principal: empty sequence
-	body.WriteOctet(req.Priority)
-	body.align(8) // body payload starts 8-aligned for simple demarshalling
-	bodyLen := body.Len() + len(req.Payload)
-
-	buf = AppendHeader(buf, Header{Type: MsgRequest, Order: order, Size: uint32(bodyLen)})
-	buf = append(buf, body.Bytes()...)
-	return append(buf, req.Payload...)
+// patchSize back-fills the Size field of the header that starts at offset
+// start, once the body length is known.
+func patchSize(buf []byte, start int, order ByteOrder) {
+	order.order().PutUint32(buf[start+8:start+12], uint32(len(buf)-start-HeaderSize))
 }
 
-// UnmarshalRequest decodes a request body (excluding the 12-byte header).
-// The returned Request's ObjectKey and Payload alias body.
-func UnmarshalRequest(order ByteOrder, body []byte) (*Request, error) {
-	d := NewDecoder(order, body)
+// MarshalRequest encodes a full Request message (header + body) into buf.
+// The body is written in place after the header — no intermediate encoder
+// buffer — and the header's size field patched afterwards, so marshalling
+// into a buffer with sufficient capacity performs no allocation.
+func MarshalRequest(buf []byte, order ByteOrder, req *Request) []byte {
+	start := len(buf)
+	buf = AppendHeader(buf, Header{Type: MsgRequest, Order: order})
+	var e Encoder
+	e.Reset(order, buf)
+	e.WriteULong(0) // service context: empty sequence
+	e.WriteULong(req.RequestID)
+	e.WriteBool(req.ResponseExpected)
+	e.WriteOctetSeq(req.ObjectKey)
+	e.WriteString(req.Operation)
+	e.WriteULong(0) // principal: empty sequence
+	e.WriteOctet(req.Priority)
+	e.align(8) // body payload starts 8-aligned for simple demarshalling
+	buf = append(e.buf, req.Payload...)
+	patchSize(buf, start, order)
+	return buf
+}
+
+// DecodeRequest decodes a request body (excluding the 12-byte header) into
+// req, overwriting every field. ObjectKey and Payload alias body.
+func DecodeRequest(order ByteOrder, body []byte, req *Request) error {
+	d := Decoder{order: order, buf: body}
 	nctx, err := d.ReadULong()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint32(0); i < nctx; i++ { // skip service contexts
 		if _, err := d.ReadULong(); err != nil { // context id
-			return nil, err
+			return err
 		}
 		if _, err := d.ReadOctetSeq(); err != nil { // context data
-			return nil, err
+			return err
 		}
 	}
-	var req Request
 	if req.RequestID, err = d.ReadULong(); err != nil {
-		return nil, err
+		return err
 	}
 	if req.ResponseExpected, err = d.ReadBool(); err != nil {
-		return nil, err
+		return err
 	}
 	if req.ObjectKey, err = d.ReadOctetSeq(); err != nil {
-		return nil, err
+		return err
 	}
 	if req.Operation, err = d.ReadString(); err != nil {
-		return nil, err
+		return err
 	}
 	if _, err = d.ReadOctetSeq(); err != nil { // principal
-		return nil, err
+		return err
 	}
 	if req.Priority, err = d.ReadOctet(); err != nil {
-		return nil, err
+		return err
 	}
 	d.align(8)
+	req.Payload = nil
 	if d.Remaining() > 0 {
 		req.Payload = body[d.Pos():]
+	}
+	return nil
+}
+
+// UnmarshalRequest decodes a request body into a fresh Request. Prefer
+// DecodeRequest with a reused struct on hot paths.
+func UnmarshalRequest(order ByteOrder, body []byte) (*Request, error) {
+	var req Request
+	if err := DecodeRequest(order, body, &req); err != nil {
+		return nil, err
 	}
 	return &req, nil
 }
 
-// MarshalReply encodes a full Reply message (header + body) into buf.
+// MarshalReply encodes a full Reply message (header + body) into buf, in
+// place like MarshalRequest.
 func MarshalReply(buf []byte, order ByteOrder, rep *Reply) []byte {
-	body := NewEncoder(order, nil)
-	body.WriteULong(0) // service context: empty sequence
-	body.WriteULong(rep.RequestID)
-	body.WriteULong(uint32(rep.Status))
-	body.align(8)
-	bodyLen := body.Len() + len(rep.Payload)
-
-	buf = AppendHeader(buf, Header{Type: MsgReply, Order: order, Size: uint32(bodyLen)})
-	buf = append(buf, body.Bytes()...)
-	return append(buf, rep.Payload...)
+	start := len(buf)
+	buf = AppendHeader(buf, Header{Type: MsgReply, Order: order})
+	var e Encoder
+	e.Reset(order, buf)
+	e.WriteULong(0) // service context: empty sequence
+	e.WriteULong(rep.RequestID)
+	e.WriteULong(uint32(rep.Status))
+	e.align(8)
+	buf = append(e.buf, rep.Payload...)
+	patchSize(buf, start, order)
+	return buf
 }
 
-// UnmarshalReply decodes a reply body (excluding the header). The returned
-// Reply's Payload aliases body.
-func UnmarshalReply(order ByteOrder, body []byte) (*Reply, error) {
-	d := NewDecoder(order, body)
+// DecodeReply decodes a reply body (excluding the header) into rep,
+// overwriting every field. Payload aliases body.
+func DecodeReply(order ByteOrder, body []byte, rep *Reply) error {
+	d := Decoder{order: order, buf: body}
 	nctx, err := d.ReadULong()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint32(0); i < nctx; i++ {
 		if _, err := d.ReadULong(); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := d.ReadOctetSeq(); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	var rep Reply
 	if rep.RequestID, err = d.ReadULong(); err != nil {
-		return nil, err
+		return err
 	}
 	status, err := d.ReadULong()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rep.Status = ReplyStatus(status)
 	d.align(8)
+	rep.Payload = nil
 	if d.Remaining() > 0 {
 		rep.Payload = body[d.Pos():]
+	}
+	return nil
+}
+
+// UnmarshalReply decodes a reply body into a fresh Reply. Prefer DecodeReply
+// with a reused struct on hot paths.
+func UnmarshalReply(order ByteOrder, body []byte) (*Reply, error) {
+	var rep Reply
+	if err := DecodeReply(order, body, &rep); err != nil {
+		return nil, err
 	}
 	return &rep, nil
 }

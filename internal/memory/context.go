@@ -89,6 +89,34 @@ func (c *Context) Enter(a *Area, fn func(*Context) error) error {
 	return fn(c)
 }
 
+// EnterChain pushes every area in areas onto the scope stack in order
+// (outermost first), runs fn with the context current in the last area, then
+// pops and exits them innermost-first. It is semantically equivalent to the
+// same sequence of nested Enter calls, without the per-level closures — the
+// steady-state dispatch path uses it with a component's cached ancestor
+// chain so entering an N-deep scope costs no allocation.
+func (c *Context) EnterChain(areas []*Area, fn func(*Context) error) (err error) {
+	entered := 0
+	defer func() {
+		for ; entered > 0; entered-- {
+			top := c.stack[len(c.stack)-1]
+			c.stack = c.stack[:len(c.stack)-1]
+			top.exit()
+		}
+	}()
+	for _, a := range areas {
+		if c.noHeap && a.kind == KindHeap {
+			return fmt.Errorf("%w: enter %q", ErrHeapAccess, a.name)
+		}
+		if err := a.enter(c.Current()); err != nil {
+			return err
+		}
+		c.stack = append(c.stack, a)
+		entered++
+	}
+	return fn(c)
+}
+
 // ExecuteInArea runs fn with the context's allocation area temporarily
 // switched to a, without pushing a new scope. As in RTSJ, a must already be
 // on the context's scope stack or be a primordial (heap/immortal) area;

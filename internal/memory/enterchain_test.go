@@ -1,0 +1,86 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestEnterChainEquivalentToNestedEnter checks that EnterChain produces the
+// same stack, allocation area, and reclamation behaviour as the equivalent
+// nested Enter calls.
+func TestEnterChainEquivalentToNestedEnter(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("a", 4096)
+	b := m.NewLTScoped("b", 4096)
+	c := m.NewLTScoped("c", 4096)
+
+	ctx := m.NewNoHeapContext()
+	err := ctx.EnterChain([]*Area{a, b, c}, func(ic *Context) error {
+		if ic.Current() != c {
+			t.Errorf("current area = %q, want %q", ic.Current().Name(), c.Name())
+		}
+		if ic.Depth() != 4 { // immortal + a + b + c
+			t.Errorf("depth = %d, want 4", ic.Depth())
+		}
+		if _, err := ic.Alloc(100); err != nil {
+			t.Errorf("alloc in chained scope: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Depth() != 1 {
+		t.Fatalf("depth after EnterChain = %d, want 1", ctx.Depth())
+	}
+	// All three scopes were exited by their last holder and reclaimed.
+	if used := c.Used(); used != 0 {
+		t.Errorf("innermost scope holds %d bytes after exit; want reclaimed", used)
+	}
+}
+
+// TestEnterChainUnwindsOnFailure checks a mid-chain failure exits the areas
+// already entered.
+func TestEnterChainUnwindsOnFailure(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("a", 4096)
+	b := m.NewLTScoped("b", 4096)
+
+	// Give b a different active parent so entering it under a violates the
+	// single-parent rule.
+	other := m.NewContext()
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		_ = other.Enter(b, func(*Context) error { close(held); <-hold; return nil })
+	}()
+	<-held
+
+	ctx := m.NewNoHeapContext()
+	err := ctx.EnterChain([]*Area{a, b}, func(*Context) error {
+		t.Error("fn ran despite a failed chain entry")
+		return nil
+	})
+	if !errors.Is(err, ErrScopedCycle) {
+		t.Fatalf("err = %v, want ErrScopedCycle", err)
+	}
+	if ctx.Depth() != 1 {
+		t.Fatalf("depth after failed EnterChain = %d, want 1 (a exited)", ctx.Depth())
+	}
+	close(hold)
+}
+
+// TestEnterChainRejectsHeapForNoHeap checks the no-heap rule applies to
+// every link of the chain.
+func TestEnterChainRejectsHeapForNoHeap(t *testing.T) {
+	m := NewModel(Config{})
+	a := m.NewLTScoped("a", 4096)
+	ctx := m.NewNoHeapContext()
+	err := ctx.EnterChain([]*Area{a, m.Heap()}, func(*Context) error { return nil })
+	if !errors.Is(err, ErrHeapAccess) {
+		t.Fatalf("err = %v, want ErrHeapAccess", err)
+	}
+	if ctx.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", ctx.Depth())
+	}
+}

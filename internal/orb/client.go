@@ -177,7 +177,7 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 					return err
 				}
 				out := fwd.(*invokeMsg)
-				*out = *in
+				out.copyFrom(in)
 				if err := toMP.Send(fwd, in.prio); err != nil {
 					in.done <- invokeResult{err: err}
 					return err
@@ -258,7 +258,7 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 	wire := giop.MarshalRequest(wireBuf[:0], cl.order, &giop.Request{
 		RequestID:        in.id,
 		ResponseExpected: !in.oneway,
-		ObjectKey:        []byte(in.key),
+		ObjectKey:        in.keyBuf,
 		Operation:        in.op,
 		Priority:         byte(in.prio),
 		Payload:          in.payload,
@@ -295,8 +295,8 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 	if h.Type != giop.MsgReply {
 		return invokeResult{err: fmt.Errorf("orb client: unexpected %v message", h.Type)}
 	}
-	rep, err := giop.UnmarshalReply(h.Order, body)
-	if err != nil {
+	var rep giop.Reply
+	if err := giop.DecodeReply(h.Order, body, &rep); err != nil {
 		return invokeResult{err: err}
 	}
 	if rep.RequestID != in.id {
@@ -315,6 +315,11 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 	}
 }
 
+// doneChanPool recycles completion channels across Invoke calls. A channel
+// returns to the pool only after its single result has been received, so a
+// recycled channel is always empty.
+var doneChanPool = sync.Pool{New: func() any { return make(chan invokeResult, 1) }}
+
 // Invoke performs one synchronous request/reply at the given priority. The
 // payload is not retained past the call.
 func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([]byte, error) {
@@ -327,14 +332,19 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 	}
 	m := msg.(*invokeMsg)
 	m.id = cl.nextID.Add(1)
-	m.key, m.op, m.payload, m.prio = key, op, payload, prio
+	m.setKey(key)
+	m.op, m.payload, m.prio = op, payload, prio
 	m.oneway = false
-	done := make(chan invokeResult, 1)
+	done := doneChanPool.Get().(chan invokeResult)
 	m.done = done
 	if err := cl.invoke.Send(msg, prio); err != nil {
+		// The message never reached a handler, so nothing will write to the
+		// channel; it is safe to recycle.
+		doneChanPool.Put(done)
 		return nil, err
 	}
 	res := <-done
+	doneChanPool.Put(done)
 	return res.payload, res.err
 }
 
@@ -354,21 +364,25 @@ func (cl *Client) Locate(key string) (bool, error) {
 		return false, fmt.Errorf("%w: transport not yet connected; invoke first", corba.ErrClosed)
 	}
 	id := cl.nextID.Add(1)
-	wire := giop.MarshalLocateRequest(nil, cl.order, &giop.LocateRequest{
+	wb := giop.GetBuffer()
+	defer giop.PutBuffer(wb)
+	wb.B = giop.MarshalLocateRequest(wb.B, cl.order, &giop.LocateRequest{
 		RequestID: id, ObjectKey: []byte(key),
 	})
-	if _, err := conn.Write(wire); err != nil {
+	if _, err := conn.Write(wb.B); err != nil {
 		return false, fmt.Errorf("orb client: locate write: %w", err)
 	}
-	h, body, err := giop.ReadMessageLimited(conn, nil, uint32(cl.maxMsg))
+	rb := giop.GetBuffer()
+	defer giop.PutBuffer(rb)
+	h, body, err := giop.ReadMessageLimited(conn, rb.B, uint32(cl.maxMsg))
 	if err != nil {
 		return false, fmt.Errorf("orb client: locate read: %w", err)
 	}
 	if h.Type != giop.MsgLocateReply {
 		return false, fmt.Errorf("orb client: unexpected %v message", h.Type)
 	}
-	rep, err := giop.UnmarshalLocateReply(h.Order, body)
-	if err != nil {
+	var rep giop.LocateReply
+	if err := giop.DecodeLocateReply(h.Order, body, &rep); err != nil {
 		return false, err
 	}
 	if rep.RequestID != id {
@@ -388,14 +402,17 @@ func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priori
 	}
 	m := msg.(*invokeMsg)
 	m.id = cl.nextID.Add(1)
-	m.key, m.op, m.payload, m.prio = key, op, payload, prio
+	m.setKey(key)
+	m.op, m.payload, m.prio = op, payload, prio
 	m.oneway = true
-	done := make(chan invokeResult, 1)
+	done := doneChanPool.Get().(chan invokeResult)
 	m.done = done
 	if err := cl.invoke.Send(msg, prio); err != nil {
+		doneChanPool.Put(done)
 		return err
 	}
 	res := <-done
+	doneChanPool.Put(done)
 	return res.err
 }
 

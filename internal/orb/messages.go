@@ -13,11 +13,14 @@ type invokeResult struct {
 }
 
 // invokeMsg travels from the client ORB component through the Transport to
-// the MessageProcessing component. Each Invoke installs a fresh done
+// the MessageProcessing component. Each Invoke installs its own done
 // channel, so pooled reuse cannot cross replies between concurrent callers.
+// keyBuf is a message-owned copy of the object key bytes (capacity reused
+// across pool cycles) so marshalling needs no string→[]byte conversion.
 type invokeMsg struct {
 	id      uint32
 	key     string
+	keyBuf  []byte
 	op      string
 	payload []byte
 	oneway  bool
@@ -25,9 +28,28 @@ type invokeMsg struct {
 	done    chan invokeResult
 }
 
-// Reset implements core.Message.
+// Reset implements core.Message; it keeps keyBuf's capacity so pooled
+// messages stop allocating in steady state.
 func (m *invokeMsg) Reset() {
+	kb := m.keyBuf[:0]
 	*m = invokeMsg{}
+	m.keyBuf = kb
+}
+
+// setKey records the object key, copying its bytes into the message-owned
+// buffer.
+func (m *invokeMsg) setKey(key string) {
+	m.key = key
+	m.keyBuf = append(m.keyBuf[:0], key...)
+}
+
+// copyFrom copies an invocation between pooled messages, keeping the
+// destination's own key buffer (the source message is recycled as soon as
+// its handler returns, while the copy may still be marshalling).
+func (m *invokeMsg) copyFrom(src *invokeMsg) {
+	kb := m.keyBuf
+	*m = *src
+	m.keyBuf = append(kb[:0], src.keyBuf...)
 }
 
 var invokeType = core.MessageType{

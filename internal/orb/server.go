@@ -41,7 +41,11 @@ type Server struct {
 	ln     transport.Listener
 	maxMsg int
 
-	servants sync.Map // string -> corba.Servant
+	// servants is copy-on-write: lookups (per request, keyed by the raw
+	// ObjectKey bytes) read a plain map through one atomic load, which lets
+	// the compiler elide the []byte→string conversion; registration swaps in
+	// a fresh copy under mu.
+	servants atomic.Pointer[map[string]corba.Servant]
 
 	mu      sync.Mutex
 	conns   []*serverConn
@@ -168,7 +172,28 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // RegisterServant binds a servant to an object key.
 func (s *Server) RegisterServant(key string, sv corba.Servant) {
-	s.servants.Store(key, sv)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var old map[string]corba.Servant
+	if p := s.servants.Load(); p != nil {
+		old = *p
+	}
+	m := make(map[string]corba.Servant, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[key] = sv
+	s.servants.Store(&m)
+}
+
+// servant resolves an object key without copying it to a string on the heap.
+func (s *Server) servant(key []byte) (corba.Servant, bool) {
+	p := s.servants.Load()
+	if p == nil {
+		return nil, false
+	}
+	sv, ok := (*p)[string(key)]
+	return sv, ok
 }
 
 // Addr returns the bound listen address.
@@ -302,19 +327,22 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 		case giop.MsgLocateRequest:
 			// Locate is a transport-level probe; answer on the reader
 			// thread without entering the component structure.
-			req, err := giop.UnmarshalLocateRequest(h.Order, body)
-			if err != nil {
+			var req giop.LocateRequest
+			if err := giop.DecodeLocateRequest(h.Order, body, &req); err != nil {
 				sc.conn.Close()
 				return
 			}
 			status := giop.LocateUnknownObject
-			if _, ok := s.servants.Load(string(req.ObjectKey)); ok {
+			if _, ok := s.servant(req.ObjectKey); ok {
 				status = giop.LocateObjectHere
 			}
-			wire := giop.MarshalLocateReply(nil, h.Order, &giop.LocateReply{
+			wb := giop.GetBuffer()
+			wb.B = giop.MarshalLocateReply(wb.B, h.Order, &giop.LocateReply{
 				RequestID: req.RequestID, Status: status,
 			})
-			if err := sc.write(wire); err != nil {
+			err := sc.write(wb.B)
+			giop.PutBuffer(wb)
+			if err != nil {
 				sc.conn.Close()
 				return
 			}
@@ -333,8 +361,8 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 // the pool) when the component quiesces.
 func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 	m := msg.(*requestMsg)
-	req, err := giop.UnmarshalRequest(m.order, m.raw)
-	if err != nil {
+	var req giop.Request
+	if err := giop.DecodeRequest(m.order, m.raw, &req); err != nil {
 		return fmt.Errorf("orb server: demarshal: %w", err)
 	}
 
@@ -342,12 +370,12 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 		status  giop.ReplyStatus
 		payload []byte
 	)
-	sv, ok := s.servants.Load(string(req.ObjectKey))
+	sv, ok := s.servant(req.ObjectKey)
 	if !ok {
 		status = giop.ReplySystemException
 		payload = []byte(corba.ErrNoServant.Error())
 	} else {
-		out, err := invokeServant(sv.(corba.Servant), req)
+		out, err := invokeServant(sv, &req)
 		if err != nil {
 			status = giop.ReplyUserException
 			payload = []byte(err.Error())

@@ -10,13 +10,22 @@
 // with Max == 0 executes submissions synchronously on the caller, matching
 // the paper's "if these values are 0, the calling thread executes the
 // process() method of the In port synchronously".
+//
+// The pending queue is a fixed array of per-priority FIFO rings — one ring
+// per RTSJ priority level — plus a bitmask of non-empty levels. Selecting
+// the next task is a single find-highest-set-bit over the mask, which for
+// the 31-level band is both faster and more predictable than a binary heap,
+// and a ring dequeue is O(1) with no sifting. Submission from the steady
+// state allocates nothing: the rings keep their capacity and the task is a
+// plain function value.
 package sched
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Priority is an RTSJ-style real-time priority. Higher values run first.
@@ -28,6 +37,14 @@ const (
 	NormPriority Priority = 15
 	MaxPriority  Priority = 31
 )
+
+// numPriorities is the size of the real-time priority band.
+const numPriorities = int(MaxPriority-MinPriority) + 1
+
+// ringInitialCap is the slot count a priority ring starts with the first
+// time that level is used; rings grow by doubling and never shrink, so the
+// steady state enqueues without allocating.
+const ringInitialCap = 8
 
 // ErrPoolShutdown reports a Submit after Shutdown.
 var ErrPoolShutdown = errors.New("sched: pool is shut down")
@@ -67,14 +84,20 @@ type Pool struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    taskHeap
-	seq      uint64
+	rings    [numPriorities]ring // index 0 = MinPriority
+	mask     uint32              // bit i set ⇔ rings[i] non-empty
+	queued   int
 	workers  int
 	idle     int
 	shutdown bool
 	done     sync.WaitGroup
 
-	stats PoolStats
+	// Activity counters are atomics so the hot paths (synchronous Submit,
+	// post-task accounting) never take the pool mutex for bookkeeping.
+	executed atomic.Int64
+	spawned  atomic.Int64
+	maxQueue atomic.Int64
+	stopped  atomic.Bool // mirrors shutdown for lock-free reads
 }
 
 // PoolStats is a snapshot of pool activity.
@@ -107,9 +130,11 @@ func NewPool(cfg PoolConfig) *Pool {
 	p := &Pool{name: cfg.Name, min: minWorkers, max: maxWorkers}
 	p.cond = sync.NewCond(&p.mu)
 	if p.max > 0 {
+		p.mu.Lock()
 		for i := 0; i < p.min; i++ {
 			p.spawnLocked()
 		}
+		p.mu.Unlock()
 	}
 	return p
 }
@@ -126,13 +151,10 @@ func (p *Pool) Synchronous() bool { return p.max == 0 }
 func (p *Pool) Submit(prio Priority, fn func(Priority)) error {
 	prio = prio.Clamp()
 	if p.max == 0 {
-		p.mu.Lock()
-		if p.shutdown {
-			p.mu.Unlock()
+		if p.stopped.Load() {
 			return ErrPoolShutdown
 		}
-		p.stats.Executed++
-		p.mu.Unlock()
+		p.executed.Add(1)
 		fn(prio)
 		return nil
 	}
@@ -142,14 +164,24 @@ func (p *Pool) Submit(prio Priority, fn func(Priority)) error {
 		p.mu.Unlock()
 		return ErrPoolShutdown
 	}
-	p.seq++
-	heap.Push(&p.queue, task{prio: prio, seq: p.seq, fn: fn})
-	if len(p.queue) > p.stats.MaxQueue {
-		p.stats.MaxQueue = len(p.queue)
+	idx := int(prio - MinPriority)
+	p.rings[idx].push(fn)
+	p.mask |= 1 << uint(idx)
+	p.queued++
+	if q := int64(p.queued); q > p.maxQueue.Load() {
+		p.maxQueue.Store(q)
 	}
-	// Grow when there is backlog that idle workers will not absorb.
-	if p.idle == 0 && p.workers < p.max {
-		p.spawnLocked()
+	// Grow toward min(max, backlog): spawn enough workers to cover every
+	// queued task the currently idle workers will not absorb. Growing only
+	// when idle == 0 under-provisions a burst — an idle-but-not-yet-woken
+	// worker suppresses every spawn while the backlog deepens.
+	if n := p.queued - p.idle; n > 0 {
+		if room := p.max - p.workers; n > room {
+			n = room
+		}
+		for ; n > 0; n-- {
+			p.spawnLocked()
+		}
 	}
 	p.mu.Unlock()
 	p.cond.Signal()
@@ -166,6 +198,7 @@ func (p *Pool) Shutdown() {
 		return
 	}
 	p.shutdown = true
+	p.stopped.Store(true)
 	p.mu.Unlock()
 	p.cond.Broadcast()
 	p.done.Wait()
@@ -174,11 +207,15 @@ func (p *Pool) Shutdown() {
 // Stats returns a snapshot of pool activity.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	s := p.stats
-	s.Workers = p.workers
-	s.Synchronous = p.max == 0
-	return s
+	workers := p.workers
+	p.mu.Unlock()
+	return PoolStats{
+		Workers:     workers,
+		Spawned:     p.spawned.Load(),
+		Executed:    p.executed.Load(),
+		MaxQueue:    int(p.maxQueue.Load()),
+		Synchronous: p.max == 0,
+	}
 }
 
 // String summarises the pool for diagnostics.
@@ -189,7 +226,7 @@ func (p *Pool) String() string {
 
 func (p *Pool) spawnLocked() {
 	p.workers++
-	p.stats.Spawned++
+	p.spawned.Add(1)
 	p.done.Add(1)
 	go p.run()
 }
@@ -198,50 +235,67 @@ func (p *Pool) run() {
 	defer p.done.Done()
 	for {
 		p.mu.Lock()
-		for len(p.queue) == 0 && !p.shutdown {
+		for p.mask == 0 && !p.shutdown {
 			p.idle++
 			p.cond.Wait()
 			p.idle--
 		}
-		if len(p.queue) == 0 && p.shutdown {
+		if p.mask == 0 && p.shutdown {
 			p.workers--
 			p.mu.Unlock()
 			return
 		}
-		t := heap.Pop(&p.queue).(task)
+		// Highest non-empty priority level: one find-MSB over the mask.
+		idx := 31 - bits.LeadingZeros32(p.mask)
+		fn := p.rings[idx].pop()
+		if p.rings[idx].empty() {
+			p.mask &^= 1 << uint(idx)
+		}
+		p.queued--
 		p.mu.Unlock()
 
-		t.fn(t.prio)
-
-		p.mu.Lock()
-		p.stats.Executed++
-		p.mu.Unlock()
+		fn(Priority(idx) + MinPriority)
+		p.executed.Add(1)
 	}
 }
 
-// task is one queued unit of work.
-type task struct {
-	prio Priority
-	seq  uint64
-	fn   func(Priority)
+// ring is a growable circular FIFO of tasks for one priority level. Slots
+// are reused in place, so a warmed ring enqueues and dequeues without
+// allocating.
+type ring struct {
+	buf  []func(Priority)
+	head int // index of the oldest element
+	n    int // number of queued elements
 }
 
-// taskHeap orders by descending priority, then FIFO by sequence.
-type taskHeap []task
+func (r *ring) empty() bool { return r.n == 0 }
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio > h[j].prio
+func (r *ring) push(fn func(Priority)) {
+	if r.n == len(r.buf) {
+		r.grow()
 	}
-	return h[i].seq < h[j].seq
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = fn
+	r.n++
 }
-func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(task)) }
-func (h *taskHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	*h = old[:n-1]
-	return t
+
+func (r *ring) pop() func(Priority) {
+	fn := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return fn
+}
+
+// grow doubles the ring (capacities stay powers of two so the index mask
+// works), copying the live window to the front.
+func (r *ring) grow() {
+	newCap := len(r.buf) * 2
+	if newCap == 0 {
+		newCap = ringInitialCap
+	}
+	nb := make([]func(Priority), newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
 }
