@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1
+.PHONY: all build vet test race bench-smoke verify bench1 allocguard
 
 all: build
 
@@ -13,8 +13,17 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+# race is the concurrency gate: everything must compile and vet clean, then
+# the full test suite runs under the race detector (the flight recorder,
+# sharded counters, and port/pool gauges are all exercised concurrently).
+race: build vet
 	$(GO) test -race ./...
+
+# allocguard compares the steady-state round trip's allocation profile with
+# telemetry recording on and off; both must be 0 allocs/op.
+allocguard:
+	$(GO) test -run TestSteadyStateRoundTripAllocFree .
+	$(GO) test -run='^$$' -bench=BenchmarkSteadyStateRoundTrip -benchtime=20000x .
 
 # bench-smoke runs every benchmark a handful of iterations — enough to
 # catch a bench that no longer compiles or errors out, without the cost of

@@ -28,6 +28,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rtzen"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -156,28 +157,78 @@ func benchMechanism(b *testing.B, mech core.Mechanism) {
 // in-process Fig. 6 round trip (shared-object mechanism, persistent
 // children, synchronous ports) after the pools are warm. The fast path —
 // cached routes, pooled envelopes/contexts/dispatch state, preallocated
-// buffers — must not allocate.
+// buffers — must not allocate, with telemetry recording or without; the
+// two sub-benchmarks make the counters' and flight recorder's overhead
+// directly comparable.
 func BenchmarkSteadyStateRoundTrip(b *testing.B) {
-	pp, err := experiments.NewPingPong(experiments.PingPongConfig{
-		Synchronous: true, Persistent: true,
-	})
-	if err != nil {
-		b.Fatal(err)
+	for _, variant := range []struct {
+		name string
+		on   bool
+	}{{"TelemetryOn", true}, {"TelemetryOff", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			telemetry.Enable(variant.on)
+			defer telemetry.Enable(true)
+			pp, err := experiments.NewPingPong(experiments.PingPongConfig{
+				Synchronous: true, Persistent: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pp.Close()
+			// Warm every pool (envelopes, contexts, dispatch states, route
+			// caches) before measuring.
+			for i := 0; i < 64; i++ {
+				if _, err := pp.RoundTrip(int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pp.RoundTrip(int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	defer pp.Close()
-	// Warm every pool (envelopes, contexts, dispatch states, route caches)
-	// before measuring.
-	for i := 0; i < 64; i++ {
-		if _, err := pp.RoundTrip(int64(i)); err != nil {
-			b.Fatal(err)
-		}
+}
+
+// TestSteadyStateRoundTripAllocFree is the benchmark guard: the warm round
+// trip must stay at zero allocations per operation whether telemetry records
+// or not, so `go test ./...` (not just a manual bench run) catches a
+// regression that puts an allocation on the fast path.
+func TestSteadyStateRoundTripAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the guard runs in the non-race suite")
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := pp.RoundTrip(int64(i)); err != nil {
-			b.Fatal(err)
-		}
+	for _, variant := range []struct {
+		name string
+		on   bool
+	}{{"TelemetryOn", true}, {"TelemetryOff", false}} {
+		t.Run(variant.name, func(t *testing.T) {
+			telemetry.Enable(variant.on)
+			defer telemetry.Enable(true)
+			pp, err := experiments.NewPingPong(experiments.PingPongConfig{
+				Synchronous: true, Persistent: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pp.Close()
+			seq := int64(0)
+			roundTrip := func() {
+				if _, err := pp.RoundTrip(seq); err != nil {
+					t.Fatal(err)
+				}
+				seq++
+			}
+			for i := 0; i < 64; i++ {
+				roundTrip()
+			}
+			if allocs := testing.AllocsPerRun(200, roundTrip); allocs != 0 {
+				t.Errorf("steady-state round trip allocates %.1f objects/op, want 0", allocs)
+			}
+		})
 	}
 }
 

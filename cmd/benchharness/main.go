@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,12 +29,35 @@ func main() {
 		obs        = flag.Int("observations", metrics.DefaultObservations, "steady-state observations per configuration")
 		warmup     = flag.Int("warmup", metrics.DefaultWarmup, "warm-up iterations discarded before measuring")
 		out        = flag.String("out", "BENCH_1.json", "output path for the bench1 snapshot")
+		telem      = flag.Bool("telemetry", true, "record runtime telemetry during experiments")
+		telemOut   = flag.String("telemetry-out", "", "write a telemetry JSON snapshot (with flight-recorder events) to this file after the run")
 	)
 	flag.Parse()
+	telemetry.Enable(*telem)
 	if err := run(*experiment, *warmup, *obs, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)
 	}
+	if *telemOut != "" {
+		if err := writeTelemetrySnapshot(*telemOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTelemetrySnapshot dumps the full registry — counters, gauges,
+// histograms, faults, and the flight recorder — as JSON.
+func writeTelemetrySnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Default.WriteJSON(f, telemetry.SnapshotOptions{Events: true}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(experiment string, warmup, obs int, out string) error {

@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -22,23 +24,39 @@ import (
 	"repro/internal/orb"
 	"repro/internal/rtzen"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "both", "server | client | both")
-		addr    = flag.String("addr", "127.0.0.1:0", "TCP address")
-		orbKind = flag.String("orb", "compadres", "compadres | rtzen")
-		size    = flag.Int("size", 256, "echo payload size in bytes")
-		n       = flag.Int("n", 1000, "measured round trips")
-		warmup  = flag.Int("warmup", 100, "warm-up round trips")
+		mode        = flag.String("mode", "both", "server | client | both")
+		addr        = flag.String("addr", "127.0.0.1:0", "TCP address")
+		orbKind     = flag.String("orb", "compadres", "compadres | rtzen")
+		size        = flag.Int("size", 256, "echo payload size in bytes")
+		n           = flag.Int("n", 1000, "measured round trips")
+		warmup      = flag.Int("warmup", 100, "warm-up round trips")
+		metricsAddr = flag.String("metrics", "", "serve telemetry on this HTTP address (/metrics, /snapshot.json, /trace?id=hex)")
+		telem       = flag.Bool("telemetry", true, "record counters, spans, and flight-recorder events")
 	)
 	flag.Parse()
-	if err := run(*mode, *addr, *orbKind, *size, *n, *warmup); err != nil {
+	telemetry.Enable(*telem)
+	if err := run(*mode, *addr, *orbKind, *size, *n, *warmup, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "orbdemo:", err)
 		os.Exit(1)
 	}
+}
+
+// serveMetrics binds the telemetry endpoint and serves it in the background
+// for the process's lifetime.
+func serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	fmt.Printf("telemetry at http://%s/metrics\n", ln.Addr())
+	go func() { _ = http.Serve(ln, telemetry.Handler()) }()
+	return nil
 }
 
 type echoServer interface {
@@ -89,7 +107,12 @@ func dialClient(orbKind, addr string) (echoClient, error) {
 	}
 }
 
-func run(mode, addr, orbKind string, size, n, warmup int) error {
+func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string) error {
+	if metricsAddr != "" {
+		if err := serveMetrics(metricsAddr); err != nil {
+			return err
+		}
+	}
 	switch mode {
 	case "server":
 		srv, err := startServer(orbKind, addr)
@@ -148,5 +171,37 @@ func runClient(orbKind, addr string, size, n, warmup int) error {
 	}
 	fmt.Printf("%s ORB, %d-byte echo over TCP %s: %s (total %v)\n",
 		orbKind, size, addr, summary, time.Since(start).Round(time.Millisecond))
+	printTelemetryDigest(orbKind)
 	return nil
+}
+
+// printTelemetryDigest shows the last round trip's stitched trace and the
+// headline counters — the observable proof that one invoke crossed client,
+// wire, and server under a single trace id.
+func printTelemetryDigest(orbKind string) {
+	if !telemetry.Enabled() {
+		return
+	}
+	spanLabel := "orb.client.invoke"
+	if orbKind == "rtzen" {
+		spanLabel = "rtzen.client.invoke"
+	}
+	var trace uint64
+	for _, ev := range telemetry.Default.Ring().Snapshot() {
+		if ev.Kind == telemetry.EvSpanStart && ev.Label == spanLabel {
+			trace = ev.Trace // oldest→newest: keep the last
+		}
+	}
+	fmt.Println()
+	if trace != 0 {
+		fmt.Println("last round trip, stitched from the flight recorder:")
+		_ = telemetry.Default.DumpTrace(os.Stdout, trace)
+	}
+	fmt.Println("\ncounters (full set at /metrics when -metrics is set):")
+	snap := telemetry.Default.Snapshot(telemetry.SnapshotOptions{})
+	for _, c := range snap.Counters {
+		if c.Value != 0 {
+			fmt.Printf("  %-28s %d\n", c.Name, c.Value)
+		}
+	}
 }

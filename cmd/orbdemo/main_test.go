@@ -1,27 +1,104 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
 
 func TestRunBothCompadres(t *testing.T) {
-	if err := run("both", "127.0.0.1:0", "compadres", 64, 50, 10); err != nil {
+	if err := run("both", "127.0.0.1:0", "compadres", 64, 50, 10, ""); err != nil {
 		t.Fatal(err)
+	}
+	// The run must leave a stitched trace and live counters behind — the
+	// demo's observability contract.
+	var trace uint64
+	for _, ev := range telemetry.Default.Ring().Snapshot() {
+		if ev.Kind == telemetry.EvSpanStart && ev.Label == "orb.client.invoke" {
+			trace = ev.Trace
+		}
+	}
+	if trace == 0 {
+		t.Fatal("no client span in the flight recorder after the run")
+	}
+	var serverSpan bool
+	for _, ev := range telemetry.Default.Ring().TraceEvents(trace) {
+		if ev.Label == "orb.server.request" {
+			serverSpan = true
+		}
+	}
+	if !serverSpan {
+		t.Error("client trace has no server span: round trip not stitched")
+	}
+	var enters int64
+	for _, c := range telemetry.Default.Snapshot(telemetry.SnapshotOptions{}).Counters {
+		if c.Name == "scope_enter_total" {
+			enters = c.Value
+		}
+	}
+	if enters == 0 {
+		t.Error("scope_enter_total = 0 after a full echo run")
 	}
 }
 
 func TestRunBothRTZen(t *testing.T) {
-	if err := run("both", "127.0.0.1:0", "rtzen", 64, 50, 10); err != nil {
+	if err := run("both", "127.0.0.1:0", "rtzen", 64, 50, 10, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestMetricsEndpoint scrapes the handler the -metrics listener serves while
+// an ORB pair is live, so the per-port gauges are still registered. It also
+// drives run with a bound metrics address to cover serveMetrics.
+func TestMetricsEndpoint(t *testing.T) {
+	if err := run("both", "127.0.0.1:0", "compadres", 32, 10, 2, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := startServer("compadres", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := dialClient("compadres", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Invoke("echo", "echo", []byte("hi"), sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(telemetry.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{"compadres_scope_enter_total", "compadres_port_sent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("both", "127.0.0.1:0", "mysteryorb", 64, 10, 1); err == nil {
+	if err := run("both", "127.0.0.1:0", "mysteryorb", 64, 10, 1, ""); err == nil {
 		t.Error("unknown orb accepted")
 	}
-	if err := run("sideways", "127.0.0.1:0", "compadres", 64, 10, 1); err == nil {
+	if err := run("sideways", "127.0.0.1:0", "compadres", 64, 10, 1, ""); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run("client", "127.0.0.1:1", "compadres", 64, 10, 1); err == nil {
+	if err := run("client", "127.0.0.1:1", "compadres", 64, 10, 1, ""); err == nil {
 		t.Error("client against dead address succeeded")
 	}
 	if _, err := startServer("nope", ""); err == nil {

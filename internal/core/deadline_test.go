@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// missCollector installs a process-wide miss handler for the test's duration
+// and returns an accessor for the misses seen.
+func missCollector(t *testing.T) func() []telemetry.Miss {
+	t.Helper()
+	var mu sync.Mutex
+	var got []telemetry.Miss
+	telemetry.SetDeadlineMissHandler(func(m telemetry.Miss) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	t.Cleanup(func() { telemetry.SetDeadlineMissHandler(nil) })
+	return func() []telemetry.Miss {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([]telemetry.Miss, len(got))
+		copy(out, got)
+		return out
+	}
+}
+
+// TestDeadlineMissSynchronousDispatch drives the pool-size-0 path: the
+// handler runs inline on the sender, and a 1ns deadline has always lapsed by
+// the time dispatch checks it.
+func TestDeadlineMissSynchronousDispatch(t *testing.T) {
+	misses := missCollector(t)
+	app := newTestApp(t, AppConfig{})
+	done := make(chan struct{}, 1)
+
+	comp, err := app.NewImmortalComponent("SyncDL", func(c *Component) error {
+		smm := c.SMM()
+		if _, err := AddInPort(c, smm, InPortConfig{
+			Name: "in", Type: intType, Threading: ThreadingSynchronous,
+			Handler: HandlerFunc(func(p *Proc, m Message) error {
+				done <- struct{}{}
+				return nil
+			}),
+		}); err != nil {
+			return err
+		}
+		_, err := AddOutPort(c, smm, OutPortConfig{Name: "out", Type: intType, Dests: []string{"SyncDL.in"}})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := comp.SMM().GetOutPort("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.SetSendDeadline(time.Nanosecond)
+	if got := out.SendDeadline(); got != time.Nanosecond {
+		t.Fatalf("SendDeadline = %v", got)
+	}
+
+	before := telemetry.DeadlineMisses()
+	m, err := out.GetMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send(m, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	<-done // synchronous: already delivered, but drain for symmetry
+
+	if telemetry.DeadlineMisses() != before+1 {
+		t.Errorf("global misses = %d, want %d", telemetry.DeadlineMisses(), before+1)
+	}
+	ms := misses()
+	if len(ms) != 1 || ms[0].Label != "SyncDL.in" || ms[0].Priority != int(sched.NormPriority) {
+		t.Fatalf("misses = %+v", ms)
+	}
+	if ms[0].Lateness() <= 0 {
+		t.Errorf("lateness = %d, want > 0", ms[0].Lateness())
+	}
+
+	// The flight recorder must hold the miss (and the send/dispatch pair).
+	var sawMiss, sawSend, sawDispatch bool
+	for _, ev := range telemetry.Default.Ring().Snapshot() {
+		switch {
+		case ev.Kind == telemetry.EvDeadlineMiss && ev.Label == "SyncDL.in":
+			sawMiss = true
+		case ev.Kind == telemetry.EvSend && ev.Label == "SyncDL.out":
+			sawSend = true
+		case ev.Kind == telemetry.EvDispatch && ev.Label == "SyncDL.in":
+			sawDispatch = true
+		}
+	}
+	if !sawMiss || !sawSend || !sawDispatch {
+		t.Errorf("ring events: miss=%v send=%v dispatch=%v, want all", sawMiss, sawSend, sawDispatch)
+	}
+
+	// An on-time send must not add a miss.
+	out.SetSendDeadline(time.Hour)
+	m2, err := out.GetMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send(m2, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if telemetry.DeadlineMisses() != before+1 {
+		t.Errorf("on-time send was counted as a miss")
+	}
+}
+
+// TestDeadlineMissAsyncDispatch drives the pooled path: the port's single
+// worker is pinned by the first message, so the second waits in the buffer
+// past its deadline and the miss is detected when its dispatch finally runs.
+func TestDeadlineMissAsyncDispatch(t *testing.T) {
+	misses := missCollector(t)
+	app := newTestApp(t, AppConfig{})
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{}, 2)
+	first := true
+
+	comp, err := app.NewImmortalComponent("AsyncDL", func(c *Component) error {
+		smm := c.SMM()
+		if _, err := AddInPort(c, smm, InPortConfig{
+			Name: "in", Type: intType, Threading: ThreadingDedicated,
+			MinThreads: 1, MaxThreads: 1,
+			Handler: HandlerFunc(func(p *Proc, m Message) error {
+				if first {
+					first = false
+					close(started)
+					<-gate
+				}
+				done <- struct{}{}
+				return nil
+			}),
+		}); err != nil {
+			return err
+		}
+		_, err := AddOutPort(c, smm, OutPortConfig{Name: "out", Type: intType, Dests: []string{"AsyncDL.in"}})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := comp.SMM().GetOutPort("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First message pins the worker (no deadline).
+	m1, err := out.GetMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send(m1, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Second message has 10ms to start; the worker stays pinned for 30ms.
+	out.SetSendDeadline(10 * time.Millisecond)
+	m2, err := out.GetMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send(m2, sched.MaxPriority); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(gate)
+	<-done
+	<-done
+
+	ms := misses()
+	if len(ms) != 1 || ms[0].Label != "AsyncDL.in" {
+		t.Fatalf("misses = %+v", ms)
+	}
+	if late := ms[0].Lateness(); late < int64(10*time.Millisecond) {
+		t.Errorf("lateness = %v, want >= 10ms", time.Duration(late))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/memory"
+	"repro/internal/telemetry"
 )
 
 // Message is a value exchanged through ports. Messages are pooled, so they
@@ -53,8 +54,11 @@ type msgPool struct {
 	free  []Message
 	total int
 
-	gets    atomic.Int64
-	returns atomic.Int64
+	gets        atomic.Int64
+	returns     atomic.Int64
+	inFlightMax atomic.Int64 // high-water mark of outstanding instances
+
+	gauges *telemetry.GaugeHandle
 }
 
 // newMsgPool charges capacity*typ.Size bytes to area and pre-creates the
@@ -85,6 +89,9 @@ func (p *msgPool) get() (Message, error) {
 	}
 	m := p.free[n-1]
 	p.free = p.free[:n-1]
+	if f := int64(p.total - n + 1); f > p.inFlightMax.Load() {
+		p.inFlightMax.Store(f) // still under mu, so load+store cannot regress
+	}
 	p.mu.Unlock()
 	p.gets.Add(1)
 	return m, nil

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Threading selects an In port's dispatch policy (CCL <Threadpool>).
@@ -72,11 +74,12 @@ type OutPortConfig struct {
 
 // bufItem is one queued delivery.
 type bufItem struct {
-	env   *envelope
-	msg   Message
-	prio  sched.Priority
-	owner *Component
-	seq   uint64
+	env      *envelope
+	msg      Message
+	prio     sched.Priority
+	owner    *Component
+	seq      uint64
+	deadline int64 // telemetry timestamp; 0 = none
 }
 
 // portBinding is an InPort's current owner/handler pair, swapped atomically
@@ -111,6 +114,10 @@ type InPort struct {
 	received  atomic.Int64
 	processed atomic.Int64
 	dropped   atomic.Int64
+	depthMax  atomic.Int64 // queue depth high-water mark
+
+	label  telemetry.LabelID
+	gauges *telemetry.GaugeHandle
 }
 
 // Name returns the qualified port name ("Component.Port").
@@ -127,6 +134,9 @@ func (p *InPort) Capacity() int { return p.capacity }
 func (p *InPort) Stats() (received, processed, dropped int64) {
 	return p.received.Load(), p.processed.Load(), p.dropped.Load()
 }
+
+// QueueMax reports the buffer's depth high-water mark.
+func (p *InPort) QueueMax() int64 { return p.depthMax.Load() }
 
 // push enqueues an item, or reports ErrBufferFull. The buffer is a priority
 // queue: pop hands out the highest-priority pending message (FIFO within a
@@ -145,6 +155,9 @@ func (p *InPort) push(it bufItem) error {
 	it.seq = p.seq
 	p.buf = append(p.buf, it)
 	p.siftUp(len(p.buf) - 1)
+	if d := int64(len(p.buf)); d > p.depthMax.Load() {
+		p.depthMax.Store(d) // still under mu, so load+store cannot regress
+	}
 	p.mu.Unlock()
 	p.received.Add(1)
 	return nil
@@ -252,6 +265,10 @@ type OutPort struct {
 	dests  atomic.Pointer[[]string] // immutable destination list
 	routes atomic.Pointer[routeSet] // cached resolution, see SMM.routesFor
 	sent   atomic.Int64
+
+	sendDeadline atomic.Int64 // relative deadline (ns) stamped on every send; 0 = none
+	label        telemetry.LabelID
+	gauges       *telemetry.GaugeHandle
 }
 
 // Name returns the qualified port name ("Component.Port").
@@ -281,6 +298,23 @@ func (p *OutPort) setDests(dests []string) {
 // Sent reports the number of successful Send calls.
 func (p *OutPort) Sent() int64 {
 	return p.sent.Load()
+}
+
+// SetSendDeadline gives every subsequent send through this port a relative
+// deadline: the receiver's handler must start within d of the Send call.
+// A message that starts late is still processed, but the miss is counted
+// (see telemetry.DeadlineMisses), recorded in the flight recorder, and
+// reported to the registered miss handler. d <= 0 removes the deadline.
+func (p *OutPort) SetSendDeadline(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sendDeadline.Store(int64(d))
+}
+
+// SendDeadline returns the configured relative deadline (0 = none).
+func (p *OutPort) SendDeadline() time.Duration {
+	return time.Duration(p.sendDeadline.Load())
 }
 
 // msgPool returns the message pool for the port's type.

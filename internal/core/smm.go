@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/memory"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Mechanism selects how an SMM passes messages across scoped regions. The
@@ -257,6 +258,7 @@ func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
 		smm:      s,
 		buf:      make([]bufItem, 0, bufSize),
 		capacity: bufSize,
+		label:    telemetry.Label(qname),
 	}
 	// The dispatch closure is created once per port, so the per-message
 	// Submit passes a preexisting function value instead of allocating.
@@ -290,6 +292,12 @@ func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
 	}
 	s.in[qname] = p
 	s.routeGen.Add(1) // a new In port may resolve a previously dangling route
+	p.gauges = telemetry.Default.RegisterGauges(qname, map[string]func() int64{
+		"port_received":  p.received.Load,
+		"port_processed": p.processed.Load,
+		"port_dropped":   p.dropped.Load,
+		"port_queue_max": p.depthMax.Load,
+	})
 	return p, nil
 }
 
@@ -334,6 +342,7 @@ func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
 	}
 
 	p := &OutPort{qname: qname, short: cfg.Name, typ: cfg.Type, smm: s, owner: c, pool: pool}
+	p.label = telemetry.Label(qname)
 	p.setDests(dests)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -342,6 +351,7 @@ func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
 	}
 	s.out[qname] = p
 	s.routeGen.Add(1)
+	p.gauges = telemetry.Default.RegisterGauge("port_sent", qname, p.sent.Load)
 	return p, nil
 }
 
@@ -378,6 +388,11 @@ func (s *SMM) ensurePool(typ MessageType) (*msgPool, error) {
 		return existing, nil
 	}
 	s.msgPools[typ.Name] = p
+	p.gauges = telemetry.Default.RegisterGauges(s.owner.name+"/"+typ.Name, map[string]func() int64{
+		"msgpool_gets":          p.gets.Load,
+		"msgpool_returns":       p.returns.Load,
+		"msgpool_in_flight_max": p.inFlightMax.Load,
+	})
 	return p, nil
 }
 
@@ -673,22 +688,29 @@ func (s *SMM) send(p *OutPort, proc *Proc, msg Message, prio sched.Priority) err
 		return fmt.Errorf("%w: out port %q has no destinations", ErrUnknownPort, p.qname)
 	}
 
+	// Stamp the absolute deadline once per send; every receiver inherits it.
+	var deadline int64
+	if d := p.sendDeadline.Load(); d > 0 {
+		deadline = telemetry.Now() + d
+	}
+
 	var err error
 	switch mech {
 	case MechanismSharedObject:
-		err = s.sendShared(p, msg, prio, rs)
+		err = s.sendShared(p, msg, prio, deadline, rs)
 	case MechanismSerialization:
-		err = s.sendSerialized(p, msg, prio, rs)
+		err = s.sendSerialized(p, msg, prio, deadline, rs)
 	case MechanismHandoff:
 		if proc == nil {
 			return fmt.Errorf("%w: out port %q", ErrNeedsCallerContext, p.qname)
 		}
-		err = s.sendHandoff(p, proc, msg, prio, rs)
+		err = s.sendHandoff(p, proc, msg, prio, deadline, rs)
 	default:
 		err = fmt.Errorf("core: unknown mechanism %v", mech)
 	}
 	if err == nil {
 		p.sent.Add(1)
+		telemetry.Record(telemetry.EvSend, p.label, 0, 0, uint64(prio))
 	}
 	return err
 }
@@ -696,11 +718,11 @@ func (s *SMM) send(p *OutPort, proc *Proc, msg Message, prio sched.Priority) err
 // sendShared implements the default shared-object mechanism: the pooled
 // message itself is enqueued for every receiver and returns to the pool
 // after the last one processes it.
-func (s *SMM) sendShared(p *OutPort, msg Message, prio sched.Priority, rs *routeSet) error {
+func (s *SMM) sendShared(p *OutPort, msg Message, prio sched.Priority, deadline int64, rs *routeSet) error {
 	env := newEnvelope(msg, p.msgPool(), len(rs.routes))
 	var firstErr error
 	for i := range rs.routes {
-		if err := s.deliverAsync(p, &rs.routes[i], env, msg, prio); err != nil && firstErr == nil {
+		if err := s.deliverAsync(p, &rs.routes[i], env, msg, prio, deadline); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -710,7 +732,7 @@ func (s *SMM) sendShared(p *OutPort, msg Message, prio sched.Priority, rs *route
 // sendSerialized implements the serialization mechanism: the message is
 // encoded once, returned to its pool immediately, and an independent copy
 // is rebuilt for every receiver.
-func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, rs *routeSet) error {
+func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, deadline int64, rs *routeSet) error {
 	bm, ok := msg.(encoding.BinaryMarshaler)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotSerializable, p.typ.Name)
@@ -732,7 +754,7 @@ func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, rs *r
 			return fmt.Errorf("deserialize %q: %w", p.typ.Name, err)
 		}
 		env := newEnvelope(fresh, nil, 1) // no pool: the copy is dropped
-		if err := s.deliverAsync(p, &rs.routes[i], env, fresh, prio); err != nil && firstErr == nil {
+		if err := s.deliverAsync(p, &rs.routes[i], env, fresh, prio, deadline); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -744,7 +766,7 @@ func (s *SMM) sendSerialized(p *OutPort, msg Message, prio sched.Priority, rs *r
 // the In port without touching the SMM; the slow path (unregistered port,
 // quiescing or never-instantiated owner) falls back to resolveIn, which
 // materializes the owning child.
-func (s *SMM) deliverAsync(p *OutPort, r *route, env *envelope, msg Message, prio sched.Priority) error {
+func (s *SMM) deliverAsync(p *OutPort, r *route, env *envelope, msg Message, prio sched.Priority, deadline int64) error {
 	in := r.in
 	var owner *Component
 	if in != nil {
@@ -766,7 +788,7 @@ func (s *SMM) deliverAsync(p *OutPort, r *route, env *envelope, msg Message, pri
 		return fmt.Errorf("%w: %q sends %q, %q accepts %q",
 			ErrTypeMismatch, p.qname, p.typ.Name, r.dest, in.typ.Name)
 	}
-	if err := in.push(bufItem{env: env, msg: msg, prio: prio, owner: owner}); err != nil {
+	if err := in.push(bufItem{env: env, msg: msg, prio: prio, owner: owner, deadline: deadline}); err != nil {
 		owner.donePending()
 		owner.maybeQuiesce()
 		env.done()
@@ -819,6 +841,14 @@ func (s *SMM) dispatch(in *InPort, prio sched.Priority) {
 	// synchronous port whose owner sends to itself from its own start
 	// function would deadlock here; send asynchronously or after Start.)
 	owner.waitStarted()
+	telemetry.Record(telemetry.EvDispatch, in.label, 0, 0, uint64(prio))
+	// Deadline check: the handler is about to start; if the deadline already
+	// passed, the message is late no matter how fast processing is.
+	if it.deadline > 0 {
+		if now := telemetry.Now(); now > it.deadline {
+			telemetry.ReportDeadlineMiss(in.label, it.deadline, now, 0, int(prio))
+		}
+	}
 	_, handler := in.binding()
 	if handler == nil {
 		// Owner disposed between push and dispatch with no rebinding; the
@@ -854,7 +884,7 @@ func (s *SMM) process(h Handler, p *Proc, msg Message) (err error) {
 // sendHandoff implements the handoff pattern: the sending thread leaves its
 // own scope via the common ancestor (the SMM's area, already on its scope
 // stack) and enters the receiver's area to run the handler synchronously.
-func (s *SMM) sendHandoff(p *OutPort, proc *Proc, msg Message, prio sched.Priority, rs *routeSet) error {
+func (s *SMM) sendHandoff(p *OutPort, proc *Proc, msg Message, prio sched.Priority, deadline int64, rs *routeSet) error {
 	var firstErr error
 	for i := range rs.routes {
 		r := &rs.routes[i]
@@ -884,6 +914,11 @@ func (s *SMM) sendHandoff(p *OutPort, proc *Proc, msg Message, prio sched.Priori
 			continue
 		}
 		owner.waitStarted()
+		if deadline > 0 {
+			if now := telemetry.Now(); now > deadline {
+				telemetry.ReportDeadlineMiss(in.label, deadline, now, 0, int(prio))
+			}
+		}
 		_, handler := in.binding()
 		err := proc.ctx.ExecuteInArea(s.area, func(actx *memory.Context) error {
 			run := func(hctx *memory.Context) error {
@@ -925,6 +960,17 @@ func (s *SMM) shutdown() {
 	children := make([]*Component, 0, len(s.children))
 	for _, c := range s.children {
 		children = append(children, c)
+	}
+	// Retire this SMM's telemetry gauges so long-lived processes (tests,
+	// servers cycling applications) do not accumulate dead entries.
+	for _, p := range s.in {
+		p.gauges.Unregister()
+	}
+	for _, p := range s.out {
+		p.gauges.Unregister()
+	}
+	for _, mp := range s.msgPools {
+		mp.gauges.Unregister()
 	}
 	s.mu.Unlock()
 	for _, c := range children {

@@ -80,6 +80,16 @@ const (
 
 var giopMagic = [4]byte{'G', 'I', 'O', 'P'}
 
+// TraceContextID tags the telemetry trace service context ("TRAC" in ASCII).
+// Its data is exactly 16 octets — trace id then span id, each 8 bytes in the
+// message's byte order — so a round trip stitches into one distributed trace.
+// Requests and replies with a zero trace id omit the context entirely, which
+// keeps their wire form byte-identical to a tracing-unaware peer's.
+const TraceContextID uint32 = 0x54524143
+
+// traceContextLen is the trace context's fixed data length.
+const traceContextLen = 16
+
 // Header framing errors.
 var (
 	// ErrBadMagic reports a frame that does not start with "GIOP".
@@ -151,6 +161,10 @@ type Request struct {
 	// extension octet after the GIOP 1.0 principal field; both ORBs in this
 	// repository speak it).
 	Priority byte
+	// TraceID and SpanID propagate the telemetry trace in a service context
+	// (TraceContextID). Zero TraceID means untraced: the context is omitted
+	// from the wire form entirely.
+	TraceID, SpanID uint64
 	// Payload is the operation's marshalled in-parameters.
 	Payload []byte
 }
@@ -161,8 +175,37 @@ type Reply struct {
 	RequestID uint32
 	// Status reports the outcome.
 	Status ReplyStatus
+	// TraceID and SpanID propagate the telemetry trace back to the caller;
+	// see Request.TraceID.
+	TraceID, SpanID uint64
 	// Payload is the marshalled result (or exception data).
 	Payload []byte
+}
+
+// writeTraceContext emits the service-context sequence: the single trace
+// slot when traced, the empty sequence otherwise. The context data is
+// written as raw bytes in the stream's byte order — Encoder.WriteULongLong
+// would 8-align relative to the stream origin and corrupt the octet-seq
+// length.
+func writeTraceContext(e *Encoder, order ByteOrder, trace, span uint64) {
+	if trace == 0 {
+		e.WriteULong(0) // service context: empty sequence
+		return
+	}
+	e.WriteULong(1) // service context: one entry
+	e.WriteULong(TraceContextID)
+	e.WriteULong(traceContextLen) // octet-seq length
+	e.buf = order.order().AppendUint64(e.buf, trace)
+	e.buf = order.order().AppendUint64(e.buf, span)
+}
+
+// readTraceContext extracts trace/span from a service-context entry, given
+// its id and data; non-trace entries and malformed data yield zeros.
+func readTraceContext(order ByteOrder, id uint32, data []byte) (trace, span uint64) {
+	if id != TraceContextID || len(data) != traceContextLen {
+		return 0, 0
+	}
+	return order.order().Uint64(data[0:8]), order.order().Uint64(data[8:16])
 }
 
 // patchSize back-fills the Size field of the header that starts at offset
@@ -180,7 +223,7 @@ func MarshalRequest(buf []byte, order ByteOrder, req *Request) []byte {
 	buf = AppendHeader(buf, Header{Type: MsgRequest, Order: order})
 	var e Encoder
 	e.Reset(order, buf)
-	e.WriteULong(0) // service context: empty sequence
+	writeTraceContext(&e, order, req.TraceID, req.SpanID)
 	e.WriteULong(req.RequestID)
 	e.WriteBool(req.ResponseExpected)
 	e.WriteOctetSeq(req.ObjectKey)
@@ -201,12 +244,18 @@ func DecodeRequest(order ByteOrder, body []byte, req *Request) error {
 	if err != nil {
 		return err
 	}
-	for i := uint32(0); i < nctx; i++ { // skip service contexts
-		if _, err := d.ReadULong(); err != nil { // context id
+	req.TraceID, req.SpanID = 0, 0
+	for i := uint32(0); i < nctx; i++ {
+		id, err := d.ReadULong() // context id
+		if err != nil {
 			return err
 		}
-		if _, err := d.ReadOctetSeq(); err != nil { // context data
+		data, err := d.ReadOctetSeq() // context data
+		if err != nil {
 			return err
+		}
+		if trace, span := readTraceContext(order, id, data); trace != 0 {
+			req.TraceID, req.SpanID = trace, span
 		}
 	}
 	if req.RequestID, err = d.ReadULong(); err != nil {
@@ -252,7 +301,7 @@ func MarshalReply(buf []byte, order ByteOrder, rep *Reply) []byte {
 	buf = AppendHeader(buf, Header{Type: MsgReply, Order: order})
 	var e Encoder
 	e.Reset(order, buf)
-	e.WriteULong(0) // service context: empty sequence
+	writeTraceContext(&e, order, rep.TraceID, rep.SpanID)
 	e.WriteULong(rep.RequestID)
 	e.WriteULong(uint32(rep.Status))
 	e.align(8)
@@ -269,12 +318,18 @@ func DecodeReply(order ByteOrder, body []byte, rep *Reply) error {
 	if err != nil {
 		return err
 	}
+	rep.TraceID, rep.SpanID = 0, 0
 	for i := uint32(0); i < nctx; i++ {
-		if _, err := d.ReadULong(); err != nil {
+		id, err := d.ReadULong()
+		if err != nil {
 			return err
 		}
-		if _, err := d.ReadOctetSeq(); err != nil {
+		data, err := d.ReadOctetSeq()
+		if err != nil {
 			return err
+		}
+		if trace, span := readTraceContext(order, id, data); trace != 0 {
+			rep.TraceID, rep.SpanID = trace, span
 		}
 	}
 	if rep.RequestID, err = d.ReadULong(); err != nil {
@@ -318,7 +373,13 @@ func ReadMessage(r io.Reader, buf []byte) (Header, []byte, error) {
 func ReadMessageLimited(r io.Reader, buf []byte, maxBody uint32) (Header, []byte, error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Header{}, nil, err
+		if err == io.EOF {
+			// Clean close between frames: callers match on bare EOF.
+			return Header{}, nil, io.EOF
+		}
+		// Peer vanished mid-header: io.ErrUnexpectedEOF stays inspectable
+		// through the wrap.
+		return Header{}, nil, fmt.Errorf("giop: header: %w", err)
 	}
 	h, err := ParseHeader(hdr[:])
 	if err != nil {

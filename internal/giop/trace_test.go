@@ -1,0 +1,120 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRequestTraceContextRoundTrip(t *testing.T) {
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		req := &Request{
+			RequestID:        7,
+			ResponseExpected: true,
+			ObjectKey:        []byte("key"),
+			Operation:        "ping",
+			Priority:         21,
+			TraceID:          0x0123456789ABCDEF,
+			SpanID:           0xFEDCBA9876543210,
+			Payload:          []byte{1, 2, 3, 4},
+		}
+		buf := MarshalRequest(nil, order, req)
+		h, err := ParseHeader(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Request
+		if err := DecodeRequest(h.Order, buf[HeaderSize:], &got); err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		if got.TraceID != req.TraceID || got.SpanID != req.SpanID {
+			t.Errorf("order %v: trace = %x/%x, want %x/%x",
+				order, got.TraceID, got.SpanID, req.TraceID, req.SpanID)
+		}
+		if got.RequestID != 7 || !got.ResponseExpected || string(got.ObjectKey) != "key" ||
+			got.Operation != "ping" || got.Priority != 21 || !bytes.Equal(got.Payload, req.Payload) {
+			t.Errorf("order %v: fields corrupted by trace context: %+v", order, got)
+		}
+	}
+}
+
+func TestReplyTraceContextRoundTrip(t *testing.T) {
+	rep := &Reply{RequestID: 9, Status: ReplyNoException, TraceID: 42, SpanID: 43, Payload: []byte{5, 6}}
+	buf := MarshalReply(nil, BigEndian, rep)
+	h, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Reply
+	if err := DecodeReply(h.Order, buf[HeaderSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 42 || got.SpanID != 43 || got.RequestID != 9 || !bytes.Equal(got.Payload, rep.Payload) {
+		t.Errorf("reply = %+v", got)
+	}
+}
+
+// TestZeroTraceWireFormUnchanged pins the compatibility contract: an
+// untraced request's bytes are identical to one marshalled before trace
+// contexts existed (empty service-context sequence).
+func TestZeroTraceWireFormUnchanged(t *testing.T) {
+	req := &Request{RequestID: 3, ResponseExpected: true, ObjectKey: []byte("k"), Operation: "op", Payload: []byte{9}}
+	traced := *req
+	traced.TraceID, traced.SpanID = 1, 2
+
+	plain := MarshalRequest(nil, BigEndian, req)
+	withTrace := MarshalRequest(nil, BigEndian, &traced)
+	if bytes.Equal(plain, withTrace) {
+		t.Fatal("traced and untraced requests marshalled identically")
+	}
+
+	// The untraced form must still decode with TraceID 0, and a decoder
+	// reusing a struct must clear stale ids.
+	var got Request
+	got.TraceID, got.SpanID = 99, 98
+	h, err := ParseHeader(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequest(h.Order, plain[HeaderSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 || got.SpanID != 0 {
+		t.Errorf("stale trace ids survived decode: %x/%x", got.TraceID, got.SpanID)
+	}
+}
+
+// TestForeignServiceContextIgnored checks the decoder skips unknown contexts
+// and still finds the trace slot after them.
+func TestForeignServiceContextIgnored(t *testing.T) {
+	order := BigEndian
+	buf := AppendHeader(nil, Header{Type: MsgRequest, Order: order})
+	var e Encoder
+	e.Reset(order, buf)
+	e.WriteULong(2)          // two service contexts
+	e.WriteULong(0xDEADBEEF) // a foreign context
+	e.WriteOctetSeq([]byte{1, 2, 3})
+	e.WriteULong(TraceContextID)
+	e.WriteULong(traceContextLen)
+	e.buf = order.order().AppendUint64(e.buf, 77)
+	e.buf = order.order().AppendUint64(e.buf, 78)
+	e.WriteULong(5) // request id
+	e.WriteBool(false)
+	e.WriteOctetSeq([]byte("k"))
+	e.WriteString("op")
+	e.WriteULong(0) // principal
+	e.WriteOctet(1)
+	buf = e.Bytes()
+	patchSize(buf, 0, order)
+
+	h, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := DecodeRequest(h.Order, buf[HeaderSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 77 || got.SpanID != 78 || got.RequestID != 5 || got.Operation != "op" {
+		t.Errorf("decoded = %+v", got)
+	}
+}

@@ -1,6 +1,18 @@
 package memory
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// Scope traffic counters: every Enter/EnterChain level is one enter and,
+// on unwind, one exit. Counter adds are sharded atomics, so the dispatch
+// path's scope walk stays allocation- and lock-free.
+var (
+	scopeEnters = telemetry.NewCounter("scope_enter_total")
+	scopeExits  = telemetry.NewCounter("scope_exit_total")
+)
 
 // Context models one (real-time) thread's scope stack. A Context must be
 // used by a single goroutine at a time, exactly like the thread whose stack
@@ -81,10 +93,12 @@ func (c *Context) Enter(a *Area, fn func(*Context) error) error {
 	if err := a.enter(c.Current()); err != nil {
 		return err
 	}
+	scopeEnters.Inc()
 	c.stack = append(c.stack, a)
 	defer func() {
 		c.stack = c.stack[:len(c.stack)-1]
 		a.exit()
+		scopeExits.Inc()
 	}()
 	return fn(c)
 }
@@ -102,6 +116,7 @@ func (c *Context) EnterChain(areas []*Area, fn func(*Context) error) (err error)
 			top := c.stack[len(c.stack)-1]
 			c.stack = c.stack[:len(c.stack)-1]
 			top.exit()
+			scopeExits.Inc()
 		}
 	}()
 	for _, a := range areas {
@@ -111,6 +126,7 @@ func (c *Context) EnterChain(areas []*Area, fn func(*Context) error) (err error)
 		if err := a.enter(c.Current()); err != nil {
 			return err
 		}
+		scopeEnters.Inc()
 		c.stack = append(c.stack, a)
 		entered++
 	}

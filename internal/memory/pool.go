@@ -3,7 +3,12 @@ package memory
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/telemetry"
 )
+
+// scopePoolGrows counts pooled areas created beyond the pre-created set.
+var scopePoolGrows = telemetry.NewCounter("scope_pool_grow_total")
 
 // ScopePool is a pool of same-sized linear-time scoped areas, pre-created so
 // that component instantiation at runtime does not pay LT creation cost.
@@ -24,6 +29,8 @@ type ScopePool struct {
 	created int64
 	reused  int64
 	header  Ref // immortal bookkeeping allocation
+
+	label telemetry.LabelID
 }
 
 // scopePoolHeaderBytes is the immortal bookkeeping charge per pooled area.
@@ -62,6 +69,7 @@ func (m *Model) NewScopePool(cfg ScopePoolConfig) (*ScopePool, error) {
 		size:   cfg.AreaSize,
 		grow:   cfg.Grow,
 		header: header,
+		label:  telemetry.Label("scopepool." + cfg.Name),
 	}
 	for i := 0; i < cfg.Count; i++ {
 		a := m.NewLTScoped(fmt.Sprintf("%s#%d", cfg.Name, i), cfg.AreaSize)
@@ -98,6 +106,11 @@ func (p *ScopePool) Acquire() (*Area, error) {
 	id := p.created
 	p.created++
 	p.mu.Unlock()
+	// The pool grew past its pre-created set: worth a flight-recorder entry,
+	// since unexpected growth at runtime is exactly what the paper's
+	// pre-creation optimisation is meant to avoid.
+	scopePoolGrows.Inc()
+	telemetry.Record(telemetry.EvPoolGrow, p.label, 0, 0, uint64(id+1))
 	a := p.model.NewLTScoped(fmt.Sprintf("%s#%d", p.name, id), p.size)
 	a.pool = p
 	return a, nil

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -22,8 +23,12 @@ const DefaultObservations = 10000
 const DefaultWarmup = 1000
 
 // Collector accumulates duration observations. The zero value is ready to
-// use; it is not safe for concurrent use.
+// use, and all methods are safe for concurrent use: recorders on multiple
+// threads can feed one collector without torn appends (an unguarded
+// append from two goroutines can drop samples or panic on the shared
+// backing array).
 type Collector struct {
+	mu      sync.Mutex
 	samples []time.Duration
 }
 
@@ -33,16 +38,34 @@ func NewCollector(n int) *Collector {
 }
 
 // Record adds one observation.
-func (c *Collector) Record(d time.Duration) { c.samples = append(c.samples, d) }
+func (c *Collector) Record(d time.Duration) {
+	c.mu.Lock()
+	c.samples = append(c.samples, d)
+	c.mu.Unlock()
+}
 
 // Count returns the number of observations recorded.
-func (c *Collector) Count() int { return len(c.samples) }
+func (c *Collector) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.samples)
+}
 
-// Samples returns the raw observations (not a copy).
-func (c *Collector) Samples() []time.Duration { return c.samples }
+// Samples returns a snapshot copy of the observations.
+func (c *Collector) Samples() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
 
 // Reset discards all observations, keeping capacity.
-func (c *Collector) Reset() { c.samples = c.samples[:0] }
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.samples = c.samples[:0]
+	c.mu.Unlock()
+}
 
 // Summary reports the statistics the paper's tables and figures use.
 type Summary struct {
@@ -61,7 +84,12 @@ type Summary struct {
 }
 
 // Summarize computes a Summary over the recorded observations.
-func (c *Collector) Summarize() Summary { return Summarize(c.samples) }
+func (c *Collector) Summarize() Summary {
+	c.mu.Lock()
+	samples := c.samples
+	c.mu.Unlock()
+	return Summarize(samples)
+}
 
 // Summarize computes a Summary over samples. An empty input yields a zero
 // Summary.
@@ -101,11 +129,10 @@ func Summarize(samples []time.Duration) Summary {
 // Percentile returns the p-th percentile (0 < p <= 100) of the recorded
 // observations.
 func (c *Collector) Percentile(p float64) time.Duration {
-	if len(c.samples) == 0 {
+	sorted := c.Samples()
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(c.samples))
-	copy(sorted, c.samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	return percentileSorted(sorted, p)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -156,5 +157,44 @@ func TestPropertySummaryConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCollectorConcurrentRecord pins the concurrency contract: many
+// goroutines can Record into one collector while another summarises, with
+// every sample retained. Run under -race this also proves the guard.
+func TestCollectorConcurrentRecord(t *testing.T) {
+	const workers, per = 8, 500
+	c := NewCollector(workers * per)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Summarize()
+				_ = c.Count()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Record(time.Duration(w*per+i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if got := c.Count(); got != workers*per {
+		t.Errorf("count = %d, want %d (lost samples under concurrency)", got, workers*per)
+	}
+	s := c.Summarize()
+	if s.Min != time.Microsecond || s.Max != time.Duration(workers*per)*time.Microsecond {
+		t.Errorf("summary min/max = %v/%v", s.Min, s.Max)
 	}
 }

@@ -11,7 +11,14 @@ import (
 	"repro/internal/giop"
 	"repro/internal/memory"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
+)
+
+// Flight-recorder labels for the client's invocation spans.
+var (
+	clientSpanLabel  = telemetry.Label("orb.client.invoke")
+	clientReplyLabel = telemetry.Label("orb.client.reply")
 )
 
 // ClientConfig parameterises a Compadres ORB client.
@@ -261,6 +268,8 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 		ObjectKey:        in.keyBuf,
 		Operation:        in.op,
 		Priority:         byte(in.prio),
+		TraceID:          in.trace,
+		SpanID:           in.span,
 		Payload:          in.payload,
 	})
 
@@ -280,6 +289,7 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 		return invokeResult{err: corba.ErrClosed}
 	}
 	if _, err := conn.Write(wire); err != nil {
+		telemetry.RecordFault("orb.client.write", err)
 		return invokeResult{err: fmt.Errorf("orb client: write: %w", err)}
 	}
 	if in.oneway {
@@ -289,6 +299,10 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 	if err != nil {
 		if err == io.EOF {
 			err = corba.ErrClosed
+		} else {
+			// A reply cut off mid-frame or over the endpoint bound is a
+			// fault; a clean close is routine shutdown.
+			telemetry.RecordFault("orb.client.read", err)
 		}
 		return invokeResult{err: fmt.Errorf("orb client: read: %w", err)}
 	}
@@ -298,6 +312,11 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 	var rep giop.Reply
 	if err := giop.DecodeReply(h.Order, body, &rep); err != nil {
 		return invokeResult{err: err}
+	}
+	if rep.TraceID != 0 {
+		// The reply carried the server's span for our trace: record it so
+		// the client flight recorder holds the full stitched round trip.
+		telemetry.Record(telemetry.EvNetRecv, clientReplyLabel, rep.TraceID, rep.SpanID, uint64(len(body)))
 	}
 	if rep.RequestID != in.id {
 		return invokeResult{err: fmt.Errorf("orb client: reply id %d for request %d", rep.RequestID, in.id)}
@@ -335,17 +354,43 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 	m.setKey(key)
 	m.op, m.payload, m.prio = op, payload, prio
 	m.oneway = false
+	// Open a trace around the round trip. The ids are captured in locals
+	// because the pooled message is recycled once its handler returns.
+	trace, span, started := startSpan(uint64(m.id))
+	m.trace, m.span = trace, span
 	done := doneChanPool.Get().(chan invokeResult)
 	m.done = done
 	if err := cl.invoke.Send(msg, prio); err != nil {
 		// The message never reached a handler, so nothing will write to the
 		// channel; it is safe to recycle.
 		doneChanPool.Put(done)
+		endSpan(trace, span, started)
 		return nil, err
 	}
 	res := <-done
 	doneChanPool.Put(done)
+	endSpan(trace, span, started)
 	return res.payload, res.err
+}
+
+// startSpan opens a client invocation span in the flight recorder when
+// telemetry is enabled; it returns zero ids (meaning untraced) otherwise.
+func startSpan(correlator uint64) (trace, span uint64, started int64) {
+	if !telemetry.Enabled() {
+		return 0, 0, 0
+	}
+	trace, span = telemetry.NewID(), telemetry.NewID()
+	telemetry.Record(telemetry.EvSpanStart, clientSpanLabel, trace, span, correlator)
+	return trace, span, telemetry.Now()
+}
+
+// endSpan closes a span opened by startSpan; arg is the span duration in
+// nanoseconds.
+func endSpan(trace, span uint64, started int64) {
+	if trace == 0 {
+		return
+	}
+	telemetry.Record(telemetry.EvSpanEnd, clientSpanLabel, trace, span, uint64(telemetry.Now()-started))
 }
 
 // Locate probes whether the server hosts the object key, using the GIOP
@@ -405,14 +450,18 @@ func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priori
 	m.setKey(key)
 	m.op, m.payload, m.prio = op, payload, prio
 	m.oneway = true
+	trace, span, started := startSpan(uint64(m.id))
+	m.trace, m.span = trace, span
 	done := doneChanPool.Get().(chan invokeResult)
 	m.done = done
 	if err := cl.invoke.Send(msg, prio); err != nil {
 		doneChanPool.Put(done)
+		endSpan(trace, span, started)
 		return err
 	}
 	res := <-done
 	doneChanPool.Put(done)
+	endSpan(trace, span, started)
 	return res.err
 }
 

@@ -26,6 +26,12 @@ type invokeMsg struct {
 	oneway  bool
 	prio    sched.Priority
 	done    chan invokeResult
+	// trace and span identify the caller's trace context; they ride the
+	// invocation through the component structure and onto the wire as a
+	// GIOP service context, so client and server flight recorders can be
+	// stitched into one trace. Zero means untraced.
+	trace uint64
+	span  uint64
 }
 
 // Reset implements core.Message; it keeps keyBuf's capacity so pooled

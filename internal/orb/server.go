@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 
@@ -12,8 +13,12 @@ import (
 	"repro/internal/giop"
 	"repro/internal/memory"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
+
+// serverSpanLabel marks the server-side request-processing span.
+var serverSpanLabel = telemetry.Label("orb.server.request")
 
 // ServerConfig parameterises a Compadres ORB server.
 type ServerConfig struct {
@@ -301,9 +306,13 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 	for {
 		h, body, err := giop.ReadMessageLimited(sc.conn, scratch[:0], uint32(s.maxMsg))
 		if err != nil {
-			// EOF and closed-pipe are normal teardown; anything else is an
-			// abrupt peer failure — either way the connection is done.
-			_ = errors.Is(err, io.EOF)
+			// EOF and closed-pipe are normal teardown; anything else —
+			// a peer vanishing mid-frame, a short read, an over-limit
+			// frame — is an abrupt failure worth a fault record. Either
+			// way the connection is done.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, net.ErrClosed) {
+				telemetry.RecordFault("orb.server.read", err)
+			}
 			sc.conn.Close()
 			return
 		}
@@ -366,6 +375,20 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 		return fmt.Errorf("orb server: demarshal: %w", err)
 	}
 
+	// Continue the caller's trace: open a server span under the trace id
+	// carried in the request's service context, and echo it in the reply so
+	// the client can stitch the round trip.
+	var serverSpan uint64
+	var spanStart int64
+	if req.TraceID != 0 && telemetry.Enabled() {
+		serverSpan = telemetry.NewID()
+		telemetry.Record(telemetry.EvSpanStart, serverSpanLabel, req.TraceID, serverSpan, uint64(req.RequestID))
+		spanStart = telemetry.Now()
+		defer func() {
+			telemetry.Record(telemetry.EvSpanEnd, serverSpanLabel, req.TraceID, serverSpan, uint64(telemetry.Now()-spanStart))
+		}()
+	}
+
 	var (
 		status  giop.ReplyStatus
 		payload []byte
@@ -404,6 +427,8 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 		wire := giop.MarshalReply(buf[:0], m.order, &giop.Reply{
 			RequestID: req.RequestID,
 			Status:    status,
+			TraceID:   req.TraceID,
+			SpanID:    serverSpan,
 			Payload:   payload,
 		})
 		if err := m.conn.write(wire); err != nil {

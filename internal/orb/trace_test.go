@@ -1,0 +1,89 @@
+package orb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// TestInvokeProducesStitchedTrace verifies the cross-ORB trace contract: one
+// Invoke leaves a single trace id in the flight recorder whose events span
+// the client (span start/end), the server (its own span under the same trace,
+// carried over the wire in the GIOP service context), and the reply receipt
+// that stitches the server span back into the client's recorder.
+func TestInvokeProducesStitchedTrace(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+
+	if _, err := cl.Invoke("echo", "echo", []byte("traced"), sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client and server share this process's ring, so the whole round trip
+	// lands in telemetry.Default. Find the newest client span start.
+	var trace uint64
+	for _, ev := range telemetry.Default.Ring().Snapshot() {
+		if ev.Kind == telemetry.EvSpanStart && ev.Label == "orb.client.invoke" {
+			trace = ev.Trace // snapshot is oldest→newest; keep the last
+		}
+	}
+	if trace == 0 {
+		t.Fatal("no client span start in the flight recorder")
+	}
+
+	// The server's span end is recorded by a defer that can run just after
+	// the client unblocks, so poll briefly for the complete picture.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var clientStart, clientEnd, serverStart, serverEnd, replyRecv bool
+		var clientSpan, serverSpan uint64
+		for _, ev := range telemetry.Default.Ring().TraceEvents(trace) {
+			switch {
+			case ev.Label == "orb.client.invoke" && ev.Kind == telemetry.EvSpanStart:
+				clientStart, clientSpan = true, ev.Span
+			case ev.Label == "orb.client.invoke" && ev.Kind == telemetry.EvSpanEnd:
+				clientEnd = true
+			case ev.Label == "orb.server.request" && ev.Kind == telemetry.EvSpanStart:
+				serverStart, serverSpan = true, ev.Span
+			case ev.Label == "orb.server.request" && ev.Kind == telemetry.EvSpanEnd:
+				serverEnd = true
+			case ev.Label == "orb.client.reply" && ev.Kind == telemetry.EvNetRecv:
+				replyRecv = true
+			}
+		}
+		if clientStart && clientEnd && serverStart && serverEnd && replyRecv {
+			if clientSpan == serverSpan {
+				t.Fatalf("client and server spans share id %x", clientSpan)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("incomplete trace %x: clientStart=%v clientEnd=%v serverStart=%v serverEnd=%v replyRecv=%v",
+				trace, clientStart, clientEnd, serverStart, serverEnd, replyRecv)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestInvokeUntracedWhenDisabled checks the toggle: with telemetry off the
+// request goes out with a zero trace id and the server opens no span.
+func TestInvokeUntracedWhenDisabled(t *testing.T) {
+	telemetry.Enable(false)
+	defer telemetry.Enable(true)
+
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+
+	before := len(telemetry.Default.Ring().Snapshot())
+	if _, err := cl.Invoke("echo", "echo", []byte("dark"), sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(telemetry.Default.Ring().Snapshot()); after != before {
+		t.Errorf("ring grew from %d to %d events with telemetry disabled", before, after)
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Priority is an RTSJ-style real-time priority. Higher values run first.
@@ -97,7 +99,11 @@ type Pool struct {
 	executed atomic.Int64
 	spawned  atomic.Int64
 	maxQueue atomic.Int64
+	missed   atomic.Int64
 	stopped  atomic.Bool // mirrors shutdown for lock-free reads
+
+	label  telemetry.LabelID
+	gauges *telemetry.GaugeHandle
 }
 
 // PoolStats is a snapshot of pool activity.
@@ -110,6 +116,9 @@ type PoolStats struct {
 	Executed int64
 	// MaxQueue is the high-water mark of the pending queue.
 	MaxQueue int
+	// DeadlineMisses counts tasks submitted via SubmitUntil that started
+	// after their deadline.
+	DeadlineMisses int64
 	// Synchronous reports a Max == 0 pool.
 	Synchronous bool
 }
@@ -129,6 +138,17 @@ func NewPool(cfg PoolConfig) *Pool {
 	}
 	p := &Pool{name: cfg.Name, min: minWorkers, max: maxWorkers}
 	p.cond = sync.NewCond(&p.mu)
+	label := "pool"
+	if cfg.Name != "" {
+		label = "pool." + cfg.Name
+	}
+	p.label = telemetry.Label(label)
+	p.gauges = telemetry.Default.RegisterGauges(label, map[string]func() int64{
+		"pool_workers":         func() int64 { p.mu.Lock(); defer p.mu.Unlock(); return int64(p.workers) },
+		"pool_executed":        func() int64 { return p.executed.Load() },
+		"pool_queue_max":       func() int64 { return p.maxQueue.Load() },
+		"pool_deadline_missed": func() int64 { return p.missed.Load() },
+	})
 	if p.max > 0 {
 		p.mu.Lock()
 		for i := 0; i < p.min; i++ {
@@ -149,11 +169,21 @@ func (p *Pool) Synchronous() bool { return p.max == 0 }
 // fn passes the (clamped) priority through, modelling priority inheritance
 // from the message. For a synchronous pool, fn runs before Submit returns.
 func (p *Pool) Submit(prio Priority, fn func(Priority)) error {
+	return p.SubmitUntil(prio, 0, fn)
+}
+
+// SubmitUntil is Submit with a deadline: a telemetry timestamp
+// (telemetry.Now() units) by which fn must have started. A task that starts
+// late is still executed, but the miss is counted against the pool and
+// reported through telemetry (counter, flight-recorder event, registered
+// miss handler). deadline == 0 means none.
+func (p *Pool) SubmitUntil(prio Priority, deadline int64, fn func(Priority)) error {
 	prio = prio.Clamp()
 	if p.max == 0 {
 		if p.stopped.Load() {
 			return ErrPoolShutdown
 		}
+		p.checkDeadline(deadline, prio)
 		p.executed.Add(1)
 		fn(prio)
 		return nil
@@ -165,7 +195,7 @@ func (p *Pool) Submit(prio Priority, fn func(Priority)) error {
 		return ErrPoolShutdown
 	}
 	idx := int(prio - MinPriority)
-	p.rings[idx].push(fn)
+	p.rings[idx].push(task{fn: fn, deadline: deadline})
 	p.mask |= 1 << uint(idx)
 	p.queued++
 	if q := int64(p.queued); q > p.maxQueue.Load() {
@@ -202,6 +232,19 @@ func (p *Pool) Shutdown() {
 	p.mu.Unlock()
 	p.cond.Broadcast()
 	p.done.Wait()
+	p.gauges.Unregister()
+}
+
+// checkDeadline reports a deadline miss when the task is starting after its
+// deadline. Hot path: one clock read only when a deadline is present.
+func (p *Pool) checkDeadline(deadline int64, prio Priority) {
+	if deadline <= 0 {
+		return
+	}
+	if now := telemetry.Now(); now > deadline {
+		p.missed.Add(1)
+		telemetry.ReportDeadlineMiss(p.label, deadline, now, 0, int(prio))
+	}
 }
 
 // Stats returns a snapshot of pool activity.
@@ -210,11 +253,12 @@ func (p *Pool) Stats() PoolStats {
 	workers := p.workers
 	p.mu.Unlock()
 	return PoolStats{
-		Workers:     workers,
-		Spawned:     p.spawned.Load(),
-		Executed:    p.executed.Load(),
-		MaxQueue:    int(p.maxQueue.Load()),
-		Synchronous: p.max == 0,
+		Workers:        workers,
+		Spawned:        p.spawned.Load(),
+		Executed:       p.executed.Load(),
+		MaxQueue:       int(p.maxQueue.Load()),
+		DeadlineMisses: p.missed.Load(),
+		Synchronous:    p.max == 0,
 	}
 }
 
@@ -247,43 +291,52 @@ func (p *Pool) run() {
 		}
 		// Highest non-empty priority level: one find-MSB over the mask.
 		idx := 31 - bits.LeadingZeros32(p.mask)
-		fn := p.rings[idx].pop()
+		t := p.rings[idx].pop()
 		if p.rings[idx].empty() {
 			p.mask &^= 1 << uint(idx)
 		}
 		p.queued--
 		p.mu.Unlock()
 
-		fn(Priority(idx) + MinPriority)
+		prio := Priority(idx) + MinPriority
+		p.checkDeadline(t.deadline, prio)
+		t.fn(prio)
 		p.executed.Add(1)
 	}
+}
+
+// task is one queued submission: the handler plus its (optional) start
+// deadline.
+type task struct {
+	fn       func(Priority)
+	deadline int64
 }
 
 // ring is a growable circular FIFO of tasks for one priority level. Slots
 // are reused in place, so a warmed ring enqueues and dequeues without
 // allocating.
 type ring struct {
-	buf  []func(Priority)
+	buf  []task
 	head int // index of the oldest element
 	n    int // number of queued elements
 }
 
 func (r *ring) empty() bool { return r.n == 0 }
 
-func (r *ring) push(fn func(Priority)) {
+func (r *ring) push(t task) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.n)&(len(r.buf)-1)] = fn
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
 	r.n++
 }
 
-func (r *ring) pop() func(Priority) {
-	fn := r.buf[r.head]
-	r.buf[r.head] = nil
+func (r *ring) pop() task {
+	t := r.buf[r.head]
+	r.buf[r.head] = task{}
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
-	return fn
+	return t
 }
 
 // grow doubles the ring (capacities stay powers of two so the index mask
@@ -293,7 +346,7 @@ func (r *ring) grow() {
 	if newCap == 0 {
 		newCap = ringInitialCap
 	}
-	nb := make([]func(Priority), newCap)
+	nb := make([]task, newCap)
 	for i := 0; i < r.n; i++ {
 		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}

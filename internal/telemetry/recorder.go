@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Recorder is the concurrent-safe bridge between the offline measurement
+// methodology (metrics.Collector, §3.1 of the paper) and runtime telemetry:
+// every recorded duration lands in both the wrapped Collector (for
+// median/jitter summaries over the raw sample) and a telemetry Histogram
+// (for live quantiles with bounded memory). Unlike a bare Collector, a
+// Recorder may be shared by any number of goroutines.
+type Recorder struct {
+	mu   sync.Mutex
+	coll *metrics.Collector
+	hist *Histogram
+}
+
+// NewRecorder returns a Recorder feeding the named histogram in the Default
+// registry, pre-sized for n observations.
+func NewRecorder(name string, n int) *Recorder {
+	return &Recorder{coll: metrics.NewCollector(n), hist: NewHistogram(name)}
+}
+
+// NewRecorderIn is NewRecorder against an explicit registry (tests).
+func NewRecorderIn(r *Registry, name string, n int) *Recorder {
+	return &Recorder{coll: metrics.NewCollector(n), hist: r.Histogram(name)}
+}
+
+// Record adds one observation to both sinks. Safe for concurrent use.
+func (r *Recorder) Record(d time.Duration) {
+	r.hist.Record(int64(d))
+	r.mu.Lock()
+	r.coll.Record(d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of observations recorded.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coll.Count()
+}
+
+// Summarize computes the paper-style summary over the raw sample.
+func (r *Recorder) Summarize() metrics.Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coll.Summarize()
+}
+
+// Histogram returns the live histogram sink.
+func (r *Recorder) Histogram() *Histogram { return r.hist }
+
+// Reset discards the raw sample, keeping its capacity. The histogram is
+// cumulative and unaffected.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.coll.Reset()
+}

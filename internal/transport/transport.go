@@ -10,6 +10,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Conn is a bidirectional byte stream between a client and a server.
@@ -38,6 +40,39 @@ type Network interface {
 // ErrClosed reports use of a closed listener or network endpoint.
 var ErrClosed = errors.New("transport: closed")
 
+// ErrNoListener reports a dial to an address nothing is listening on.
+var ErrNoListener = errors.New("transport: no listener")
+
+// ErrAddrInUse reports a bind to an already-bound address.
+var ErrAddrInUse = errors.New("transport: address in use")
+
+// OpError wraps a transport failure with the operation ("dial", "listen",
+// "accept") and the address it targeted, so callers can both inspect the
+// cause with errors.Is/As and report where it happened. It mirrors
+// net.OpError for the in-process network, which otherwise loses that
+// context.
+type OpError struct {
+	Op   string
+	Addr string
+	Err  error
+}
+
+// Error implements error.
+func (e *OpError) Error() string {
+	return "transport: " + e.Op + " " + e.Addr + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *OpError) Unwrap() error { return e.Err }
+
+// opError wraps err and records it as a telemetry fault: transport failures
+// are exactly the cold-path events the flight recorder exists to capture.
+func opError(op, addr string, err error) error {
+	e := &OpError{Op: op, Addr: addr, Err: err}
+	telemetry.RecordFault("transport."+op, e)
+	return e
+}
+
 // TCP is the real-network implementation, matching the paper's
 // "single machine connected via loopback network" setup.
 type TCP struct{}
@@ -46,14 +81,18 @@ type TCP struct{}
 func (TCP) Listen(addr string) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, opError("listen", addr, err)
 	}
 	return &tcpListener{l: l}, nil
 }
 
 // Dial implements Network.
 func (TCP) Dial(addr string) (Conn, error) {
-	return net.Dial("tcp", addr)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, opError("dial", addr, err)
+	}
+	return c, nil
 }
 
 type tcpListener struct{ l net.Listener }
@@ -62,9 +101,10 @@ func (t *tcpListener) Accept() (Conn, error) {
 	c, err := t.l.Accept()
 	if err != nil {
 		if errors.Is(err, net.ErrClosed) {
+			// Normal teardown, not a fault.
 			return nil, ErrClosed
 		}
-		return nil, err
+		return nil, opError("accept", t.Addr(), err)
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		// Request/reply traffic: never batch small frames.
@@ -99,7 +139,7 @@ func (n *Inproc) Listen(addr string) (Listener, error) {
 		addr = fmt.Sprintf("inproc-%d", n.next)
 	}
 	if _, dup := n.listeners[addr]; dup {
-		return nil, fmt.Errorf("transport: address %q already bound", addr)
+		return nil, opError("listen", addr, ErrAddrInUse)
 	}
 	l := &inprocListener{net: n, addr: addr, backlog: make(chan Conn, 16)}
 	n.listeners[addr] = l
@@ -112,14 +152,14 @@ func (n *Inproc) Dial(addr string) (Conn, error) {
 	l := n.listeners[addr]
 	n.mu.Unlock()
 	if l == nil {
-		return nil, fmt.Errorf("transport: no listener at %q", addr)
+		return nil, opError("dial", addr, ErrNoListener)
 	}
 	client, server := net.Pipe()
 	select {
 	case l.backlog <- server:
 		return client, nil
 	case <-l.done():
-		return nil, ErrClosed
+		return nil, opError("dial", addr, ErrClosed)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func exchange(t *testing.T, n Network, addr string) {
@@ -76,12 +78,98 @@ func TestInprocAddresses(t *testing.T) {
 	if l1.Addr() == l2.Addr() {
 		t.Error("addresses collide")
 	}
-	if _, err := n.Listen("custom"); err == nil {
-		t.Error("duplicate bind accepted")
+	if _, err := n.Listen("custom"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("duplicate bind err = %v, want ErrAddrInUse", err)
 	}
-	if _, err := n.Dial("nowhere"); err == nil {
-		t.Error("dial to unbound address accepted")
+	if _, err := n.Dial("nowhere"); !errors.Is(err, ErrNoListener) {
+		t.Errorf("dial to unbound address err = %v, want ErrNoListener", err)
 	}
+}
+
+// TestOpErrorInspectable pins the wrapped-error contract: transport failures
+// carry op and addr, unwrap to their sentinel cause, and land in the
+// telemetry fault log.
+func TestOpErrorInspectable(t *testing.T) {
+	n := NewInproc()
+	_, before := telemetry.Default.Faults()
+	_, err := n.Dial("ghost")
+	if err == nil {
+		t.Fatal("dial to unbound address accepted")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err %T is not *OpError", err)
+	}
+	if oe.Op != "dial" || oe.Addr != "ghost" || !errors.Is(oe, ErrNoListener) {
+		t.Errorf("OpError = %+v", oe)
+	}
+	faults, total := telemetry.Default.Faults()
+	if total <= before || len(faults) == 0 {
+		t.Fatal("dial failure not recorded as a telemetry fault")
+	}
+	last := faults[len(faults)-1]
+	if last.Label != "transport.dial" {
+		t.Errorf("fault label = %q", last.Label)
+	}
+}
+
+// TestTCPDialFailureWrapped covers the real-network dial error path: nothing
+// listens on the ephemeral port just released.
+func TestTCPDialFailureWrapped(t *testing.T) {
+	l, err := TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	l.Close()
+	_, err = TCP{}.Dial(addr)
+	if err == nil {
+		t.Skip("port was rebound between close and dial")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err %T is not *OpError", err)
+	}
+	if oe.Op != "dial" || oe.Addr != addr {
+		t.Errorf("OpError = %+v", oe)
+	}
+}
+
+// TestPeerCloseMidFrame checks the reader-side contract the ORBs rely on: a
+// connection dropped mid-frame surfaces io.ErrUnexpectedEOF through the
+// giop reader's wrapping (verified here at the transport level by closing
+// after a partial write).
+func TestPeerCloseMidFrame(t *testing.T) {
+	n := NewInproc()
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		accepted <- c
+	}()
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	go func() {
+		// Half a would-be frame, then gone.
+		_, _ = c.Write([]byte{1, 2, 3})
+		c.Close()
+	}()
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(server, buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("short read err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	server.Close()
 }
 
 func TestInprocClose(t *testing.T) {

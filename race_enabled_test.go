@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation allocates and would fail the alloc-free guards.
+const raceEnabled = true
