@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1 allocguard
+.PHONY: all build vet test race bench-smoke verify bench1 allocguard chaos
 
 all: build
 
@@ -32,6 +32,15 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=10x .
 
 verify: vet build race bench-smoke
+
+# chaos is the resilience gate: the fault-injection suite — seeded fault
+# network, circuit breaker, reconnect/retry, deadline teardown, overload
+# shedding, and transport error-chain parity — under the race detector.
+# Every fault schedule in these tests is seeded, so failures replay.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace' \
+		./internal/fault/ ./internal/orb/ ./internal/core/ ./internal/sched/ ./internal/transport/
 
 # bench1 regenerates BENCH_1.json, the checked-in snapshot of the Fig. 11
 # grid and the dispatch-path latency/allocation numbers.

@@ -6,6 +6,7 @@
 //	benchharness -experiment fig11       # Fig. 11: Compadres ORB vs RTZen by size
 //	benchharness -experiment ablations   # cross-scope / shadow-port / scope-pool
 //	benchharness -experiment bench1      # BENCH_1.json snapshot (Fig. 11 + dispatch path)
+//	benchharness -experiment chaos       # resilient invocation under seeded fault injection
 //	benchharness -experiment all
 //
 // Use -observations and -warmup to trade accuracy for time; the defaults
@@ -17,24 +18,31 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
+	"repro/internal/corba"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/orb"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | all")
+		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | chaos | all")
 		obs        = flag.Int("observations", metrics.DefaultObservations, "steady-state observations per configuration")
 		warmup     = flag.Int("warmup", metrics.DefaultWarmup, "warm-up iterations discarded before measuring")
 		out        = flag.String("out", "BENCH_1.json", "output path for the bench1 snapshot")
+		seed       = flag.Uint64("seed", 1, "chaos fault-schedule seed")
 		telem      = flag.Bool("telemetry", true, "record runtime telemetry during experiments")
 		telemOut   = flag.String("telemetry-out", "", "write a telemetry JSON snapshot (with flight-recorder events) to this file after the run")
 	)
 	flag.Parse()
 	telemetry.Enable(*telem)
-	if err := run(*experiment, *warmup, *obs, *out); err != nil {
+	if err := run(*experiment, *warmup, *obs, *out, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)
 	}
@@ -60,7 +68,7 @@ func writeTelemetrySnapshot(path string) error {
 	return f.Close()
 }
 
-func run(experiment string, warmup, obs int, out string) error {
+func run(experiment string, warmup, obs int, out string, seed uint64) error {
 	switch experiment {
 	case "table2":
 		return runTable2(warmup, obs, false)
@@ -72,6 +80,8 @@ func run(experiment string, warmup, obs int, out string) error {
 		return runAblations(warmup, obs)
 	case "bench1":
 		return runBench1(warmup, obs, out)
+	case "chaos":
+		return runChaos(warmup, obs, seed)
 	case "all":
 		if err := runTable2(warmup, obs, true); err != nil {
 			return err
@@ -137,6 +147,91 @@ func runFig11(warmup, obs int) error {
 		return err
 	}
 	fmt.Println()
+	return nil
+}
+
+// runChaos measures the resilient invocation path twice over the in-process
+// transport: once clean (resilience compiled in, no faults) and once under a
+// seeded fault schedule, so the cost of supervision and the behaviour under
+// injected failures sit side by side.
+func runChaos(warmup, obs int, seed uint64) error {
+	fmt.Printf("== Chaos: resilient ORB invocation under seeded fault injection (seed %d) ==\n", seed)
+	fmt.Printf("   (%d observations after %d warm-up iterations; in-process loopback; idempotent invokes)\n\n", obs, warmup)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Variant\tMedian (µs)\tJitter (µs)\tP99 (µs)\tMax (µs)\tRetries\tReconnects\tConns dropped")
+	for _, chaos := range []bool{false, true} {
+		if err := runChaosVariant(w, warmup, obs, seed, chaos); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runChaosVariant(w *tabwriter.Writer, warmup, obs int, seed uint64, chaos bool) error {
+	base := transport.NewInproc()
+	srv, err := orb.NewServer(orb.ServerConfig{Network: base, Addr: "chaos", ScopePoolCount: 4})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.RegisterServant("echo", corba.EchoServant{})
+	srv.ServeBackground()
+
+	var clientNet transport.Network = base
+	var fn *fault.Network
+	name := "clean (resilience on)"
+	if chaos {
+		name = "chaotic (seeded faults)"
+		fn = fault.New(base, fault.Config{
+			Seed:             seed,
+			DialFailProb:     0.05,
+			DropAfterBytes:   64 << 10,
+			DropProb:         0.001,
+			PartialWriteProb: 0.001,
+		})
+		clientNet = fn
+	}
+	cl, err := orb.DialClient(orb.ClientConfig{
+		Network: clientNet, Addr: "chaos", ScopePoolCount: 4,
+		Resilience: &orb.ResilienceConfig{
+			Seed:                 seed,
+			MaxRetries:           6,
+			RetryBudgetTokens:    warmup + obs,
+			RetryBudgetEarnEvery: 1,
+			InvokeTimeout:        2 * time.Second,
+			BreakerCooldown:      5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	retries0 := telemetry.Default.Counter("retry_total").Value()
+	reconns0 := telemetry.Default.Counter("reconnect_total").Value()
+	payload := make([]byte, 256)
+	summary, err := metrics.RunSteadyState(warmup, obs, func() error {
+		_, err := cl.InvokeIdempotent("echo", "echo", payload, sched.NormPriority)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	var dropped int64
+	if fn != nil {
+		dropped = fn.Stats().ConnsDropped
+	}
+	fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\n", name,
+		metrics.Micros(summary.Median), metrics.Micros(summary.Jitter),
+		metrics.Micros(summary.P99), metrics.Micros(summary.Max),
+		telemetry.Default.Counter("retry_total").Value()-retries0,
+		telemetry.Default.Counter("reconnect_total").Value()-reconns0,
+		dropped)
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/corba"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/orb"
 	"repro/internal/rtzen"
@@ -38,10 +39,12 @@ func main() {
 		warmup      = flag.Int("warmup", 100, "warm-up round trips")
 		metricsAddr = flag.String("metrics", "", "serve telemetry on this HTTP address (/metrics, /snapshot.json, /trace?id=hex)")
 		telem       = flag.Bool("telemetry", true, "record counters, spans, and flight-recorder events")
+		chaos       = flag.Bool("chaos", false, "inject seeded transport faults on the client and drive the resilient invoke path (compadres only)")
+		seed        = flag.Uint64("seed", 1, "chaos schedule and retry-jitter seed")
 	)
 	flag.Parse()
 	telemetry.Enable(*telem)
-	if err := run(*mode, *addr, *orbKind, *size, *n, *warmup, *metricsAddr); err != nil {
+	if err := run(*mode, *addr, *orbKind, *size, *n, *warmup, *metricsAddr, *chaos, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "orbdemo:", err)
 		os.Exit(1)
 	}
@@ -107,7 +110,7 @@ func dialClient(orbKind, addr string) (echoClient, error) {
 	}
 }
 
-func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string) error {
+func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string, chaos bool, seed uint64) error {
 	if metricsAddr != "" {
 		if err := serveMetrics(metricsAddr); err != nil {
 			return err
@@ -127,7 +130,7 @@ func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string) er
 		return nil
 
 	case "client":
-		return runClient(orbKind, addr, size, n, warmup)
+		return runClient(orbKind, addr, size, n, warmup, chaos, seed)
 
 	case "both":
 		srv, err := startServer(orbKind, addr)
@@ -136,17 +139,54 @@ func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string) er
 		}
 		defer srv.Close()
 		fmt.Printf("%s ORB serving echo at %s\n", orbKind, srv.Addr())
-		return runClient(orbKind, srv.Addr(), size, n, warmup)
+		return runClient(orbKind, srv.Addr(), size, n, warmup, chaos, seed)
 
 	default:
 		return fmt.Errorf("unknown -mode %q", mode)
 	}
 }
 
-func runClient(orbKind, addr string, size, n, warmup int) error {
-	cl, err := dialClient(orbKind, addr)
-	if err != nil {
-		return err
+func runClient(orbKind, addr string, size, n, warmup int, chaos bool, seed uint64) error {
+	var (
+		cl       echoClient
+		chaosNet *fault.Network
+		invoke   func(key, op string, payload []byte, prio sched.Priority) ([]byte, error)
+		err      error
+	)
+	if chaos {
+		if orbKind != "compadres" {
+			return fmt.Errorf("-chaos requires -orb compadres")
+		}
+		// Seeded fault schedule: the same -seed replays the same dial
+		// refusals, connection deaths, delays, and truncated writes.
+		chaosNet = fault.New(transport.TCP{}, fault.Config{
+			Seed:             seed,
+			DialFailProb:     0.05,
+			DropAfterBytes:   64 << 10,
+			DropProb:         0.002,
+			PartialWriteProb: 0.002,
+			LatencyMin:       10 * time.Microsecond,
+			LatencyMax:       500 * time.Microsecond,
+		})
+		ccl, derr := orb.DialClient(orb.ClientConfig{
+			Network: chaosNet, Addr: addr, ScopePoolCount: 4,
+			Resilience: &orb.ResilienceConfig{
+				Seed:                 seed,
+				InvokeTimeout:        2 * time.Second,
+				RetryBudgetTokens:    n + warmup,
+				RetryBudgetEarnEvery: 1,
+			},
+		})
+		if derr != nil {
+			return derr
+		}
+		cl, invoke = ccl, ccl.InvokeIdempotent
+	} else {
+		cl, err = dialClient(orbKind, addr)
+		if err != nil {
+			return err
+		}
+		invoke = cl.Invoke
 	}
 	defer cl.Close()
 
@@ -155,7 +195,7 @@ func runClient(orbKind, addr string, size, n, warmup int) error {
 		payload[i] = byte(i)
 	}
 	op := func() error {
-		got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+		got, err := invoke("echo", "echo", payload, sched.NormPriority)
 		if err != nil {
 			return err
 		}
@@ -171,6 +211,11 @@ func runClient(orbKind, addr string, size, n, warmup int) error {
 	}
 	fmt.Printf("%s ORB, %d-byte echo over TCP %s: %s (total %v)\n",
 		orbKind, size, addr, summary, time.Since(start).Round(time.Millisecond))
+	if chaosNet != nil {
+		st := chaosNet.Stats()
+		fmt.Printf("chaos (seed %d): %d dials refused, %d conns dropped, %d delays, %d partial writes\n",
+			seed, st.DialsRefused, st.ConnsDropped, st.DelaysAdded, st.PartialWrites)
+	}
 	printTelemetryDigest(orbKind)
 	return nil
 }

@@ -42,7 +42,7 @@ func TestInPortSequentialOrdering(t *testing.T) {
 			msg:  &testMsg{v: i},
 		}
 		items = append(items, it)
-		if err := p.push(bufItem{msg: it.msg, prio: it.prio}); err != nil {
+		if _, _, err := p.push(bufItem{msg: it.msg, prio: it.prio}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -96,7 +96,7 @@ func TestInPortConcurrentProducersFIFO(t *testing.T) {
 			for i := 0; i < perProd; i++ {
 				prio := sched.MinPriority + sched.Priority(rng.Intn(5))
 				msg := &testMsg{v: prod*1_000_000 + i}
-				if err := p.push(bufItem{msg: msg, prio: prio}); err != nil {
+				if _, _, err := p.push(bufItem{msg: msg, prio: prio}); err != nil {
 					t.Error(err)
 					return
 				}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// overflowType is the message type used by the end-to-end shedding test.
+var overflowType = MessageType{Name: "OverflowTest", Size: 16, New: func() Message { return &testMsg{} }}
+
+// newOverflowPort builds a bare InPort (no SMM) for white-box policy tests.
+func newOverflowPort(capacity int, policy Overflow) *InPort {
+	p := &InPort{
+		qname:    "T.in",
+		capacity: capacity,
+		buf:      make([]bufItem, 0, capacity),
+		overflow: policy,
+	}
+	if policy == OverflowBlock {
+		p.notFull = sync.NewCond(&p.mu)
+	}
+	return p
+}
+
+func mustPush(t *testing.T, p *InPort, v int, prio sched.Priority) {
+	t.Helper()
+	if _, _, err := p.push(bufItem{msg: &testMsg{v: v}, prio: prio}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func popValues(p *InPort) []int {
+	var out []int
+	for {
+		it, ok := p.pop()
+		if !ok {
+			return out
+		}
+		out = append(out, it.msg.(*testMsg).v)
+	}
+}
+
+func TestOverflowReject(t *testing.T) {
+	p := newOverflowPort(2, OverflowReject)
+	mustPush(t, p, 1, sched.NormPriority)
+	mustPush(t, p, 2, sched.NormPriority)
+	_, _, err := p.push(bufItem{msg: &testMsg{v: 3}, prio: sched.NormPriority})
+	if !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("err = %v, want ErrBufferFull", err)
+	}
+	if _, _, dropped := p.Stats(); dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if p.Shed() != 0 {
+		t.Errorf("reject policy counted shed = %d, want 0", p.Shed())
+	}
+}
+
+func TestOverflowDropOldest(t *testing.T) {
+	p := newOverflowPort(3, OverflowDropOldest)
+	mustPush(t, p, 1, sched.NormPriority)
+	mustPush(t, p, 2, sched.NormPriority)
+	mustPush(t, p, 3, sched.NormPriority)
+	victim, evicted, err := p.push(bufItem{msg: &testMsg{v: 4}, prio: sched.NormPriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evicted || victim.msg.(*testMsg).v != 1 {
+		t.Fatalf("evicted = %v victim = %+v, want oldest (v=1)", evicted, victim.msg)
+	}
+	got := popValues(p)
+	want := []int{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("queue after drop-oldest = %v, want %v", got, want)
+		}
+	}
+	if p.Shed() != 1 {
+		t.Errorf("shed = %d, want 1", p.Shed())
+	}
+}
+
+func TestOverflowShedLowestPrefersLowPriorityVictim(t *testing.T) {
+	p := newOverflowPort(3, OverflowShedLowest)
+	mustPush(t, p, 1, 5)
+	mustPush(t, p, 2, 20)
+	mustPush(t, p, 3, 10)
+
+	// A higher-priority newcomer evicts the priority-5 victim.
+	victim, evicted, err := p.push(bufItem{msg: &testMsg{v: 4}, prio: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evicted || victim.prio != 5 {
+		t.Fatalf("victim prio = %d (evicted=%v), want 5", victim.prio, evicted)
+	}
+
+	// A newcomer no more urgent than everything queued is itself shed.
+	_, _, err = p.push(bufItem{msg: &testMsg{v: 5}, prio: 10})
+	if !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("low-priority newcomer err = %v, want ErrBufferFull", err)
+	}
+
+	got := popValues(p)
+	want := []int{2, 4, 3} // prio 20, 15, 10
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("queue after shedding = %v, want %v", got, want)
+		}
+	}
+	if p.Shed() != 2 {
+		t.Errorf("shed = %d, want 2 (one victim, one rejected newcomer)", p.Shed())
+	}
+}
+
+func TestOverflowShedLowestTieBreaksOldest(t *testing.T) {
+	p := newOverflowPort(2, OverflowShedLowest)
+	mustPush(t, p, 1, 5)
+	mustPush(t, p, 2, 5)
+	victim, evicted, err := p.push(bufItem{msg: &testMsg{v: 3}, prio: 9})
+	if err != nil || !evicted {
+		t.Fatal(err)
+	}
+	if victim.msg.(*testMsg).v != 1 {
+		t.Errorf("victim = v%d, want the older v1", victim.msg.(*testMsg).v)
+	}
+}
+
+func TestOverflowBlockUnblocksOnPop(t *testing.T) {
+	p := newOverflowPort(1, OverflowBlock)
+	mustPush(t, p, 1, sched.NormPriority)
+
+	pushed := make(chan error, 1)
+	go func() {
+		_, _, err := p.push(bufItem{msg: &testMsg{v: 2}, prio: sched.NormPriority})
+		pushed <- err
+	}()
+
+	select {
+	case err := <-pushed:
+		t.Fatalf("push on a full Block port returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if it, ok := p.pop(); !ok || it.msg.(*testMsg).v != 1 {
+		t.Fatal("pop failed")
+	}
+	select {
+	case err := <-pushed:
+		if err != nil {
+			t.Fatalf("blocked push failed after space freed: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("push still blocked after pop freed a slot")
+	}
+}
+
+func TestOverflowBlockWokenByClose(t *testing.T) {
+	p := newOverflowPort(1, OverflowBlock)
+	mustPush(t, p, 1, sched.NormPriority)
+	pushed := make(chan error, 1)
+	go func() {
+		_, _, err := p.push(bufItem{msg: &testMsg{v: 2}, prio: sched.NormPriority})
+		pushed <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.closePort()
+	select {
+	case err := <-pushed:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("err = %v, want ErrStopped", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked push not woken by closePort")
+	}
+}
+
+// TestRemoveItemRetractsExactDelivery pins the retraction contract the send
+// path relies on: when a dispatch submission fails after its item was
+// pushed, removeItem must pull back that exact delivery — not whichever
+// message tops the priority heap. (The old code popped an arbitrary item,
+// which could orphan another sender's delivery while the failed one stayed
+// queued against a completion channel its caller had already recycled.)
+func TestRemoveItemRetractsExactDelivery(t *testing.T) {
+	p := newOverflowPort(4, OverflowReject)
+	envs := [3]*envelope{{}, {}, {}}
+	msgs := [3]*testMsg{{v: 1}, {v: 2}, {v: 3}}
+	// v2 is the highest priority: a naive pop would return it.
+	prios := [3]sched.Priority{5, 25, 5}
+	for i := range envs {
+		if _, _, err := p.push(bufItem{env: envs[i], msg: msgs[i], prio: prios[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, ok := p.removeItem(envs[2], msgs[2])
+	if !ok || it.msg.(*testMsg).v != 3 {
+		t.Fatalf("removeItem = (%+v, %v), want the exact (env2, v3) delivery", it.msg, ok)
+	}
+	if _, ok := p.removeItem(envs[2], msgs[2]); ok {
+		t.Fatal("removeItem found an already-retracted delivery")
+	}
+	got := popValues(p)
+	want := []int{2, 1} // heap order among the survivors
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("surviving queue = %v, want %v", got, want)
+	}
+}
+
+// TestOverflowEndToEndShedLowest drives a real component whose slow In port
+// uses priority-aware shedding: under overload every high-priority message
+// survives while low-priority traffic is shed, and the SMM's bookkeeping
+// (pending counts, message pool) stays balanced.
+func TestOverflowEndToEndShedLowest(t *testing.T) {
+	app, err := NewApp(AppConfig{Name: "shed", ImmortalSize: 1 << 20, MsgPoolCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var seen []int
+
+	var out *OutPort
+	_, err = app.NewImmortalComponent("T", func(c *Component) error {
+		smm := c.SMM()
+		var aerr error
+		out, aerr = AddOutPort(c, smm, OutPortConfig{
+			Name: "out", Type: overflowType, Dests: []string{"T.in"},
+		})
+		if aerr != nil {
+			return aerr
+		}
+		_, aerr = AddInPort(c, smm, InPortConfig{
+			Name: "in", Type: overflowType, BufferSize: 4,
+			Threading: ThreadingDedicated, MinThreads: 1, MaxThreads: 1,
+			Overflow: OverflowShedLowest,
+			Handler: HandlerFunc(func(p *Proc, m Message) error {
+				<-release
+				mu.Lock()
+				seen = append(seen, m.(*testMsg).v)
+				mu.Unlock()
+				return nil
+			}),
+		})
+		return aerr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood: far more messages than the buffer holds, low priority first.
+	const total = 24
+	var sendErrs int
+	for i := 0; i < total; i++ {
+		m, err := out.GetMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.(*testMsg).v = i
+		prio := sched.Priority(2)
+		if i >= total-4 {
+			prio = sched.Priority(28) // the last four are critical
+		}
+		if err := out.Send(m, prio); err != nil {
+			sendErrs++
+		}
+	}
+	close(release)
+
+	deadline := time.After(5 * time.Second)
+	for {
+		in, err := app.Component("T").SMM().GetInPort("T.in")
+		if err != nil {
+			t.Fatal(err)
+		}
+		received, processed, dropped := in.Stats()
+		// dropped = rejected newcomers (surfaced as Send errors) + evicted
+		// victims; only non-evicted arrivals ever reach the handler.
+		evictions := dropped - int64(sendErrs)
+		if processed == received-evictions {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("handler drained %d of %d", processed, received)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	critical := 0
+	for _, v := range seen {
+		if v >= total-4 {
+			critical++
+		}
+	}
+	if critical != 4 {
+		t.Errorf("only %d of 4 critical messages survived overload; seen = %v", critical, seen)
+	}
+	in, _ := app.Component("T").SMM().GetInPort("T.in")
+	if in.Shed() == 0 && sendErrs == 0 {
+		t.Error("no shedding recorded despite flooding a 4-slot buffer")
+	}
+}

@@ -40,6 +40,50 @@ func (t Threading) String() string {
 // it zero.
 const DefaultBufferSize = 8
 
+// Overflow selects what a Send does when an In port's bounded buffer is at
+// capacity. A hard-real-time system cannot let queues grow without bound;
+// these policies make the degradation mode an explicit per-port choice
+// instead of an accident.
+type Overflow int
+
+const (
+	// OverflowReject fails the Send with ErrBufferFull (the default; the
+	// paper's hard backpressure stance).
+	OverflowReject Overflow = iota
+	// OverflowBlock parks the sender until a slot frees (or the port shuts
+	// down). Do not combine with ThreadingSynchronous self-sends: the
+	// sender would wait on itself.
+	OverflowBlock
+	// OverflowDropOldest sheds the oldest queued message to admit the new
+	// one — bounded staleness for periodic telemetry-style traffic.
+	OverflowDropOldest
+	// OverflowShedLowest is priority-aware shedding: the lowest-priority
+	// queued message (oldest among ties) is shed if the newcomer outranks
+	// it; otherwise the newcomer itself is rejected. Overload degrades
+	// low-priority traffic first, preserving deadline-critical messages.
+	OverflowShedLowest
+)
+
+// String returns the policy name.
+func (o Overflow) String() string {
+	switch o {
+	case OverflowReject:
+		return "Reject"
+	case OverflowBlock:
+		return "Block"
+	case OverflowDropOldest:
+		return "DropOldest"
+	case OverflowShedLowest:
+		return "ShedLowest"
+	default:
+		return fmt.Sprintf("Overflow(%d)", int(o))
+	}
+}
+
+// shedTotal counts messages dropped by overflow shedding across all ports,
+// exported at /metrics as compadres_shed_total.
+var shedTotal = telemetry.NewCounter("shed_total")
+
 // InPortConfig parameterises AddInPort. It mirrors the paper's
 // addInPort(name, smm, msgType, bufferSize, strategy, minPool, maxPool,
 // handler).
@@ -56,6 +100,8 @@ type InPortConfig struct {
 	// MinThreads/MaxThreads size the thread pool (ignored for
 	// ThreadingSynchronous). Zero values select 1 and 4.
 	MinThreads, MaxThreads int
+	// Overflow selects the buffer-full policy; zero selects OverflowReject.
+	Overflow Overflow
 	// Handler processes arriving messages. Required.
 	Handler Handler
 }
@@ -105,6 +151,9 @@ type InPort struct {
 	buf      []bufItem // priority heap, preallocated at the declared capacity
 	capacity int
 	seq      uint64
+	closed   bool
+	overflow Overflow
+	notFull  *sync.Cond // non-nil only for OverflowBlock ports
 
 	bound      atomic.Pointer[portBinding]
 	pool       *sched.Pool
@@ -114,6 +163,7 @@ type InPort struct {
 	received  atomic.Int64
 	processed atomic.Int64
 	dropped   atomic.Int64
+	shed      atomic.Int64 // subset of dropped: removed by an overflow policy
 	depthMax  atomic.Int64 // queue depth high-water mark
 
 	label  telemetry.LabelID
@@ -135,21 +185,63 @@ func (p *InPort) Stats() (received, processed, dropped int64) {
 	return p.received.Load(), p.processed.Load(), p.dropped.Load()
 }
 
+// Shed reports how many messages the port's overflow policy removed (a
+// subset of dropped).
+func (p *InPort) Shed() int64 { return p.shed.Load() }
+
+// Overflow returns the port's buffer-full policy.
+func (p *InPort) Overflow() Overflow { return p.overflow }
+
 // QueueMax reports the buffer's depth high-water mark.
 func (p *InPort) QueueMax() int64 { return p.depthMax.Load() }
 
-// push enqueues an item, or reports ErrBufferFull. The buffer is a priority
-// queue: pop hands out the highest-priority pending message (FIFO within a
-// priority), so the pool worker that dequeues — itself scheduled at the
-// message's priority — processes the message that justified its priority.
-// The backing array is preallocated at the port's declared capacity, so
-// push never allocates.
-func (p *InPort) push(it bufItem) error {
+// push enqueues an item, applying the port's overflow policy when the
+// buffer is at capacity. The buffer is a priority queue: pop hands out the
+// highest-priority pending message (FIFO within a priority), so the pool
+// worker that dequeues — itself scheduled at the message's priority —
+// processes the message that justified its priority. The backing array is
+// preallocated at the port's declared capacity, so push never allocates.
+//
+// When a policy evicts a queued message to admit the new one, the victim is
+// returned with evicted == true; the caller must release its envelope and
+// owner reservation outside the port lock.
+func (p *InPort) push(it bufItem) (victim bufItem, evicted bool, err error) {
 	p.mu.Lock()
-	if len(p.buf) == p.capacity {
+	if p.closed {
 		p.mu.Unlock()
-		p.dropped.Add(1)
-		return fmt.Errorf("%w: %q (capacity %d)", ErrBufferFull, p.qname, p.capacity)
+		return bufItem{}, false, fmt.Errorf("%w: %q", ErrStopped, p.qname)
+	}
+	if len(p.buf) == p.capacity {
+		switch p.overflow {
+		case OverflowBlock:
+			for len(p.buf) == p.capacity && !p.closed {
+				p.notFull.Wait()
+			}
+			if p.closed {
+				p.mu.Unlock()
+				return bufItem{}, false, fmt.Errorf("%w: %q", ErrStopped, p.qname)
+			}
+		case OverflowDropOldest:
+			victim = p.evictLocked(p.oldestLocked())
+			evicted = true
+		case OverflowShedLowest:
+			li := p.lowestLocked()
+			if p.buf[li].prio >= it.prio {
+				// Nothing queued is less urgent than the newcomer: shed
+				// the newcomer itself.
+				p.mu.Unlock()
+				p.dropped.Add(1)
+				p.recordShed(it.prio)
+				return bufItem{}, false, fmt.Errorf("%w: %q shed priority-%d message (capacity %d)",
+					ErrBufferFull, p.qname, it.prio, p.capacity)
+			}
+			victim = p.evictLocked(li)
+			evicted = true
+		default: // OverflowReject
+			p.mu.Unlock()
+			p.dropped.Add(1)
+			return bufItem{}, false, fmt.Errorf("%w: %q (capacity %d)", ErrBufferFull, p.qname, p.capacity)
+		}
 	}
 	p.seq++
 	it.seq = p.seq
@@ -160,7 +252,58 @@ func (p *InPort) push(it bufItem) error {
 	}
 	p.mu.Unlock()
 	p.received.Add(1)
-	return nil
+	if evicted {
+		p.dropped.Add(1)
+		p.recordShed(victim.prio)
+	}
+	return victim, evicted, nil
+}
+
+// recordShed accounts one message removed by an overflow policy.
+func (p *InPort) recordShed(prio sched.Priority) {
+	p.shed.Add(1)
+	shedTotal.Inc()
+	telemetry.Record(telemetry.EvShed, p.label, 0, 0, uint64(prio))
+}
+
+// oldestLocked returns the index of the item with the smallest sequence
+// number. Called with mu held on a full buffer; O(capacity), cold path.
+func (p *InPort) oldestLocked() int {
+	best := 0
+	for i := 1; i < len(p.buf); i++ {
+		if p.buf[i].seq < p.buf[best].seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// lowestLocked returns the index of the lowest-priority item, oldest among
+// ties. Called with mu held on a full buffer; O(capacity), cold path.
+func (p *InPort) lowestLocked() int {
+	best := 0
+	for i := 1; i < len(p.buf); i++ {
+		if p.buf[i].prio < p.buf[best].prio ||
+			(p.buf[i].prio == p.buf[best].prio && p.buf[i].seq < p.buf[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// evictLocked removes and returns the item at heap index i, restoring heap
+// order. Called with mu held.
+func (p *InPort) evictLocked(i int) bufItem {
+	it := p.buf[i]
+	last := len(p.buf) - 1
+	p.buf[i] = p.buf[last]
+	p.buf[last] = bufItem{}
+	p.buf = p.buf[:last]
+	if i < len(p.buf) {
+		p.siftDown(i)
+		p.siftUp(i)
+	}
+	return it
 }
 
 // pop dequeues the highest-priority item; ok reports whether one was
@@ -179,7 +322,40 @@ func (p *InPort) pop() (bufItem, bool) {
 	if len(p.buf) > 0 {
 		p.siftDown(0)
 	}
+	if p.notFull != nil {
+		p.notFull.Signal()
+	}
 	return it, true
+}
+
+// removeItem removes the exact queued delivery identified by its envelope
+// and message, reporting whether it was still buffered. Used when a
+// dispatch submission fails after the item was pushed: the caller must
+// retract that item, not whichever happens to top the heap.
+func (p *InPort) removeItem(env *envelope, msg Message) (bufItem, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.buf {
+		if p.buf[i].env == env && p.buf[i].msg == msg {
+			it := p.evictLocked(i)
+			if p.notFull != nil {
+				p.notFull.Signal()
+			}
+			return it, true
+		}
+	}
+	return bufItem{}, false
+}
+
+// closePort wakes blocked senders and refuses further pushes; called when
+// the mediating SMM shuts down.
+func (p *InPort) closePort() {
+	p.mu.Lock()
+	p.closed = true
+	if p.notFull != nil {
+		p.notFull.Broadcast()
+	}
+	p.mu.Unlock()
 }
 
 // itemLess orders by descending priority, then FIFO.

@@ -258,7 +258,11 @@ func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
 		smm:      s,
 		buf:      make([]bufItem, 0, bufSize),
 		capacity: bufSize,
+		overflow: cfg.Overflow,
 		label:    telemetry.Label(qname),
+	}
+	if cfg.Overflow == OverflowBlock {
+		p.notFull = sync.NewCond(&p.mu)
 	}
 	// The dispatch closure is created once per port, so the per-message
 	// Submit passes a preexisting function value instead of allocating.
@@ -296,6 +300,7 @@ func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
 		"port_received":  p.received.Load,
 		"port_processed": p.processed.Load,
 		"port_dropped":   p.dropped.Load,
+		"port_shed":      p.shed.Load,
 		"port_queue_max": p.depthMax.Load,
 	})
 	return p, nil
@@ -788,16 +793,28 @@ func (s *SMM) deliverAsync(p *OutPort, r *route, env *envelope, msg Message, pri
 		return fmt.Errorf("%w: %q sends %q, %q accepts %q",
 			ErrTypeMismatch, p.qname, p.typ.Name, r.dest, in.typ.Name)
 	}
-	if err := in.push(bufItem{env: env, msg: msg, prio: prio, owner: owner, deadline: deadline}); err != nil {
+	victim, evicted, err := in.push(bufItem{env: env, msg: msg, prio: prio, owner: owner, deadline: deadline})
+	if err != nil {
 		owner.donePending()
 		owner.maybeQuiesce()
 		env.done()
 		return err
 	}
+	if evicted {
+		// An overflow policy shed a queued delivery to admit this one:
+		// release the victim's reservations outside the port lock. The
+		// dispatch already submitted for the victim will pop a different
+		// (newer) item or nothing — both are fine.
+		victim.owner.donePending()
+		victim.owner.maybeQuiesce()
+		victim.env.done()
+	}
 	if err := in.pool.Submit(prio, in.dispatchFn); err != nil {
-		// Pool already shut down; the pushed item will be dropped with the
-		// SMM. Account for it now.
-		if it, ok := in.pop(); ok {
+		// Pool already shut down. Retract exactly the item just pushed —
+		// popping an arbitrary one could orphan a different sender's
+		// delivery while this one stays queued against a recycled
+		// completion channel.
+		if it, ok := in.removeItem(env, msg); ok {
 			it.owner.donePending()
 			it.env.done()
 		}
@@ -962,8 +979,10 @@ func (s *SMM) shutdown() {
 		children = append(children, c)
 	}
 	// Retire this SMM's telemetry gauges so long-lived processes (tests,
-	// servers cycling applications) do not accumulate dead entries.
+	// servers cycling applications) do not accumulate dead entries, and
+	// wake any senders parked on OverflowBlock ports.
 	for _, p := range s.in {
+		p.closePort()
 		p.gauges.Unregister()
 	}
 	for _, p := range s.out {

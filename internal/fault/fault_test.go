@@ -1,0 +1,293 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// echoListener accepts one connection and echoes everything it reads.
+func echoListener(t *testing.T, net transport.Network) transport.Listener {
+	t.Helper()
+	ln, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 256)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln
+}
+
+func TestScriptedDialRefusals(t *testing.T) {
+	inner := transport.NewInproc()
+	fn := New(inner, Config{Seed: 1, DialRefusals: []int{0, 2}})
+	ln := echoListener(t, inner)
+	defer ln.Close()
+
+	for i, wantRefused := range []bool{true, false, true, false, false} {
+		c, err := fn.Dial(ln.Addr())
+		if wantRefused {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("dial %d: err = %v, want ErrInjected", i, err)
+			}
+			var oe *transport.OpError
+			if !errors.As(err, &oe) || oe.Op != "dial" {
+				t.Fatalf("dial %d: refusal not wrapped as OpError dial: %v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("dial %d: unexpected refusal: %v", i, err)
+		}
+		c.Close()
+	}
+	if got := fn.Stats().DialsRefused; got != 2 {
+		t.Errorf("DialsRefused = %d, want 2", got)
+	}
+}
+
+func TestSeededDialRefusalsDeterministic(t *testing.T) {
+	outcomes := func(seed uint64) []bool {
+		inner := transport.NewInproc()
+		fn := New(inner, Config{Seed: seed, DialFailProb: 0.5})
+		ln := echoListener(t, inner)
+		defer ln.Close()
+		var out []bool
+		for i := 0; i < 32; i++ {
+			c, err := fn.Dial(ln.Addr())
+			out = append(out, err != nil)
+			if err == nil {
+				c.Close()
+			}
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at dial %d: %v vs %v", i, a, b)
+		}
+	}
+	c := outcomes(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical refusal schedules")
+	}
+}
+
+func TestDropAfterBytes(t *testing.T) {
+	inner := transport.NewInproc()
+	fn := New(inner, Config{Seed: 7, DropAfterBytes: 64})
+	ln := echoListener(t, inner)
+	defer ln.Close()
+
+	c, err := fn.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	msg := make([]byte, 16)
+	buf := make([]byte, 16)
+	var total int64
+	var opErr error
+	for i := 0; i < 32; i++ {
+		if _, err := c.Write(msg); err != nil {
+			opErr = err
+			break
+		}
+		total += int64(len(msg))
+		if _, err := io.ReadFull(c, buf); err != nil {
+			opErr = err
+			break
+		}
+		total += int64(len(buf))
+	}
+	if opErr == nil {
+		t.Fatal("connection survived past its byte budget")
+	}
+	// The budget counts read+write traffic; the sever must hit at or just
+	// past 64 bytes, not tens of round trips later.
+	if total > 128 {
+		t.Errorf("connection carried %d bytes before dropping, budget 64", total)
+	}
+	if fn.Stats().ConnsDropped != 1 {
+		t.Errorf("ConnsDropped = %d, want 1", fn.Stats().ConnsDropped)
+	}
+}
+
+func TestCorruptionFlipsOneByteOnCopy(t *testing.T) {
+	inner := transport.NewInproc()
+	fn := New(inner, Config{Seed: 3, CorruptProb: 1})
+	ln := echoListener(t, inner)
+	defer ln.Close()
+
+	c, err := fn.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	msg := []byte("hello, corrupted world!")
+	orig := append([]byte(nil), msg...)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != string(orig) {
+		t.Error("caller's buffer was mutated by corruption injection")
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("echoed data differs in %d bytes, want exactly 1", diff)
+	}
+	if fn.Stats().BytesFlipped != 1 { // only the dialed side is wrapped
+		t.Errorf("BytesFlipped = %d, want 1 (accepted side is unwrapped)", fn.Stats().BytesFlipped)
+	}
+}
+
+func TestPartialWriteSevers(t *testing.T) {
+	inner := transport.NewInproc()
+	fn := New(inner, Config{Seed: 9, PartialWriteProb: 1})
+	ln := echoListener(t, inner)
+	defer ln.Close()
+
+	c, err := fn.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n, err := c.Write(make([]byte, 100))
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n <= 0 || n >= 100 {
+		t.Errorf("partial write delivered %d bytes, want a strict prefix", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("partial write err = %v, want ErrInjected cause", err)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("write after sever err = %v, want ErrInjected", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	inner := transport.NewInproc()
+	fn := New(inner, Config{Seed: 5, LatencyMin: 2 * time.Millisecond, LatencyMax: 4 * time.Millisecond})
+	ln := echoListener(t, inner)
+	defer ln.Close()
+
+	c, err := fn.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Errorf("read returned in %v, want >= injected 2ms floor", d)
+	}
+	if fn.Stats().DelaysAdded == 0 {
+		t.Error("no delay recorded")
+	}
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	inner := transport.NewInproc()
+	fn := New(inner, Config{})
+	ln := echoListener(t, fn) // Listen passes through
+	defer ln.Close()
+
+	c, err := fn.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := c.Write([]byte("abcd")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := fn.Stats(); s != (Stats{}) {
+		t.Errorf("zero config injected faults: %+v", s)
+	}
+}
+
+func TestDeadlineForwarded(t *testing.T) {
+	inner := transport.NewInproc()
+	fn := New(inner, Config{Seed: 11})
+	ln := echoListener(t, inner)
+	defer ln.Close()
+
+	c, err := fn.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	d, ok := c.(interface{ SetDeadline(time.Time) error })
+	if !ok {
+		t.Fatal("fault conn does not expose SetDeadline")
+	}
+	if err := d.SetDeadline(time.Now().Add(5 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing was written, so the echo server sends nothing: the read must
+	// time out instead of blocking forever.
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("read with expired deadline succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("deadline not forwarded to inner connection")
+	}
+}

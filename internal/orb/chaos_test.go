@@ -1,0 +1,356 @@
+package orb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corba"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// blockServant parks every invocation until release closes, then echoes.
+type blockServant struct{ release <-chan struct{} }
+
+func (b blockServant) Invoke(op string, in []byte) ([]byte, error) {
+	<-b.release
+	out := make([]byte, len(in))
+	copy(out, in)
+	return out, nil
+}
+
+// TestBreakerStateMachine drives the circuit breaker through its full
+// closed → open → half-open → closed cycle without a network.
+func TestBreakerStateMachine(t *testing.T) {
+	b := breaker{threshold: 3, cooldown: int64(20 * time.Millisecond)}
+	if !b.Allow() {
+		t.Fatal("fresh breaker refused")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != breakerClosed || !b.Allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Failure() // third consecutive fault: open
+	if b.State() != breakerOpen {
+		t.Fatalf("state = %d after threshold faults, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %d after probe admitted, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted inside the same cooldown window")
+	}
+	b.Failure() // probe failed: reopen
+	if b.State() != breakerOpen || b.Allow() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("reopened breaker never admitted another probe")
+	}
+	b.Success()
+	if b.State() != breakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	// A streak broken by a success must not open.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != breakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+}
+
+// TestResilientClientSurvivesServerRestart kills the server mid-run: plain
+// invokes fail and trip the breaker into fail-fast, then a restarted server
+// on the same address is found again by the supervised redial and the
+// breaker closes.
+func TestResilientClientSurvivesServerRestart(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "restart", ServerConfig{})
+	addr := srv.Addr()
+
+	openBefore := breakerOpenTotal.Value()
+	reconnBefore := reconnectTotal.Value()
+
+	cl := dial(t, net, addr, ClientConfig{Resilience: &ResilienceConfig{
+		Seed:          7,
+		ReconnectBase: 2 * time.Millisecond,
+		ReconnectMax:  20 * time.Millisecond,
+		MaxRetries:    8,
+		// The budget must cover the recovery retries below.
+		RetryBudgetTokens:    200,
+		RetryBudgetEarnEvery: 1,
+		BreakerThreshold:     4,
+		BreakerCooldown:      30 * time.Millisecond,
+	}})
+	if out, err := cl.Invoke("echo", "echo", []byte("warm"), sched.NormPriority); err != nil || string(out) != "warm" {
+		t.Fatalf("warm-up invoke = (%q, %v)", out, err)
+	}
+
+	srv.Close()
+
+	// Plain invokes against the dead server fail; after BreakerThreshold
+	// consecutive transport faults the breaker opens and calls fail fast.
+	sawOpen := false
+	for i := 0; i < 50 && !sawOpen; i++ {
+		_, err := cl.Invoke("echo", "echo", []byte("x"), sched.NormPriority)
+		if err == nil {
+			t.Fatal("invoke against dead server succeeded")
+		}
+		sawOpen = errors.Is(err, ErrCircuitOpen)
+	}
+	if !sawOpen {
+		t.Fatal("breaker never opened against a dead server")
+	}
+	if breakerOpenTotal.Value() <= openBefore {
+		t.Error("breaker_open_total did not advance")
+	}
+
+	// Restart on the same address; the idempotent path retries through the
+	// breaker's half-open probe until the redial lands.
+	srv2 := startEchoServer(t, net, addr, ServerConfig{})
+	_ = srv2
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, err := cl.InvokeIdempotent("echo", "echo", []byte("back"), sched.NormPriority)
+		if err == nil {
+			if string(out) != "back" {
+				t.Fatalf("post-recovery echo = %q", out)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never recovered after server restart: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reconnectTotal.Value() <= reconnBefore {
+		t.Error("reconnect_total did not advance")
+	}
+	if cl.res.brk.State() != breakerClosed {
+		t.Errorf("breaker state = %d after recovery, want closed", cl.res.brk.State())
+	}
+}
+
+// TestInvokeDeadlineTearsDownAndRecovers parks the servant so the reply
+// never comes: the per-invoke deadline fires, the supervised connection is
+// torn down, and the next idempotent invoke reconnects and succeeds.
+func TestInvokeDeadlineTearsDownAndRecovers(t *testing.T) {
+	net := transport.NewInproc()
+	release := make(chan struct{})
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	srv.RegisterServant("block", blockServant{release: release})
+	defer close(release)
+
+	timeoutsBefore := invokeTimeoutTotal.Value()
+	cl := dial(t, net, srv.Addr(), ClientConfig{Resilience: &ResilienceConfig{
+		Seed:          11,
+		InvokeTimeout: 60 * time.Millisecond,
+		// One fault must not open the breaker for the recovery below.
+		BreakerThreshold: 10,
+	}})
+
+	_, err := cl.Invoke("block", "stall", []byte("never answered"), sched.NormPriority)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("stalled invoke err = %v, want ErrDeadlineExceeded", err)
+	}
+	if invokeTimeoutTotal.Value() <= timeoutsBefore {
+		t.Error("invoke_timeout_total did not advance")
+	}
+
+	// The connection was torn down; the idempotent path redials and the
+	// echo servant answers well inside the deadline.
+	out, err := cl.InvokeIdempotent("echo", "echo", []byte("alive"), sched.NormPriority)
+	if err != nil || string(out) != "alive" {
+		t.Fatalf("post-timeout invoke = (%q, %v)", out, err)
+	}
+}
+
+// TestInvokeErrorPathsDoNotCrossTalk floods a client whose single GIOP
+// connection is stalled behind a parked servant, so invokes fail on every
+// client-side error path (relay buffer full, outer send rejected). The
+// regression being pinned: a completion channel recycled on an error path
+// whose message could still reach a handler would hand one caller another
+// caller's reply. Every successful invoke must get exactly its own payload
+// back, during the storm and after it.
+func TestInvokeErrorPathsDoNotCrossTalk(t *testing.T) {
+	net := transport.NewInproc()
+	release := make(chan struct{})
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	srv.RegisterServant("block", blockServant{release: release})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+
+	const callers = 80
+	type result struct {
+		sent []byte
+		got  []byte
+		err  error
+	}
+	results := make([]result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := make([]byte, 8)
+			binary.BigEndian.PutUint64(payload, uint64(i)|0xABCD<<16)
+			got, err := cl.Invoke("block", "echo", payload, sched.NormPriority)
+			results[i] = result{sent: payload, got: got, err: err}
+		}(i)
+	}
+	time.Sleep(200 * time.Millisecond) // let the pipeline jam and reject
+	close(release)
+	wg.Wait()
+
+	failures := 0
+	for i, r := range results {
+		if r.err != nil {
+			failures++
+			continue
+		}
+		if !bytes.Equal(r.got, r.sent) {
+			t.Fatalf("caller %d: cross-talk! sent %x got %x", i, r.sent, r.got)
+		}
+	}
+	if failures == 0 {
+		t.Error("storm produced no failures; the error paths were not exercised")
+	}
+	if failures == callers {
+		t.Error("storm produced no successes; nothing verified delivery")
+	}
+
+	// After the storm every channel in the pool must be clean: a fresh
+	// sequential batch must match exactly.
+	for i := 0; i < 20; i++ {
+		payload := []byte(fmt.Sprintf("seq-%d", i))
+		got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+		if err != nil {
+			t.Fatalf("post-storm invoke %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("post-storm invoke %d: cross-talk! got %q want %q", i, got, payload)
+		}
+	}
+}
+
+// TestChaosSoak is the acceptance soak: a seeded fault-injection network
+// drops, delays, truncates, and refuses traffic while idempotent invokes
+// hammer the echo servant. The client must reach at least 99% eventual
+// success, the supervised connection must have reconnected, and tearing
+// everything down must leak no goroutines.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseline := runtime.NumGoroutine()
+
+	base := transport.NewInproc()
+	chaos := fault.New(base, fault.Config{
+		Seed:             0xC0FFEE,
+		DialFailProb:     0.05,
+		DropAfterBytes:   32 << 10, // periodic connection death
+		DropProb:         0.01,
+		PartialWriteProb: 0.005,
+		LatencyMin:       10 * time.Microsecond,
+		LatencyMax:       200 * time.Microsecond,
+		// No corruption: GIOP has no payload checksum, so a flipped byte
+		// can silently alter an "successful" echo; corruption coverage
+		// lives in the fault package's own tests.
+	})
+
+	srv, err := NewServer(ServerConfig{Network: base, Addr: "soak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterServant("echo", corba.EchoServant{})
+	srv.ServeBackground()
+
+	cl, err := DialClient(ClientConfig{
+		Network: chaos, Addr: "soak",
+		Resilience: &ResilienceConfig{
+			Seed:                 42,
+			ReconnectBase:        time.Millisecond,
+			ReconnectMax:         50 * time.Millisecond,
+			MaxRetries:           6,
+			RetryBudgetTokens:    1000,
+			RetryBudgetEarnEvery: 1,
+			InvokeTimeout:        500 * time.Millisecond,
+			BreakerThreshold:     8,
+			BreakerCooldown:      20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	retriesBefore := retryTotal.Value()
+	const total = 400
+	successes := 0
+	payload := make([]byte, 64)
+	for i := 0; i < total; i++ {
+		binary.BigEndian.PutUint64(payload, uint64(i))
+		var out []byte
+		var err error
+		// "Eventual" success: a logical operation may take a few
+		// idempotent attempts while the breaker cycles.
+		for tries := 0; tries < 4; tries++ {
+			out, err = cl.InvokeIdempotent("echo", "echo", payload, sched.NormPriority)
+			if err == nil {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err == nil && bytes.Equal(out, payload) {
+			successes++
+		}
+	}
+	if successes < total*99/100 {
+		t.Errorf("eventual success = %d/%d, want >= 99%%", successes, total)
+	}
+	st := chaos.Stats()
+	if st.ConnsDropped == 0 && st.DialsRefused == 0 {
+		t.Error("chaos schedule injected no connection faults; soak proved nothing")
+	}
+	if st.ConnsDropped > 0 && retryTotal.Value() == retriesBefore {
+		t.Error("connections died but retry_total never advanced")
+	}
+	t.Logf("soak: %d/%d ok, faults=%+v, retries=%d, reconnects=%d, breaker-opens=%d",
+		successes, total, st, retryTotal.Value(), reconnectTotal.Value(), breakerOpenTotal.Value())
+
+	cl.Close()
+	srv.Close()
+
+	// Everything torn down: the goroutine count must return to (near) the
+	// baseline. Poll briefly — pool workers unwind asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,10 +1,13 @@
 package orb
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/corba"
 	"repro/internal/core"
@@ -39,6 +42,11 @@ type ClientConfig struct {
 	Synchronous bool
 	// MsgPoolCapacity overrides the per-type message pool capacity.
 	MsgPoolCapacity int
+	// Resilience opts the client into supervised-connection behaviour:
+	// redial with backoff, per-invoke deadlines, retry budgets for
+	// idempotent operations, and a circuit breaker. Nil (the default)
+	// keeps the original semantics — one dial, every error surfaces.
+	Resilience *ResilienceConfig
 }
 
 // DefaultMaxMessage is the default bound on message bodies.
@@ -56,7 +64,12 @@ type Client struct {
 	closed  atomic.Bool
 	network transport.Network
 	addr    string
+	res     *resilience // nil unless ClientConfig.Resilience was set
 }
+
+// deadliner is the optional deadline support shared by net.TCPConn,
+// net.Pipe, and the fault-injection wrapper.
+type deadliner interface{ SetDeadline(time.Time) error }
 
 // clientConn is the connection state owned by the Transport component
 // instance; the mutex serialises one request/reply exchange at a time, as a
@@ -121,6 +134,9 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 		network: cfg.Network,
 		addr:    cfg.Addr,
 	}
+	if cfg.Resilience != nil {
+		cl.res = newResilience(*cfg.Resilience)
+	}
 
 	threading := core.ThreadingShared
 	if cfg.Synchronous {
@@ -151,6 +167,12 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	if err := app.Start(); err != nil {
 		app.Stop()
 		return nil, err
+	}
+	if cl.res != nil && cl.res.cfg.InvokeTimeout > 0 {
+		// Stamp the invoke timeout on the port as a send deadline, so the
+		// deadline monitor counts invokes whose handler starts late, in
+		// addition to the wire-level enforcement in exchange.
+		cl.invoke.SetSendDeadline(cl.res.cfg.InvokeTimeout)
 	}
 	return cl, nil
 }
@@ -214,6 +236,14 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 		tc.SetStart(func(p *core.Proc) error {
 			conn, err := cl.network.Dial(cl.addr)
 			if err != nil {
+				if cl.res != nil {
+					// Supervised mode: leave the connection nil and let
+					// exchange redial with backoff; the failure still counts
+					// toward the breaker.
+					telemetry.RecordFault("orb.client.dial", err)
+					cl.res.brk.Failure()
+					return nil
+				}
 				return fmt.Errorf("orb client dial %q: %w", cl.addr, err)
 			}
 			cl.conn.mu.Lock()
@@ -286,40 +316,73 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 	defer cl.conn.mu.Unlock()
 	conn := cl.conn.conn
 	if conn == nil {
-		return invokeResult{err: corba.ErrClosed}
+		if cl.res == nil || cl.closed.Load() {
+			return invokeResult{err: corba.ErrClosed}
+		}
+		c, err := cl.redialLocked()
+		if err != nil {
+			cl.res.brk.Failure()
+			return invokeResult{err: err}
+		}
+		conn = c
+	}
+	if cl.res != nil && cl.res.cfg.InvokeTimeout > 0 {
+		if d, ok := conn.(deadliner); ok {
+			_ = d.SetDeadline(time.Now().Add(cl.res.cfg.InvokeTimeout))
+			defer d.SetDeadline(time.Time{})
+		}
 	}
 	if _, err := conn.Write(wire); err != nil {
 		telemetry.RecordFault("orb.client.write", err)
-		return invokeResult{err: fmt.Errorf("orb client: write: %w", err)}
+		cl.failConnLocked(conn)
+		return invokeResult{err: fmt.Errorf("orb client: write: %w", cl.mapWireErr(err))}
 	}
 	if in.oneway {
+		if cl.res != nil {
+			cl.res.brk.Success()
+		}
 		return invokeResult{}
 	}
-	h, body, err := giop.ReadMessageLimited(conn, scratch[:0], uint32(cl.maxMsg))
-	if err != nil {
-		if err == io.EOF {
-			err = corba.ErrClosed
-		} else {
-			// A reply cut off mid-frame or over the endpoint bound is a
-			// fault; a clean close is routine shutdown.
-			telemetry.RecordFault("orb.client.read", err)
-		}
-		return invokeResult{err: fmt.Errorf("orb client: read: %w", err)}
-	}
-	if h.Type != giop.MsgReply {
-		return invokeResult{err: fmt.Errorf("orb client: unexpected %v message", h.Type)}
-	}
 	var rep giop.Reply
-	if err := giop.DecodeReply(h.Order, body, &rep); err != nil {
-		return invokeResult{err: err}
-	}
-	if rep.TraceID != 0 {
-		// The reply carried the server's span for our trace: record it so
-		// the client flight recorder holds the full stitched round trip.
-		telemetry.Record(telemetry.EvNetRecv, clientReplyLabel, rep.TraceID, rep.SpanID, uint64(len(body)))
-	}
-	if rep.RequestID != in.id {
+	for skips := 0; ; {
+		h, body, err := giop.ReadMessageLimited(conn, scratch[:0], uint32(cl.maxMsg))
+		if err != nil {
+			if err == io.EOF {
+				err = corba.ErrClosed
+			} else {
+				// A reply cut off mid-frame or over the endpoint bound is a
+				// fault; a clean close is routine shutdown.
+				telemetry.RecordFault("orb.client.read", err)
+			}
+			cl.failConnLocked(conn)
+			return invokeResult{err: fmt.Errorf("orb client: read: %w", cl.mapWireErr(err))}
+		}
+		if h.Type != giop.MsgReply {
+			return invokeResult{err: fmt.Errorf("orb client: unexpected %v message", h.Type)}
+		}
+		if err := giop.DecodeReply(h.Order, body, &rep); err != nil {
+			return invokeResult{err: err}
+		}
+		if rep.TraceID != 0 {
+			// The reply carried the server's span for our trace: record it so
+			// the client flight recorder holds the full stitched round trip.
+			telemetry.Record(telemetry.EvNetRecv, clientReplyLabel, rep.TraceID, rep.SpanID, uint64(len(body)))
+		}
+		if rep.RequestID == in.id {
+			break
+		}
+		if cl.res != nil && rep.RequestID < in.id && skips < 8 {
+			// A stale reply to an earlier request that was retried or timed
+			// out on this connection: suppress the duplicate and keep
+			// reading for our own reply.
+			skips++
+			dupSuppressedTotal.Inc()
+			continue
+		}
 		return invokeResult{err: fmt.Errorf("orb client: reply id %d for request %d", rep.RequestID, in.id)}
+	}
+	if cl.res != nil {
+		cl.res.brk.Success()
 	}
 	switch rep.Status {
 	case giop.ReplyNoException:
@@ -334,17 +397,86 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 	}
 }
 
+// redialLocked re-establishes the supervised connection; called with
+// conn.mu held and cl.conn.conn nil.
+func (cl *Client) redialLocked() (transport.Conn, error) {
+	conn, err := cl.network.Dial(cl.addr)
+	if err != nil {
+		telemetry.RecordFault("orb.client.redial", err)
+		return nil, fmt.Errorf("orb client redial %q: %w", cl.addr, err)
+	}
+	cl.conn.conn = conn
+	reconnectTotal.Inc()
+	telemetry.Record(telemetry.EvState, connLabel, 0, 0, connReconnected)
+	return conn, nil
+}
+
+// failConnLocked handles a wire fault on conn. Under supervision the
+// connection is torn down (a half-written request or half-read reply would
+// desynchronise GIOP framing) so the next invoke redials, and the fault
+// counts toward the breaker. Without resilience the connection is left in
+// place, preserving the original error-surfacing semantics.
+func (cl *Client) failConnLocked(conn transport.Conn) {
+	if cl.res == nil {
+		return
+	}
+	cl.res.brk.Failure()
+	if cl.conn.conn == conn {
+		_ = conn.Close()
+		cl.conn.conn = nil
+	}
+}
+
+// mapWireErr folds a deadline expiry into ErrDeadlineExceeded (counting it)
+// and passes every other wire error through.
+func (cl *Client) mapWireErr(err error) error {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		invokeTimeoutTotal.Inc()
+		return fmt.Errorf("%w: %v", ErrDeadlineExceeded, err)
+	}
+	return err
+}
+
 // doneChanPool recycles completion channels across Invoke calls. A channel
 // returns to the pool only after its single result has been received, so a
-// recycled channel is always empty.
+// recycled channel is always empty. A channel whose outcome is uncertain —
+// the Send failed, so a handler may or may not still complete it — is
+// abandoned instead of recycled: a late write to an abandoned cap-1 channel
+// is harmless, while a late write to a recycled one would hand some other
+// invocation a stranger's reply.
 var doneChanPool = sync.Pool{New: func() any { return make(chan invokeResult, 1) }}
 
 // Invoke performs one synchronous request/reply at the given priority. The
-// payload is not retained past the call.
+// payload is not retained past the call. Under a ResilienceConfig the call
+// fails fast with ErrCircuitOpen while the breaker is open; it is never
+// retried (use InvokeIdempotent for operations that may safely run twice).
 func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([]byte, error) {
 	if cl.closed.Load() {
 		return nil, corba.ErrClosed
 	}
+	if cl.res != nil && !cl.res.brk.Allow() {
+		return nil, ErrCircuitOpen
+	}
+	return cl.invokeOnce(key, op, payload, prio, false)
+}
+
+// InvokeIdempotent is Invoke for operations that are safe to execute more
+// than once. Under a ResilienceConfig, transport-level failures are retried
+// up to MaxRetries times within the retry budget, with capped exponential
+// backoff between attempts; each retry uses a fresh request id, and stale
+// replies to abandoned attempts are suppressed by id. Without resilience it
+// behaves exactly like Invoke.
+func (cl *Client) InvokeIdempotent(key, op string, payload []byte, prio sched.Priority) ([]byte, error) {
+	if cl.closed.Load() {
+		return nil, corba.ErrClosed
+	}
+	return cl.withRetry(func() ([]byte, error) {
+		return cl.invokeOnce(key, op, payload, prio, false)
+	})
+}
+
+// invokeOnce runs one pass through the component pipeline.
+func (cl *Client) invokeOnce(key, op string, payload []byte, prio sched.Priority, oneway bool) ([]byte, error) {
 	msg, err := cl.invoke.GetMessage()
 	if err != nil {
 		return nil, err
@@ -353,7 +485,7 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 	m.id = cl.nextID.Add(1)
 	m.setKey(key)
 	m.op, m.payload, m.prio = op, payload, prio
-	m.oneway = false
+	m.oneway = oneway
 	// Open a trace around the round trip. The ids are captured in locals
 	// because the pooled message is recycled once its handler returns.
 	trace, span, started := startSpan(uint64(m.id))
@@ -361,9 +493,9 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 	done := doneChanPool.Get().(chan invokeResult)
 	m.done = done
 	if err := cl.invoke.Send(msg, prio); err != nil {
-		// The message never reached a handler, so nothing will write to the
-		// channel; it is safe to recycle.
-		doneChanPool.Put(done)
+		// The message's fate is uncertain (a racing dispatcher may still
+		// run the handler and complete the channel): abandon the channel
+		// rather than risk recycling one that gets a late write.
 		endSpan(trace, span, started)
 		return nil, err
 	}
@@ -371,6 +503,34 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 	doneChanPool.Put(done)
 	endSpan(trace, span, started)
 	return res.payload, res.err
+}
+
+// withRetry runs op under breaker gating and, when resilience is enabled,
+// retries retriable failures within the retry budget.
+func (cl *Client) withRetry(op func() ([]byte, error)) ([]byte, error) {
+	r := cl.res
+	if r == nil {
+		return op()
+	}
+	for attempt := 0; ; attempt++ {
+		var out []byte
+		var err error
+		if !r.brk.Allow() {
+			err = ErrCircuitOpen
+		} else {
+			out, err = op()
+		}
+		if err == nil {
+			r.budget.Earn()
+			r.resetDelay()
+			return out, nil
+		}
+		if cl.closed.Load() || attempt >= r.cfg.MaxRetries || !retriable(err) || !r.budget.Take() {
+			return nil, err
+		}
+		retryTotal.Inc()
+		time.Sleep(r.nextDelay())
+	}
 }
 
 // startSpan opens a client invocation span in the flight recorder when
@@ -402,11 +562,36 @@ func (cl *Client) Locate(key string) (bool, error) {
 	if cl.closed.Load() {
 		return false, corba.ErrClosed
 	}
+	var here bool
+	_, err := cl.withRetry(func() ([]byte, error) {
+		var err error
+		here, err = cl.locateOnce(key)
+		return nil, err
+	})
+	return here, err
+}
+
+// locateOnce performs one LocateRequest/LocateReply exchange.
+func (cl *Client) locateOnce(key string) (bool, error) {
 	cl.conn.mu.Lock()
 	defer cl.conn.mu.Unlock()
 	conn := cl.conn.conn
 	if conn == nil {
-		return false, fmt.Errorf("%w: transport not yet connected; invoke first", corba.ErrClosed)
+		if cl.res == nil || cl.closed.Load() {
+			return false, fmt.Errorf("%w: transport not yet connected; invoke first", corba.ErrClosed)
+		}
+		c, err := cl.redialLocked()
+		if err != nil {
+			cl.res.brk.Failure()
+			return false, err
+		}
+		conn = c
+	}
+	if cl.res != nil && cl.res.cfg.InvokeTimeout > 0 {
+		if d, ok := conn.(deadliner); ok {
+			_ = d.SetDeadline(time.Now().Add(cl.res.cfg.InvokeTimeout))
+			defer d.SetDeadline(time.Time{})
+		}
 	}
 	id := cl.nextID.Add(1)
 	wb := giop.GetBuffer()
@@ -415,13 +600,15 @@ func (cl *Client) Locate(key string) (bool, error) {
 		RequestID: id, ObjectKey: []byte(key),
 	})
 	if _, err := conn.Write(wb.B); err != nil {
-		return false, fmt.Errorf("orb client: locate write: %w", err)
+		cl.failConnLocked(conn)
+		return false, fmt.Errorf("orb client: locate write: %w", cl.mapWireErr(err))
 	}
 	rb := giop.GetBuffer()
 	defer giop.PutBuffer(rb)
 	h, body, err := giop.ReadMessageLimited(conn, rb.B, uint32(cl.maxMsg))
 	if err != nil {
-		return false, fmt.Errorf("orb client: locate read: %w", err)
+		cl.failConnLocked(conn)
+		return false, fmt.Errorf("orb client: locate read: %w", cl.mapWireErr(err))
 	}
 	if h.Type != giop.MsgLocateReply {
 		return false, fmt.Errorf("orb client: unexpected %v message", h.Type)
@@ -433,36 +620,24 @@ func (cl *Client) Locate(key string) (bool, error) {
 	if rep.RequestID != id {
 		return false, fmt.Errorf("orb client: locate reply id %d for request %d", rep.RequestID, id)
 	}
+	if cl.res != nil {
+		cl.res.brk.Success()
+	}
 	return rep.Status == giop.LocateObjectHere, nil
 }
 
-// InvokeOneway sends a request without waiting for a reply.
+// InvokeOneway sends a request without waiting for a reply. Oneways are
+// idempotent from the transport's point of view (no reply is matched), so
+// under a ResilienceConfig transport failures are retried within the retry
+// budget like InvokeIdempotent.
 func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priority) error {
 	if cl.closed.Load() {
 		return corba.ErrClosed
 	}
-	msg, err := cl.invoke.GetMessage()
-	if err != nil {
-		return err
-	}
-	m := msg.(*invokeMsg)
-	m.id = cl.nextID.Add(1)
-	m.setKey(key)
-	m.op, m.payload, m.prio = op, payload, prio
-	m.oneway = true
-	trace, span, started := startSpan(uint64(m.id))
-	m.trace, m.span = trace, span
-	done := doneChanPool.Get().(chan invokeResult)
-	m.done = done
-	if err := cl.invoke.Send(msg, prio); err != nil {
-		doneChanPool.Put(done)
-		endSpan(trace, span, started)
-		return err
-	}
-	res := <-done
-	doneChanPool.Put(done)
-	endSpan(trace, span, started)
-	return res.err
+	_, err := cl.withRetry(func() ([]byte, error) {
+		return cl.invokeOnce(key, op, payload, prio, true)
+	})
+	return err
 }
 
 // App exposes the underlying component application (for tests and the bench

@@ -218,11 +218,35 @@ func (s *Server) ServeBackground() {
 	}()
 }
 
+// wireErr normalises a raw transport failure into a *transport.OpError so
+// errors.Is(err, transport.ErrClosed) and errors.As with *transport.OpError
+// behave uniformly whichever network produced it; errors already wrapped
+// pass through unchanged.
+func wireErr(op, addr string, err error) error {
+	var oe *transport.OpError
+	if errors.As(err, &oe) {
+		return err
+	}
+	return &transport.OpError{Op: op, Addr: addr, Err: err}
+}
+
+// cleanClose reports whether err is routine connection/listener teardown
+// rather than an abrupt failure worth a fault record.
+func cleanClose(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, transport.ErrClosed)
+}
+
 func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			// A closed listener is normal shutdown; anything else is a
+			// fault worth recording before the loop exits.
+			if !cleanClose(err) && !s.closed.Load() {
+				telemetry.RecordFault("orb.server.accept", wireErr("accept", s.ln.Addr(), err))
+			}
+			return
 		}
 		if s.closed.Load() {
 			conn.Close()
@@ -310,8 +334,8 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 			// a peer vanishing mid-frame, a short read, an over-limit
 			// frame — is an abrupt failure worth a fault record. Either
 			// way the connection is done.
-			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, net.ErrClosed) {
-				telemetry.RecordFault("orb.server.read", err)
+			if !cleanClose(err) {
+				telemetry.RecordFault("orb.server.read", wireErr("read", s.ln.Addr(), err))
 			}
 			sc.conn.Close()
 			return
@@ -352,6 +376,9 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 			err := sc.write(wb.B)
 			giop.PutBuffer(wb)
 			if err != nil {
+				if !cleanClose(err) {
+					telemetry.RecordFault("orb.server.write", wireErr("write", s.ln.Addr(), err))
+				}
 				sc.conn.Close()
 				return
 			}
@@ -432,7 +459,7 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 			Payload:   payload,
 		})
 		if err := m.conn.write(wire); err != nil {
-			return fmt.Errorf("orb server: write reply: %w", err)
+			return fmt.Errorf("orb server: write reply: %w", wireErr("write", s.ln.Addr(), err))
 		}
 		return nil
 	})

@@ -29,6 +29,13 @@ const (
 	// EvPoolGrow is a resource pool growing past its initial capacity
 	// (arg = new size).
 	EvPoolGrow
+	// EvState is a resilience state machine transition — circuit breaker
+	// open/half-open/close, connection supervisor reconnect (arg = new
+	// state code, subsystem-defined).
+	EvState
+	// EvShed is a message dropped by an overloaded port's overflow policy
+	// (arg = the shed message's priority).
+	EvShed
 )
 
 // String returns the event kind name.
@@ -54,6 +61,10 @@ func (k EventKind) String() string {
 		return "fault"
 	case EvPoolGrow:
 		return "pool_grow"
+	case EvState:
+		return "state"
+	case EvShed:
+		return "shed"
 	default:
 		return "unknown"
 	}

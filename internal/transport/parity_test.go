@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// networks enumerates the two transport implementations with a listen
+// address valid for each; parity tests run the same scenario over both.
+func networks() []struct {
+	name string
+	mk   func() Network
+	addr string
+} {
+	return []struct {
+		name string
+		mk   func() Network
+		addr string
+	}{
+		{name: "tcp", mk: func() Network { return TCP{} }, addr: "127.0.0.1:0"},
+		{name: "inproc", mk: func() Network { return NewInproc() }, addr: ""},
+	}
+}
+
+// TestOpErrorUnwrapChains pins the error contract table-wise: every
+// transport failure mode yields a *OpError whose chain reaches the expected
+// sentinel via errors.Is, and the chain survives another layer of fmt.Errorf
+// wrapping — which is exactly how the ORBs consume these errors.
+func TestOpErrorUnwrapChains(t *testing.T) {
+	inproc := NewInproc()
+	heldL, err := inproc.Listen("held")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heldL.Close()
+	closedL, err := inproc.Listen("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedL.Close()
+
+	cases := []struct {
+		name     string
+		make     func() error
+		wantOp   string
+		sentinel error // nil = any cause acceptable
+	}{
+		{
+			name:     "inproc dial no listener",
+			make:     func() error { _, err := inproc.Dial("nowhere"); return err },
+			wantOp:   "dial",
+			sentinel: ErrNoListener,
+		},
+		{
+			name:     "inproc dial closed listener",
+			make:     func() error { _, err := inproc.Dial("gone"); return err },
+			wantOp:   "dial",
+			sentinel: ErrNoListener,
+		},
+		{
+			name:     "inproc duplicate bind",
+			make:     func() error { _, err := inproc.Listen("held"); return err },
+			wantOp:   "listen",
+			sentinel: ErrAddrInUse,
+		},
+		{
+			name: "tcp dial nothing listening",
+			make: func() error {
+				l, err := TCP{}.Listen("127.0.0.1:0")
+				if err != nil {
+					return err
+				}
+				addr := l.Addr()
+				l.Close()
+				_, err = TCP{}.Dial(addr)
+				return err
+			},
+			wantOp: "dial",
+		},
+		{
+			name:     "tcp bad listen address",
+			make:     func() error { _, err := TCP{}.Listen("256.0.0.1:bogus"); return err },
+			wantOp:   "listen",
+			sentinel: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.make()
+			if err == nil {
+				t.Skip("operation unexpectedly succeeded (environment-dependent)")
+			}
+			var oe *OpError
+			if !errors.As(err, &oe) {
+				t.Fatalf("err %T (%v) does not unwrap to *OpError", err, err)
+			}
+			if oe.Op != tc.wantOp {
+				t.Errorf("Op = %q, want %q", oe.Op, tc.wantOp)
+			}
+			if oe.Addr == "" {
+				t.Error("OpError lost the address")
+			}
+			if tc.sentinel != nil && !errors.Is(err, tc.sentinel) {
+				t.Errorf("errors.Is(%v, %v) = false", err, tc.sentinel)
+			}
+			// One more wrapping layer — the ORBs' fmt.Errorf("...: %w", err)
+			// idiom — must not break the chain.
+			wrapped := fmt.Errorf("orb client: write: %w", err)
+			if !errors.As(wrapped, &oe) {
+				t.Error("fmt.Errorf wrapping broke errors.As(*OpError)")
+			}
+			if tc.sentinel != nil && !errors.Is(wrapped, tc.sentinel) {
+				t.Error("fmt.Errorf wrapping broke errors.Is to the sentinel")
+			}
+		})
+	}
+}
+
+// TestListenerCloseRaceParity closes a listener while an accept loop and a
+// storm of dialers are racing it, on both networks. The parity contract:
+// the accept loop's terminal error satisfies errors.Is(err, ErrClosed);
+// every dial either succeeds with a usable conn or fails with an
+// inspectable error (never a hang or panic); and a dial issued after the
+// close definitely fails.
+func TestListenerCloseRaceParity(t *testing.T) {
+	for _, nw := range networks() {
+		t.Run(nw.name, func(t *testing.T) {
+			n := nw.mk()
+			l, err := n.Listen(nw.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := l.Addr()
+
+			acceptErr := make(chan error, 1)
+			go func() {
+				for {
+					c, err := l.Accept()
+					if err != nil {
+						acceptErr <- err
+						return
+					}
+					c.Close()
+				}
+			}()
+
+			const dialers = 8
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for i := 0; i < dialers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					<-start
+					c, err := n.Dial(addr)
+					if err == nil {
+						c.Close()
+						return
+					}
+					var oe *OpError
+					if !errors.As(err, &oe) {
+						t.Errorf("dialer %d: err %T (%v) is not *OpError", i, err, err)
+					}
+				}(i)
+			}
+			close(start)
+			l.Close()
+			wg.Wait()
+
+			if err := <-acceptErr; !errors.Is(err, ErrClosed) {
+				t.Errorf("accept loop terminal err = %v, want chain to ErrClosed", err)
+			}
+			if _, err := n.Dial(addr); err == nil {
+				t.Error("dial after close succeeded")
+			}
+		})
+	}
+}
