@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1 allocguard chaos
+.PHONY: all build vet test race bench-smoke verify bench1 bench2 allocguard chaos
 
 all: build
 
@@ -35,14 +35,22 @@ verify: vet build race bench-smoke
 
 # chaos is the resilience gate: the fault-injection suite — seeded fault
 # network, circuit breaker, reconnect/retry, deadline teardown, overload
-# shedding, and transport error-chain parity — under the race detector.
-# Every fault schedule in these tests is seeded, so failures replay.
+# shedding, transport error-chain parity, and the demux-reactor edge cases
+# (stale replies, out-of-order completion, mid-flight connection death, the
+# 64-invoker storm) — under the race detector. Every fault schedule in
+# these tests is seeded, so failures replay.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace' \
+		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux' \
 		./internal/fault/ ./internal/orb/ ./internal/core/ ./internal/sched/ ./internal/transport/
 
 # bench1 regenerates BENCH_1.json, the checked-in snapshot of the Fig. 11
 # grid and the dispatch-path latency/allocation numbers.
 bench1:
 	$(GO) run ./cmd/benchharness -experiment bench1 -warmup 200 -observations 2000 -out BENCH_1.json
+
+# bench2 regenerates BENCH_2.json, the pipelined-invocation concurrency
+# sweep (1/4/16/64 in flight over one multiplexed connection) plus the
+# lockstep baseline it is judged against.
+bench2:
+	$(GO) run ./cmd/benchharness -experiment bench2 -warmup 200 -observations 2000 -out BENCH_2.json

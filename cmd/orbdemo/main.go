@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"repro/internal/corba"
@@ -41,10 +42,11 @@ func main() {
 		telem       = flag.Bool("telemetry", true, "record counters, spans, and flight-recorder events")
 		chaos       = flag.Bool("chaos", false, "inject seeded transport faults on the client and drive the resilient invoke path (compadres only)")
 		seed        = flag.Uint64("seed", 1, "chaos schedule and retry-jitter seed")
+		concurrency = flag.Int("concurrency", 1, "pipeline this many concurrent invokes over the one connection, sweeping doubling levels up to N (compadres only)")
 	)
 	flag.Parse()
 	telemetry.Enable(*telem)
-	if err := run(*mode, *addr, *orbKind, *size, *n, *warmup, *metricsAddr, *chaos, *seed); err != nil {
+	if err := run(*mode, *addr, *orbKind, *size, *n, *warmup, *metricsAddr, *chaos, *seed, *concurrency); err != nil {
 		fmt.Fprintln(os.Stderr, "orbdemo:", err)
 		os.Exit(1)
 	}
@@ -110,7 +112,7 @@ func dialClient(orbKind, addr string) (echoClient, error) {
 	}
 }
 
-func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string, chaos bool, seed uint64) error {
+func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string, chaos bool, seed uint64, concurrency int) error {
 	if metricsAddr != "" {
 		if err := serveMetrics(metricsAddr); err != nil {
 			return err
@@ -130,6 +132,9 @@ func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string, ch
 		return nil
 
 	case "client":
+		if concurrency > 1 {
+			return runConcurrent(orbKind, addr, size, n, warmup, chaos, concurrency)
+		}
 		return runClient(orbKind, addr, size, n, warmup, chaos, seed)
 
 	case "both":
@@ -139,11 +144,93 @@ func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string, ch
 		}
 		defer srv.Close()
 		fmt.Printf("%s ORB serving echo at %s\n", orbKind, srv.Addr())
+		if concurrency > 1 {
+			return runConcurrent(orbKind, srv.Addr(), size, n, warmup, chaos, concurrency)
+		}
 		return runClient(orbKind, srv.Addr(), size, n, warmup, chaos, seed)
 
 	default:
 		return fmt.Errorf("unknown -mode %q", mode)
 	}
+}
+
+// runConcurrent sweeps pipelined invocation levels 1, 2, 4, … up to the
+// requested concurrency over ONE multiplexed client connection, printing
+// median, P99, and throughput per level — the demux reactor is what lets a
+// single GIOP connection carry all of them at once.
+func runConcurrent(orbKind, addr string, size, n, warmup int, chaos bool, concurrency int) error {
+	if orbKind != "compadres" {
+		return fmt.Errorf("-concurrency requires -orb compadres (the rtzen baseline serialises exchanges)")
+	}
+	if chaos {
+		return fmt.Errorf("-concurrency and -chaos are separate demos; pick one")
+	}
+	cl, err := orb.DialClient(orb.ClientConfig{
+		Network: transport.TCP{}, Addr: addr, ScopePoolCount: 4,
+		PipelineDepth: 2 * concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	// Warm every pool and lazy structure once before measuring.
+	for i := 0; i < warmup; i++ {
+		if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("%s ORB, %d-byte echo over TCP %s, one multiplexed connection:\n", orbKind, size, addr)
+	fmt.Printf("  %-10s %12s %12s %14s\n", "in-flight", "median", "p99", "throughput")
+	for level := 1; ; level *= 2 {
+		if level > concurrency {
+			break
+		}
+		samples := make([]time.Duration, 0, n)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, level)
+		per := n / level
+		if per == 0 {
+			per = 1
+		}
+		start := time.Now()
+		for w := 0; w < level; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					t0 := time.Now()
+					if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
+						errs[w] = err
+						return
+					}
+					d := time.Since(t0)
+					mu.Lock()
+					samples = append(samples, d)
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		s := metrics.Summarize(samples)
+		fmt.Printf("  %-10d %10sµs %10sµs %11.0f/s\n", level,
+			metrics.Micros(s.Median), metrics.Micros(s.P99),
+			float64(len(samples))/wall.Seconds())
+	}
+	return nil
 }
 
 func runClient(orbKind, addr string, size, n, warmup int, chaos bool, seed uint64) error {

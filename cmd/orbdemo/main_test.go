@@ -12,7 +12,7 @@ import (
 )
 
 func TestRunBothCompadres(t *testing.T) {
-	if err := run("both", "127.0.0.1:0", "compadres", 64, 50, 10, "", false, 1); err != nil {
+	if err := run("both", "127.0.0.1:0", "compadres", 64, 50, 10, "", false, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	// The run must leave a stitched trace and live counters behind — the
@@ -47,7 +47,7 @@ func TestRunBothCompadres(t *testing.T) {
 }
 
 func TestRunBothRTZen(t *testing.T) {
-	if err := run("both", "127.0.0.1:0", "rtzen", 64, 50, 10, "", false, 1); err != nil {
+	if err := run("both", "127.0.0.1:0", "rtzen", 64, 50, 10, "", false, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -56,7 +56,7 @@ func TestRunBothRTZen(t *testing.T) {
 // an ORB pair is live, so the per-port gauges are still registered. It also
 // drives run with a bound metrics address to cover serveMetrics.
 func TestMetricsEndpoint(t *testing.T) {
-	if err := run("both", "127.0.0.1:0", "compadres", 32, 10, 2, "127.0.0.1:0", false, 1); err != nil {
+	if err := run("both", "127.0.0.1:0", "compadres", 32, 10, 2, "127.0.0.1:0", false, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	srv, err := startServer("compadres", "127.0.0.1:0")
@@ -94,19 +94,19 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestRunBothChaos replays a seeded fault schedule over real loopback TCP;
 // the resilient idempotent-invoke path must still complete every round trip.
 func TestRunBothChaos(t *testing.T) {
-	if err := run("both", "127.0.0.1:0", "compadres", 64, 40, 5, "", true, 1); err != nil {
+	if err := run("both", "127.0.0.1:0", "compadres", 64, 40, 5, "", true, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("both", "127.0.0.1:0", "mysteryorb", 64, 10, 1, "", false, 1); err == nil {
+	if err := run("both", "127.0.0.1:0", "mysteryorb", 64, 10, 1, "", false, 1, 1); err == nil {
 		t.Error("unknown orb accepted")
 	}
-	if err := run("sideways", "127.0.0.1:0", "compadres", 64, 10, 1, "", false, 1); err == nil {
+	if err := run("sideways", "127.0.0.1:0", "compadres", 64, 10, 1, "", false, 1, 1); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run("client", "127.0.0.1:1", "compadres", 64, 10, 1, "", false, 1); err == nil {
+	if err := run("client", "127.0.0.1:1", "compadres", 64, 10, 1, "", false, 1, 1); err == nil {
 		t.Error("client against dead address succeeded")
 	}
 	if _, err := startServer("nope", ""); err == nil {
@@ -115,7 +115,22 @@ func TestRunErrors(t *testing.T) {
 	if _, err := dialClient("nope", ""); err == nil {
 		t.Error("unknown orb client accepted")
 	}
-	if err := run("both", "127.0.0.1:0", "rtzen", 64, 10, 1, "", true, 1); err == nil {
+	if err := run("both", "127.0.0.1:0", "rtzen", 64, 10, 1, "", true, 1, 1); err == nil {
 		t.Error("-chaos with the rtzen baseline accepted")
+	}
+}
+
+func TestRunConcurrentSweep(t *testing.T) {
+	// The pipelined sweep over one multiplexed connection: levels 1..8.
+	if err := run("both", "127.0.0.1:0", "compadres", 64, 160, 20, "", false, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	// rtzen serialises exchanges; -concurrency must refuse it, and the
+	// chaos demo is a separate mode.
+	if err := run("both", "127.0.0.1:0", "rtzen", 64, 10, 1, "", false, 1, 4); err == nil {
+		t.Error("-concurrency with rtzen accepted")
+	}
+	if err := run("both", "127.0.0.1:0", "compadres", 64, 10, 1, "", true, 1, 4); err == nil {
+		t.Error("-concurrency with -chaos accepted")
 	}
 }

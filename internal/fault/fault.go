@@ -202,6 +202,18 @@ type deadliner interface {
 	SetDeadline(t time.Time) error
 }
 
+// readDeadliner and writeDeadliner are the directional halves of the same
+// surface. The multiplexed client bounds request writes without disturbing
+// its reactor's blocking read, so the wrapper must forward each direction
+// independently.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+type writeDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
 // conn injects the per-connection fault modes around an inner connection.
 type conn struct {
 	n       *Network
@@ -299,6 +311,23 @@ func (c *conn) Close() error { return c.inner.Close() }
 func (c *conn) SetDeadline(t time.Time) error {
 	if d, ok := c.inner.(deadliner); ok {
 		return d.SetDeadline(t)
+	}
+	return nil
+}
+
+// SetReadDeadline forwards the read half when the inner connection has one.
+func (c *conn) SetReadDeadline(t time.Time) error {
+	if d, ok := c.inner.(readDeadliner); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// SetWriteDeadline forwards the write half when the inner connection has
+// one.
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	if d, ok := c.inner.(writeDeadliner); ok {
+		return d.SetWriteDeadline(t)
 	}
 	return nil
 }

@@ -1,0 +1,46 @@
+package giop
+
+import "io"
+
+// FrameReader reads framed GIOP messages from one stream through a single
+// reusable scratch buffer. Both demultiplexing endpoints — the client's
+// reply reactor and the server's per-connection read loop — sit in a tight
+// frame-at-a-time loop over one connection; FrameReader gives that loop a
+// stable allocation profile: the buffer is sized for the endpoint's body
+// bound up front and grows (once) only if a larger frame under the
+// protocol-wide cap arrives.
+//
+// The body slice returned by Next aliases the reader's scratch buffer and
+// is valid only until the following Next call; callers that hand the bytes
+// to another goroutine must copy them first.
+type FrameReader struct {
+	r       io.Reader
+	maxBody uint32
+	buf     []byte
+}
+
+// NewFrameReader returns a FrameReader over r enforcing maxBody on frame
+// bodies; zero (or anything over MaxMessageSize) selects MaxMessageSize.
+func NewFrameReader(r io.Reader, maxBody uint32) *FrameReader {
+	if maxBody == 0 || maxBody > MaxMessageSize {
+		maxBody = MaxMessageSize
+	}
+	return &FrameReader{r: r, maxBody: maxBody, buf: make([]byte, 0, int(maxBody)+HeaderSize)}
+}
+
+// Next reads one framed message, blocking until a full frame arrives, the
+// stream errors, or a deadline on the underlying connection expires. An
+// over-limit frame fails with ErrTooLarge before any body byte is read,
+// exactly as ReadMessageLimited does.
+func (fr *FrameReader) Next() (Header, []byte, error) {
+	h, body, err := ReadMessageLimited(fr.r, fr.buf[:0], fr.maxBody)
+	if err != nil {
+		return h, nil, err
+	}
+	if cap(body) > cap(fr.buf) {
+		// ReadMessageLimited grew past our scratch: keep the larger buffer
+		// so the next frame of that size reuses it.
+		fr.buf = body
+	}
+	return h, body, nil
+}

@@ -284,6 +284,47 @@ func DecodeRequest(order ByteOrder, body []byte, req *Request) error {
 	return nil
 }
 
+// PeekRequestPriority extracts the Priority octet from an encoded request
+// body without materialising strings or copying. The server's read loop
+// uses it to submit each request to the dispatch pool at the propagated
+// RT-CORBA priority before the full (allocating) demarshal runs inside the
+// RequestProcessing scope.
+func PeekRequestPriority(order ByteOrder, body []byte) (byte, bool) {
+	d := Decoder{order: order, buf: body}
+	nctx, err := d.ReadULong()
+	if err != nil {
+		return 0, false
+	}
+	for i := uint32(0); i < nctx; i++ {
+		if _, err := d.ReadULong(); err != nil { // context id
+			return 0, false
+		}
+		if err := d.skipOctetSeq(); err != nil { // context data
+			return 0, false
+		}
+	}
+	if _, err := d.ReadULong(); err != nil { // request id
+		return 0, false
+	}
+	if _, err := d.ReadBool(); err != nil { // response expected
+		return 0, false
+	}
+	if err := d.skipOctetSeq(); err != nil { // object key
+		return 0, false
+	}
+	if err := d.skipString(); err != nil { // operation
+		return 0, false
+	}
+	if err := d.skipOctetSeq(); err != nil { // principal
+		return 0, false
+	}
+	p, err := d.ReadOctet()
+	if err != nil {
+		return 0, false
+	}
+	return p, true
+}
+
 // UnmarshalRequest decodes a request body into a fresh Request. Prefer
 // DecodeRequest with a reused struct on hot paths.
 func UnmarshalRequest(order ByteOrder, body []byte) (*Request, error) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -151,8 +152,13 @@ func TestResilientClientSurvivesServerRestart(t *testing.T) {
 }
 
 // TestInvokeDeadlineTearsDownAndRecovers parks the servant so the reply
-// never comes: the per-invoke deadline fires, the supervised connection is
-// torn down, and the next idempotent invoke reconnects and succeeds.
+// never comes: the per-invoke deadline fires and the caller gets
+// ErrDeadlineExceeded. Under the demux reactor the connection SURVIVES a
+// timeout — the reactor keeps framing synchronised and drops the stale
+// reply whenever it shows up — so the follow-up invoke rides the same
+// multiplexed connection (or redials if the wire did die); either way it
+// must succeed. (The name keeps its historical teardown phrasing; what it
+// pins is deadline expiry followed by recovery.)
 func TestInvokeDeadlineTearsDownAndRecovers(t *testing.T) {
 	net := transport.NewInproc()
 	release := make(chan struct{})
@@ -176,11 +182,25 @@ func TestInvokeDeadlineTearsDownAndRecovers(t *testing.T) {
 		t.Error("invoke_timeout_total did not advance")
 	}
 
-	// The connection was torn down; the idempotent path redials and the
-	// echo servant answers well inside the deadline.
+	// The timed-out invocation was cancelled and unhooked from the pending
+	// table; the connection itself is still healthy, so the next invoke
+	// answers well inside the deadline without a teardown in between.
 	out, err := cl.InvokeIdempotent("echo", "echo", []byte("alive"), sched.NormPriority)
 	if err != nil || string(out) != "alive" {
 		t.Fatalf("post-timeout invoke = (%q, %v)", out, err)
+	}
+
+	// The abandoned invocation's reply (the servant is still parked) must
+	// be dropped as stale when it eventually arrives — which the follow-up
+	// invoke above already proves framing-wise; here we pin that no second
+	// result ever crossed to another caller by running a few more matched
+	// round trips.
+	for i := 0; i < 5; i++ {
+		p := []byte{byte('a' + i)}
+		out, err := cl.InvokeIdempotent("echo", "echo", p, sched.NormPriority)
+		if err != nil || string(out) != string(p) {
+			t.Fatalf("post-timeout invoke %d = (%q, %v)", i, out, err)
+		}
 	}
 }
 
@@ -196,7 +216,10 @@ func TestInvokeErrorPathsDoNotCrossTalk(t *testing.T) {
 	release := make(chan struct{})
 	srv := startEchoServer(t, net, "", ServerConfig{})
 	srv.RegisterServant("block", blockServant{release: release})
-	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	// A shallow pipeline makes the storm overrun the client-side bounds
+	// deterministically: the relay buffers reject once 8 invocations are
+	// queued, and the message pool caps how many callers even get that far.
+	cl := dial(t, net, srv.Addr(), ClientConfig{PipelineDepth: 8})
 
 	const callers = 80
 	type result struct {
@@ -302,28 +325,47 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	retriesBefore := retryTotal.Value()
-	const total = 400
-	successes := 0
-	payload := make([]byte, 64)
-	for i := 0; i < total; i++ {
-		binary.BigEndian.PutUint64(payload, uint64(i))
-		var out []byte
-		var err error
-		// "Eventual" success: a logical operation may take a few
-		// idempotent attempts while the breaker cycles.
-		for tries := 0; tries < 4; tries++ {
-			out, err = cl.InvokeIdempotent("echo", "echo", payload, sched.NormPriority)
-			if err == nil {
-				break
+	// 16 workers keep 16 invocations in flight on the one supervised
+	// connection throughout the soak, so wire faults now strand whole
+	// pipelined batches — each batch must fail over as one event (one
+	// redial, one breaker failure) and every logical operation must still
+	// eventually succeed.
+	const workers = 16
+	const perWorker = 25
+	const total = workers * perWorker
+	var successCount atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := make([]byte, 64)
+			for i := 0; i < perWorker; i++ {
+				binary.BigEndian.PutUint64(payload, uint64(w)<<32|uint64(i))
+				var out []byte
+				var err error
+				// "Eventual" success: a logical operation may take a few
+				// idempotent attempts while the breaker cycles.
+				for tries := 0; tries < 6; tries++ {
+					out, err = cl.InvokeIdempotent("echo", "echo", payload, sched.NormPriority)
+					if err == nil {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				if err == nil && bytes.Equal(out, payload) {
+					successCount.Add(1)
+				}
 			}
-			time.Sleep(2 * time.Millisecond)
-		}
-		if err == nil && bytes.Equal(out, payload) {
-			successes++
-		}
+		}(w)
 	}
+	wg.Wait()
+	successes := int(successCount.Load())
 	if successes < total*99/100 {
 		t.Errorf("eventual success = %d/%d, want >= 99%%", successes, total)
+	}
+	if got := cl.Inflight(); got != 0 {
+		t.Errorf("inflight = %d after soak drained", got)
 	}
 	st := chaos.Stats()
 	if st.ConnsDropped == 0 && st.DialsRefused == 0 {

@@ -3,7 +3,6 @@ package orb
 import (
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -42,6 +41,11 @@ type ClientConfig struct {
 	Synchronous bool
 	// MsgPoolCapacity overrides the per-type message pool capacity.
 	MsgPoolCapacity int
+	// PipelineDepth bounds how many invocations may be queued through the
+	// client's component pipeline at once (the buffer size of the internal
+	// relay ports). Invocations beyond it fail fast with ErrBufferFull —
+	// the client-side backpressure signal. Zero selects DefaultPipelineDepth.
+	PipelineDepth int
 	// Resilience opts the client into supervised-connection behaviour:
 	// redial with backoff, per-invoke deadlines, retry budgets for
 	// idempotent operations, and a circuit breaker. Nil (the default)
@@ -52,31 +56,36 @@ type ClientConfig struct {
 // DefaultMaxMessage is the default bound on message bodies.
 const DefaultMaxMessage = 4096
 
-// Client is the component-structured ORB client of Fig. 10 (left).
+// DefaultPipelineDepth is the default bound on queued invocations; deep
+// enough that a 64-caller pipelined burst rides one connection without
+// tripping client-side backpressure.
+const DefaultPipelineDepth = 128
+
+// Client is the component-structured ORB client of Fig. 10 (left). Its
+// invocations pipeline over one multiplexed GIOP connection: submissions
+// are marshalled and written by the component pipeline, and a per-connection
+// demux reactor (mux.go) matches replies to in-flight pending-table entries
+// by request id, so concurrent invokes overlap on the wire instead of
+// serialising behind a whole-exchange lock.
 type Client struct {
-	app     *core.App
-	invoke  *core.OutPort
-	conn    *clientConn
-	reqPool *memory.ScopePool
-	nextID  atomic.Uint32
-	maxMsg  int
-	order   giop.ByteOrder
-	closed  atomic.Bool
-	network transport.Network
-	addr    string
-	res     *resilience // nil unless ClientConfig.Resilience was set
-}
+	app      *core.App
+	invoke   *core.OutPort
+	reqPool  *memory.ScopePool
+	nextID   atomic.Uint32
+	maxMsg   int
+	order    giop.ByteOrder
+	closed   atomic.Bool
+	network  transport.Network
+	addr     string
+	res      *resilience // nil unless ClientConfig.Resilience was set
+	inflight atomic.Int64
+	gauge    *telemetry.GaugeHandle
 
-// deadliner is the optional deadline support shared by net.TCPConn,
-// net.Pipe, and the fault-injection wrapper.
-type deadliner interface{ SetDeadline(time.Time) error }
-
-// clientConn is the connection state owned by the Transport component
-// instance; the mutex serialises one request/reply exchange at a time, as a
-// single GIOP connection requires without a demultiplexing reactor.
-type clientConn struct {
-	mu   sync.Mutex
-	conn transport.Conn
+	// cur is the live multiplexed connection; nil when disconnected. cmu
+	// serialises (re)dials so a wire fault that strands N in-flight callers
+	// triggers one supervised redial, not N.
+	cur atomic.Pointer[muxConn]
+	cmu sync.Mutex
 }
 
 // DialClient builds the client component structure and connects it. The
@@ -91,6 +100,10 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	if maxMsg == 0 {
 		maxMsg = DefaultMaxMessage
 	}
+	depth := cfg.PipelineDepth
+	if depth <= 0 {
+		depth = DefaultPipelineDepth
+	}
 
 	// Area budgets: the Transport holds port structures and pools; each
 	// MessageProcessing marshals one request and one reply.
@@ -100,6 +113,11 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	appCfg := core.AppConfig{Name: "CompadresORBClient", ImmortalSize: 1 << 20}
 	if cfg.MsgPoolCapacity != 0 {
 		appCfg.MsgPoolCapacity = cfg.MsgPoolCapacity
+	} else if need := depth + 8; need > core.DefaultMsgPoolCapacity {
+		// PipelineDepth is the intended in-flight bound; the pooled message
+		// instances backing the relay ports must cover it, or the pool —
+		// not the configured depth — becomes the effective ceiling.
+		appCfg.MsgPoolCapacity = need
 	}
 	if cfg.ScopePoolCount > 0 {
 		appCfg.ScopePools = []core.ScopePoolSpec{
@@ -127,7 +145,6 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 
 	cl := &Client{
 		app:     app,
-		conn:    &clientConn{},
 		reqPool: reqPool,
 		maxMsg:  maxMsg,
 		order:   cfg.Order,
@@ -137,6 +154,9 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Resilience != nil {
 		cl.res = newResilience(*cfg.Resilience)
 	}
+	cl.gauge = telemetry.Default.RegisterGauge("inflight", "orb.client", func() int64 {
+		return cl.inflight.Load()
+	})
 
 	threading := core.ThreadingShared
 	if cfg.Synchronous {
@@ -156,22 +176,24 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 			Name:       "Transport",
 			MemorySize: transportSize,
 			Persistent: true,
-			Setup:      cl.transportSetup(threading, mpSize, cfg.ScopePoolCount > 0),
+			Setup:      cl.transportSetup(threading, mpSize, cfg.ScopePoolCount > 0, depth),
 		})
 	})
 	if err != nil {
+		cl.gauge.Unregister()
 		app.Stop()
 		return nil, err
 	}
 	_ = orbComp
 	if err := app.Start(); err != nil {
+		cl.gauge.Unregister()
 		app.Stop()
 		return nil, err
 	}
 	if cl.res != nil && cl.res.cfg.InvokeTimeout > 0 {
 		// Stamp the invoke timeout on the port as a send deadline, so the
 		// deadline monitor counts invokes whose handler starts late, in
-		// addition to the wire-level enforcement in exchange.
+		// addition to the submit-and-wait enforcement in await.
 		cl.invoke.SetSendDeadline(cl.res.cfg.InvokeTimeout)
 	}
 	return cl, nil
@@ -179,8 +201,8 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 
 // transportSetup wires one Transport instance: the In port fed by the ORB,
 // the Out port feeding MessageProcessing, the per-request child definition,
-// and the start function that dials the server.
-func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool bool) func(*core.Component) error {
+// and the start function that dials the server and launches the reactor.
+func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool bool, depth int) func(*core.Component) error {
 	return func(tc *core.Component) error {
 		orbSMM := tc.Parent().SMM()
 		tSMM := tc.SMM()
@@ -197,18 +219,18 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 		// invocation over (messages never cross SMM pools).
 		if _, err := core.AddInPort(tc, orbSMM, core.InPortConfig{
 			Name: "request", Type: invokeType, Threading: threading,
-			MinThreads: 1, MaxThreads: 2, BufferSize: 32,
+			MinThreads: 1, MaxThreads: 2, BufferSize: depth,
 			Handler: core.HandlerFunc(func(p *core.Proc, msg core.Message) error {
 				in := msg.(*invokeMsg)
 				fwd, err := toMP.GetMessage()
 				if err != nil {
-					in.done <- invokeResult{err: err}
+					in.pe.complete(invokeResult{err: err})
 					return err
 				}
 				out := fwd.(*invokeMsg)
 				out.copyFrom(in)
 				if err := toMP.Send(fwd, in.prio); err != nil {
-					in.done <- invokeResult{err: err}
+					in.pe.complete(invokeResult{err: err})
 					return err
 				}
 				return nil
@@ -224,7 +246,7 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 			Setup: func(mp *core.Component) error {
 				_, err := core.AddInPort(mp, tSMM, core.InPortConfig{
 					Name: "request", Type: invokeType, Threading: threading,
-					MinThreads: 1, MaxThreads: 2, BufferSize: 32,
+					MinThreads: 1, MaxThreads: 2, BufferSize: depth,
 					Handler: core.HandlerFunc(cl.processInvoke),
 				})
 				return err
@@ -238,17 +260,15 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 			if err != nil {
 				if cl.res != nil {
 					// Supervised mode: leave the connection nil and let
-					// exchange redial with backoff; the failure still counts
-					// toward the breaker.
+					// the next submit redial with backoff; the failure
+					// still counts toward the breaker.
 					telemetry.RecordFault("orb.client.dial", err)
 					cl.res.brk.Failure()
 					return nil
 				}
 				return fmt.Errorf("orb client dial %q: %w", cl.addr, err)
 			}
-			cl.conn.mu.Lock()
-			cl.conn.conn = conn
-			cl.conn.mu.Unlock()
+			cl.cur.Store(newMuxConn(cl, conn))
 			return nil
 		})
 		return nil
@@ -257,40 +277,74 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 
 // processInvoke runs in the MessageProcessing component's scope: it enters
 // a pooled per-request scope nested under it, marshals the GIOP request
-// there, performs the wire exchange, demarshals the reply, and completes
-// the caller's channel. The request scope is reclaimed (back to its pool)
-// on return, so memory use is bounded per in-flight request rather than
-// per MessageProcessing lifetime.
+// there, registers the invocation's pending entry, and writes the frame.
+// It does NOT wait for the reply — the connection's demux reactor completes
+// the caller's channel when the matching reply arrives — so the component
+// pipeline stays available for the next submission and invocations pipeline
+// on the wire. The request scope is reclaimed on return (the frame has been
+// written by then), keeping memory bounded per in-flight request.
 func (cl *Client) processInvoke(p *core.Proc, msg core.Message) error {
 	in := msg.(*invokeMsg)
-	var res invokeResult
+	if in.pe.state.Load() == pendingCancelled {
+		// The caller gave up (deadline) while this submission was queued:
+		// drop it before it reaches the wire.
+		return nil
+	}
 	area, err := cl.reqPool.Acquire()
 	if err != nil {
-		res = invokeResult{err: err}
-	} else if err := p.Context().Enter(area, func(ctx *memory.Context) error {
-		res = cl.exchange(ctx, in)
+		in.pe.complete(invokeResult{err: err})
+		return err
+	}
+	var submitErr error
+	if err := p.Context().Enter(area, func(ctx *memory.Context) error {
+		submitErr = cl.submit(ctx, in)
 		return nil
 	}); err != nil {
-		res = invokeResult{err: err}
+		in.pe.complete(invokeResult{err: err})
+		return err
 	}
-	in.done <- res
-	if res.err != nil {
-		return res.err
+	if submitErr != nil {
+		// submit already completed the entry on its pre-registration error
+		// paths; once the entry is registered, only the reactor or the
+		// connection failer may complete it. Completing here as well would
+		// race the failer: if this complete won, the caller could recycle
+		// and re-arm the entry through the pool while the failer still
+		// holds the stale pointer, and its late complete would hand the
+		// entry's next owner a stranger's error.
+		return submitErr
+	}
+	if in.oneway {
+		// No reply will be demultiplexed: the successful write is the
+		// completion.
+		if cl.res != nil {
+			cl.res.brk.Success()
+		}
+		in.pe.complete(invokeResult{})
 	}
 	return nil
 }
 
-// exchange performs one marshalled round trip with buffers charged to the
-// current scope.
-func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
+// submit marshals one request with buffers charged to the current scope,
+// registers its pending entry with the live connection (redialling under
+// supervision if none is up), and writes the frame.
+//
+// Completion ownership: every error before the entry is registered
+// completes the entry here (this goroutine is its only holder); from the
+// moment register succeeds, ONLY the reactor or the connection failer
+// completes it — a send failure kills the connection, and fail() delivers
+// the error to every tabled entry, this one included.
+func (cl *Client) submit(ctx *memory.Context, in *invokeMsg) error {
 	wireCap := giop.HeaderSize + 96 + len(in.key) + len(in.op) + len(in.payload)
 	wireRef, err := ctx.Alloc(wireCap)
 	if err != nil {
-		return invokeResult{err: fmt.Errorf("orb client: marshal buffer: %w", err)}
+		err = fmt.Errorf("orb client: marshal buffer: %w", err)
+		in.pe.complete(invokeResult{err: err})
+		return err
 	}
 	wireBuf, err := wireRef.Bytes()
 	if err != nil {
-		return invokeResult{err: err}
+		in.pe.complete(invokeResult{err: err})
+		return err
 	}
 	wire := giop.MarshalRequest(wireBuf[:0], cl.order, &giop.Request{
 		RequestID:        in.id,
@@ -303,128 +357,84 @@ func (cl *Client) exchange(ctx *memory.Context, in *invokeMsg) invokeResult {
 		Payload:          in.payload,
 	})
 
-	scratchRef, err := ctx.Alloc(cl.maxMsg + giop.HeaderSize)
+	mc, err := cl.conn()
 	if err != nil {
-		return invokeResult{err: fmt.Errorf("orb client: reply buffer: %w", err)}
+		in.pe.complete(invokeResult{err: err})
+		return err
 	}
-	scratch, err := scratchRef.Bytes()
-	if err != nil {
-		return invokeResult{err: err}
-	}
-
-	cl.conn.mu.Lock()
-	defer cl.conn.mu.Unlock()
-	conn := cl.conn.conn
-	if conn == nil {
-		if cl.res == nil || cl.closed.Load() {
-			return invokeResult{err: corba.ErrClosed}
-		}
-		c, err := cl.redialLocked()
+	if !in.oneway {
+		ok, err := mc.register(in.pe)
 		if err != nil {
-			cl.res.brk.Failure()
-			return invokeResult{err: err}
+			// The connection was already dead: the entry never entered the
+			// table, so it is still exclusively ours to complete.
+			in.pe.complete(invokeResult{err: err})
+			return err
 		}
-		conn = c
+		if !ok {
+			// Cancelled while queued; nothing was sent and the caller has
+			// abandoned the entry.
+			return nil
+		}
 	}
-	if cl.res != nil && cl.res.cfg.InvokeTimeout > 0 {
-		if d, ok := conn.(deadliner); ok {
-			_ = d.SetDeadline(time.Now().Add(cl.res.cfg.InvokeTimeout))
-			defer d.SetDeadline(time.Time{})
+	if err := mc.send(wire); err != nil {
+		werr := fmt.Errorf("orb client: write: %w", cl.mapWireErr(err))
+		if in.oneway {
+			// Oneway entries never register, so fail() cannot reach them.
+			in.pe.complete(invokeResult{err: werr})
 		}
+		// Registered entries: send already failed the connection, and
+		// fail() completes every tabled entry (this one included) exactly
+		// once. Completing here too would race that sweep — see
+		// processInvoke.
+		return werr
 	}
-	if _, err := conn.Write(wire); err != nil {
-		telemetry.RecordFault("orb.client.write", err)
-		cl.failConnLocked(conn)
-		return invokeResult{err: fmt.Errorf("orb client: write: %w", cl.mapWireErr(err))}
-	}
-	if in.oneway {
-		if cl.res != nil {
-			cl.res.brk.Success()
-		}
-		return invokeResult{}
-	}
-	var rep giop.Reply
-	for skips := 0; ; {
-		h, body, err := giop.ReadMessageLimited(conn, scratch[:0], uint32(cl.maxMsg))
-		if err != nil {
-			if err == io.EOF {
-				err = corba.ErrClosed
-			} else {
-				// A reply cut off mid-frame or over the endpoint bound is a
-				// fault; a clean close is routine shutdown.
-				telemetry.RecordFault("orb.client.read", err)
-			}
-			cl.failConnLocked(conn)
-			return invokeResult{err: fmt.Errorf("orb client: read: %w", cl.mapWireErr(err))}
-		}
-		if h.Type != giop.MsgReply {
-			return invokeResult{err: fmt.Errorf("orb client: unexpected %v message", h.Type)}
-		}
-		if err := giop.DecodeReply(h.Order, body, &rep); err != nil {
-			return invokeResult{err: err}
-		}
-		if rep.TraceID != 0 {
-			// The reply carried the server's span for our trace: record it so
-			// the client flight recorder holds the full stitched round trip.
-			telemetry.Record(telemetry.EvNetRecv, clientReplyLabel, rep.TraceID, rep.SpanID, uint64(len(body)))
-		}
-		if rep.RequestID == in.id {
-			break
-		}
-		if cl.res != nil && rep.RequestID < in.id && skips < 8 {
-			// A stale reply to an earlier request that was retried or timed
-			// out on this connection: suppress the duplicate and keep
-			// reading for our own reply.
-			skips++
-			dupSuppressedTotal.Inc()
-			continue
-		}
-		return invokeResult{err: fmt.Errorf("orb client: reply id %d for request %d", rep.RequestID, in.id)}
-	}
-	if cl.res != nil {
-		cl.res.brk.Success()
-	}
-	switch rep.Status {
-	case giop.ReplyNoException:
-		// Copy the result out of scoped memory before the scope dies.
-		out := make([]byte, len(rep.Payload))
-		copy(out, rep.Payload)
-		return invokeResult{payload: out}
-	case giop.ReplyUserException:
-		return invokeResult{err: fmt.Errorf("%w: %s", corba.ErrUserException, rep.Payload)}
-	default:
-		return invokeResult{err: fmt.Errorf("%w: %s", corba.ErrSystemException, rep.Payload)}
-	}
+	return nil
 }
 
-// redialLocked re-establishes the supervised connection; called with
-// conn.mu held and cl.conn.conn nil.
-func (cl *Client) redialLocked() (transport.Conn, error) {
+// conn returns the live multiplexed connection, redialling under the
+// single-flight lock when supervision is enabled and the previous
+// connection died.
+func (cl *Client) conn() (*muxConn, error) {
+	if mc := cl.cur.Load(); mc != nil {
+		return mc, nil
+	}
+	if cl.closed.Load() || cl.res == nil {
+		return nil, corba.ErrClosed
+	}
+	cl.cmu.Lock()
+	defer cl.cmu.Unlock()
+	if mc := cl.cur.Load(); mc != nil {
+		// Another caller redialled while we waited.
+		return mc, nil
+	}
+	if cl.closed.Load() {
+		return nil, corba.ErrClosed
+	}
 	conn, err := cl.network.Dial(cl.addr)
 	if err != nil {
 		telemetry.RecordFault("orb.client.redial", err)
+		cl.res.brk.Failure()
 		return nil, fmt.Errorf("orb client redial %q: %w", cl.addr, err)
 	}
-	cl.conn.conn = conn
+	mc := newMuxConn(cl, conn)
+	cl.cur.Store(mc)
 	reconnectTotal.Inc()
 	telemetry.Record(telemetry.EvState, connLabel, 0, 0, connReconnected)
-	return conn, nil
+	return mc, nil
 }
 
-// failConnLocked handles a wire fault on conn. Under supervision the
-// connection is torn down (a half-written request or half-read reply would
-// desynchronise GIOP framing) so the next invoke redials, and the fault
-// counts toward the breaker. Without resilience the connection is left in
-// place, preserving the original error-surfacing semantics.
-func (cl *Client) failConnLocked(conn transport.Conn) {
+// detachConn clears the client's connection slot if mc is still current;
+// called by the mux when the connection dies.
+func (cl *Client) detachConn(mc *muxConn) {
+	cl.cur.CompareAndSwap(mc, nil)
+}
+
+// invokeTimeout returns the per-invoke deadline, zero when unconfigured.
+func (cl *Client) invokeTimeout() time.Duration {
 	if cl.res == nil {
-		return
+		return 0
 	}
-	cl.res.brk.Failure()
-	if cl.conn.conn == conn {
-		_ = conn.Close()
-		cl.conn.conn = nil
-	}
+	return cl.res.cfg.InvokeTimeout
 }
 
 // mapWireErr folds a deadline expiry into ErrDeadlineExceeded (counting it)
@@ -440,16 +450,40 @@ func (cl *Client) mapWireErr(err error) error {
 // doneChanPool recycles completion channels across Invoke calls. A channel
 // returns to the pool only after its single result has been received, so a
 // recycled channel is always empty. A channel whose outcome is uncertain —
-// the Send failed, so a handler may or may not still complete it — is
+// the entry was cancelled, so a racing submitter may still hold it — is
 // abandoned instead of recycled: a late write to an abandoned cap-1 channel
 // is harmless, while a late write to a recycled one would hand some other
 // invocation a stranger's reply.
 var doneChanPool = sync.Pool{New: func() any { return make(chan invokeResult, 1) }}
 
+// timerPool recycles the deadline timers armed per invoke when an
+// InvokeTimeout is configured.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // Invoke performs one synchronous request/reply at the given priority. The
 // payload is not retained past the call. Under a ResilienceConfig the call
 // fails fast with ErrCircuitOpen while the breaker is open; it is never
 // retried (use InvokeIdempotent for operations that may safely run twice).
+// Concurrent Invokes pipeline over the shared connection and may complete
+// in any order.
 func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([]byte, error) {
 	if cl.closed.Load() {
 		return nil, corba.ErrClosed
@@ -464,8 +498,8 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 // than once. Under a ResilienceConfig, transport-level failures are retried
 // up to MaxRetries times within the retry budget, with capped exponential
 // backoff between attempts; each retry uses a fresh request id, and stale
-// replies to abandoned attempts are suppressed by id. Without resilience it
-// behaves exactly like Invoke.
+// replies to abandoned attempts are dropped by the demux reactor. Without
+// resilience it behaves exactly like Invoke.
 func (cl *Client) InvokeIdempotent(key, op string, payload []byte, prio sched.Priority) ([]byte, error) {
 	if cl.closed.Load() {
 		return nil, corba.ErrClosed
@@ -475,7 +509,9 @@ func (cl *Client) InvokeIdempotent(key, op string, payload []byte, prio sched.Pr
 	})
 }
 
-// invokeOnce runs one pass through the component pipeline.
+// invokeOnce runs one pass through the component pipeline: arm a pending
+// entry, submit the invocation, and wait for the reactor (or a failure
+// path) to complete it.
 func (cl *Client) invokeOnce(key, op string, payload []byte, prio sched.Priority, oneway bool) ([]byte, error) {
 	msg, err := cl.invoke.GetMessage()
 	if err != nil {
@@ -486,23 +522,70 @@ func (cl *Client) invokeOnce(key, op string, payload []byte, prio sched.Priority
 	m.setKey(key)
 	m.op, m.payload, m.prio = op, payload, prio
 	m.oneway = oneway
+	pe := getPending(m.id)
+	m.pe = pe
 	// Open a trace around the round trip. The ids are captured in locals
 	// because the pooled message is recycled once its handler returns.
 	trace, span, started := startSpan(uint64(m.id))
 	m.trace, m.span = trace, span
-	done := doneChanPool.Get().(chan invokeResult)
-	m.done = done
 	if err := cl.invoke.Send(msg, prio); err != nil {
 		// The message's fate is uncertain (a racing dispatcher may still
-		// run the handler and complete the channel): abandon the channel
-		// rather than risk recycling one that gets a late write.
+		// run the handler and complete the entry): cancel it, and abandon
+		// the entry and channel rather than risk recycling a pair that
+		// gets a late write.
+		pe.state.CompareAndSwap(pendingArmed, pendingCancelled)
 		endSpan(trace, span, started)
 		return nil, err
 	}
-	res := <-done
-	doneChanPool.Put(done)
+	res := cl.await(pe)
 	endSpan(trace, span, started)
 	return res.payload, res.err
+}
+
+// await blocks until the entry completes or the per-invoke deadline
+// expires. On expiry the entry is cancelled and unhooked from the pending
+// table: the connection stays up — the reactor simply drops the stale reply
+// when (if) it arrives — so one slow invocation no longer tears down the
+// pipeline for everyone else sharing the connection.
+func (cl *Client) await(pe *muxPending) invokeResult {
+	timeout := cl.invokeTimeout()
+	if timeout <= 0 {
+		res := <-pe.done
+		putPending(pe)
+		return res
+	}
+	t := getTimer(timeout)
+	select {
+	case res := <-pe.done:
+		putTimer(t)
+		putPending(pe)
+		return res
+	case <-t.C:
+		timerPool.Put(t) // fired: already drained
+		if cl.cancelPending(pe) {
+			invokeTimeoutTotal.Inc()
+			return invokeResult{err: fmt.Errorf("%w: no reply within %v", ErrDeadlineExceeded, timeout)}
+		}
+		// Lost the race: a completion is already in flight. Take it.
+		res := <-pe.done
+		putPending(pe)
+		return res
+	}
+}
+
+// cancelPending claims an entry for its caller after a deadline expiry. On
+// success the entry is removed from the pending table (best effort: the
+// connection failer clears whole tables anyway) and — because the submit
+// path may still hold the pointer — the entry and its channel are abandoned
+// to the collector, never recycled.
+func (cl *Client) cancelPending(pe *muxPending) bool {
+	if !pe.state.CompareAndSwap(pendingArmed, pendingCancelled) {
+		return false
+	}
+	if mc := cl.cur.Load(); mc != nil {
+		mc.unregister(pe)
+	}
+	return true
 }
 
 // withRetry runs op under breaker gating and, when resilience is enabled,
@@ -555,7 +638,8 @@ func endSpan(trace, span uint64, started int64) {
 
 // Locate probes whether the server hosts the object key, using the GIOP
 // LocateRequest/LocateReply exchange. Unlike Invoke it bypasses the
-// component structure: locate is a transport-level question. The Transport
+// component structure: locate is a transport-level question, answered by
+// the same demux reactor that matches invocation replies. The Transport
 // must already be connected (issue any Invoke first, or rely on lazy
 // instantiation via a throwaway call).
 func (cl *Client) Locate(key string) (bool, error) {
@@ -571,65 +655,48 @@ func (cl *Client) Locate(key string) (bool, error) {
 	return here, err
 }
 
-// locateOnce performs one LocateRequest/LocateReply exchange.
+// locateOnce performs one LocateRequest/LocateReply exchange through the
+// multiplexed connection.
 func (cl *Client) locateOnce(key string) (bool, error) {
-	cl.conn.mu.Lock()
-	defer cl.conn.mu.Unlock()
-	conn := cl.conn.conn
-	if conn == nil {
+	mc := cl.cur.Load()
+	if mc == nil {
 		if cl.res == nil || cl.closed.Load() {
 			return false, fmt.Errorf("%w: transport not yet connected; invoke first", corba.ErrClosed)
 		}
-		c, err := cl.redialLocked()
-		if err != nil {
-			cl.res.brk.Failure()
+		var err error
+		if mc, err = cl.conn(); err != nil {
 			return false, err
-		}
-		conn = c
-	}
-	if cl.res != nil && cl.res.cfg.InvokeTimeout > 0 {
-		if d, ok := conn.(deadliner); ok {
-			_ = d.SetDeadline(time.Now().Add(cl.res.cfg.InvokeTimeout))
-			defer d.SetDeadline(time.Time{})
 		}
 	}
 	id := cl.nextID.Add(1)
+	pe := getPending(id)
+	pe.locate = true
+	ok, err := mc.register(pe)
+	if err != nil || !ok {
+		putPending(pe) // never registered; we are the only holder
+		if err == nil {
+			err = corba.ErrClosed
+		}
+		return false, fmt.Errorf("orb client: locate: %w", err)
+	}
 	wb := giop.GetBuffer()
-	defer giop.PutBuffer(wb)
 	wb.B = giop.MarshalLocateRequest(wb.B, cl.order, &giop.LocateRequest{
 		RequestID: id, ObjectKey: []byte(key),
 	})
-	if _, err := conn.Write(wb.B); err != nil {
-		cl.failConnLocked(conn)
-		return false, fmt.Errorf("orb client: locate write: %w", cl.mapWireErr(err))
+	err = mc.send(wb.B)
+	giop.PutBuffer(wb)
+	_ = err // a send failure completed the registered entry with the wire error
+	res := cl.await(pe)
+	if res.err != nil {
+		return false, fmt.Errorf("orb client: locate: %w", res.err)
 	}
-	rb := giop.GetBuffer()
-	defer giop.PutBuffer(rb)
-	h, body, err := giop.ReadMessageLimited(conn, rb.B, uint32(cl.maxMsg))
-	if err != nil {
-		cl.failConnLocked(conn)
-		return false, fmt.Errorf("orb client: locate read: %w", cl.mapWireErr(err))
-	}
-	if h.Type != giop.MsgLocateReply {
-		return false, fmt.Errorf("orb client: unexpected %v message", h.Type)
-	}
-	var rep giop.LocateReply
-	if err := giop.DecodeLocateReply(h.Order, body, &rep); err != nil {
-		return false, err
-	}
-	if rep.RequestID != id {
-		return false, fmt.Errorf("orb client: locate reply id %d for request %d", rep.RequestID, id)
-	}
-	if cl.res != nil {
-		cl.res.brk.Success()
-	}
-	return rep.Status == giop.LocateObjectHere, nil
+	return res.here, nil
 }
 
 // InvokeOneway sends a request without waiting for a reply. Oneways are
 // idempotent from the transport's point of view (no reply is matched), so
 // under a ResilienceConfig transport failures are retried within the retry
-// budget like InvokeIdempotent.
+// budget like InvokeIdempotent. The call returns once the frame is written.
 func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priority) error {
 	if cl.closed.Load() {
 		return corba.ErrClosed
@@ -640,21 +707,24 @@ func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priori
 	return err
 }
 
+// Inflight reports the number of invocations currently awaiting replies on
+// the multiplexed connection (also exported as the `inflight` gauge).
+func (cl *Client) Inflight() int64 { return cl.inflight.Load() }
+
 // App exposes the underlying component application (for tests and the bench
 // harness).
 func (cl *Client) App() *core.App { return cl.app }
 
-// Close shuts the client down: the connection is closed and the component
-// application stopped.
+// Close shuts the client down: the connection is closed (failing any
+// in-flight invocations with ErrClosed) and the component application
+// stopped.
 func (cl *Client) Close() {
 	if cl.closed.Swap(true) {
 		return
 	}
-	cl.conn.mu.Lock()
-	if cl.conn.conn != nil {
-		_ = cl.conn.conn.Close()
-		cl.conn.conn = nil
+	if mc := cl.cur.Load(); mc != nil {
+		mc.fail(fmt.Errorf("orb client: %w", corba.ErrClosed))
 	}
-	cl.conn.mu.Unlock()
+	cl.gauge.Unregister()
 	cl.app.Stop()
 }

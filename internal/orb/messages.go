@@ -6,15 +6,17 @@ import (
 	"repro/internal/sched"
 )
 
-// invokeResult carries a completed invocation back to the caller.
+// invokeResult carries a completed invocation back to the caller; here is
+// the answer of a LocateReply.
 type invokeResult struct {
 	payload []byte
 	err     error
+	here    bool
 }
 
 // invokeMsg travels from the client ORB component through the Transport to
-// the MessageProcessing component. Each Invoke installs its own done
-// channel, so pooled reuse cannot cross replies between concurrent callers.
+// the MessageProcessing component. Each Invoke installs its own pending
+// entry, so pooled reuse cannot cross replies between concurrent callers.
 // keyBuf is a message-owned copy of the object key bytes (capacity reused
 // across pool cycles) so marshalling needs no string→[]byte conversion.
 type invokeMsg struct {
@@ -25,7 +27,7 @@ type invokeMsg struct {
 	payload []byte
 	oneway  bool
 	prio    sched.Priority
-	done    chan invokeResult
+	pe      *muxPending
 	// trace and span identify the caller's trace context; they ride the
 	// invocation through the component structure and onto the wire as a
 	// GIOP service context, so client and server flight recorders can be

@@ -1,0 +1,346 @@
+package orb
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corba"
+	"repro/internal/giop"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// This file is the client half of the multiplexed invocation core: one
+// writer-serialised send path plus one reader-goroutine demux reactor per
+// connection. Requests carry monotonically increasing ids; the reactor
+// matches each inbound reply to its in-flight pending-table entry by id and
+// completes the caller's channel, so many invocations pipeline over a
+// single GIOP connection and complete out of order. The whole-exchange
+// mutex the client used to hold for a full round trip is gone — the only
+// serialisation left on the hot path is the write lock for the request
+// frame itself.
+
+// Mux counters, exported at /metrics with the compadres_ prefix.
+var (
+	// muxStaleDropTotal counts inbound replies that matched no pending-table
+	// entry: replies to invocations that timed out or were retried, or ids
+	// corrupted in flight. They are dropped without disturbing the stream.
+	muxStaleDropTotal = telemetry.NewCounter("mux_stale_drop_total")
+	// muxReorderTotal counts replies that completed out of submission order
+	// — the observable proof that pipelining is live on the connection.
+	muxReorderTotal = telemetry.NewCounter("mux_reorder_total")
+)
+
+// muxLabel marks reactor lifecycle events in the flight recorder.
+var muxLabel = telemetry.Label("orb.client.mux")
+
+// Pending-entry states. Exactly one party moves an entry out of armed —
+// the reactor (or connection failer) via complete, or the waiting caller
+// via cancel — so the completion channel receives at most one result.
+const (
+	pendingArmed int32 = iota
+	pendingDone
+	pendingCancelled
+)
+
+// muxPending is one in-flight invocation: the slot a reply id resolves to.
+// Entries are pooled; an entry whose caller cancelled it (deadline expiry)
+// is abandoned to the collector instead of recycled, because the submit
+// path may still hold a reference.
+type muxPending struct {
+	id     uint32
+	locate bool
+	done   chan invokeResult
+	state  atomic.Int32
+}
+
+// complete delivers res to the waiting caller if the entry is still armed.
+// It must not touch the entry after the channel send: the receiver recycles
+// the entry as soon as the result arrives.
+func (pe *muxPending) complete(res invokeResult) bool {
+	if !pe.state.CompareAndSwap(pendingArmed, pendingDone) {
+		return false
+	}
+	pe.done <- res
+	return true
+}
+
+// pendingPool recycles entries across invocations, alongside doneChanPool.
+var pendingPool = sync.Pool{New: func() any { return new(muxPending) }}
+
+// getPending returns an armed entry wired to a pooled completion channel.
+func getPending(id uint32) *muxPending {
+	pe := pendingPool.Get().(*muxPending)
+	pe.id = id
+	pe.locate = false
+	pe.state.Store(pendingArmed)
+	pe.done = doneChanPool.Get().(chan invokeResult)
+	return pe
+}
+
+// putPending recycles a completed entry and its (drained) channel. Only the
+// caller that received the entry's single result may call this.
+func putPending(pe *muxPending) {
+	doneChanPool.Put(pe.done)
+	pe.done = nil
+	pendingPool.Put(pe)
+}
+
+// writeDeadliner is the optional write-deadline support of net.TCPConn,
+// net.Pipe, and the fault-injection wrapper; the mux uses it to bound a
+// request write without disturbing the reactor's blocking read.
+type writeDeadliner interface{ SetWriteDeadline(time.Time) error }
+
+// muxConn is one multiplexed connection: the pending table, the write
+// lock, and the reactor goroutine demultiplexing its replies. A wire fault
+// from either direction fails every pending entry exactly once with a
+// transport-level error, counts a single breaker failure, and detaches the
+// connection from the client so the next invoke triggers one supervised
+// redial — not one per in-flight caller.
+type muxConn struct {
+	cl   *Client
+	conn transport.Conn
+
+	wmu sync.Mutex // serialises request writes
+
+	pmu     sync.Mutex
+	pending map[uint32]*muxPending
+	dead    bool
+	deadErr error
+
+	// maxDone is the highest request id completed so far, maintained by the
+	// reactor alone; a completion below it is an out-of-order reply.
+	maxDone uint32
+}
+
+// newMuxConn wraps conn and starts its reactor.
+func newMuxConn(cl *Client, conn transport.Conn) *muxConn {
+	mc := &muxConn{cl: cl, conn: conn, pending: make(map[uint32]*muxPending, 16)}
+	go mc.reactor()
+	return mc
+}
+
+// register places an armed entry in the pending table. It fails if the
+// connection already died (the entry is then still owned by the caller) and
+// reports false without error if the caller cancelled the entry while the
+// invocation was queued — the request must not reach the wire.
+func (mc *muxConn) register(pe *muxPending) (bool, error) {
+	mc.pmu.Lock()
+	if mc.dead {
+		err := mc.deadErr
+		mc.pmu.Unlock()
+		return false, err
+	}
+	if pe.state.Load() == pendingCancelled {
+		mc.pmu.Unlock()
+		return false, nil
+	}
+	mc.pending[pe.id] = pe
+	mc.pmu.Unlock()
+	mc.cl.inflight.Add(1)
+	return true, nil
+}
+
+// unregister removes an entry the caller is abandoning (deadline expiry).
+// It reports whether the entry was still tabled here.
+func (mc *muxConn) unregister(pe *muxPending) bool {
+	mc.pmu.Lock()
+	cur, ok := mc.pending[pe.id]
+	if ok && cur == pe {
+		delete(mc.pending, pe.id)
+		mc.pmu.Unlock()
+		mc.cl.inflight.Add(-1)
+		return true
+	}
+	mc.pmu.Unlock()
+	return false
+}
+
+// take removes and returns the entry for id, used by the reactor when a
+// reply arrives.
+func (mc *muxConn) take(id uint32) (*muxPending, bool) {
+	mc.pmu.Lock()
+	pe, ok := mc.pending[id]
+	if ok {
+		delete(mc.pending, id)
+	}
+	mc.pmu.Unlock()
+	if ok {
+		mc.cl.inflight.Add(-1)
+	}
+	return pe, ok
+}
+
+// send writes one request frame under the write lock. When the client has a
+// per-invoke deadline configured the write itself is bounded by it too — a
+// peer that stopped reading must not wedge the submit path forever. Any
+// write error (a partial frame desynchronises GIOP framing) kills the
+// connection.
+func (mc *muxConn) send(wire []byte) error {
+	mc.wmu.Lock()
+	if t := mc.cl.invokeTimeout(); t > 0 {
+		if wd, ok := mc.conn.(writeDeadliner); ok {
+			_ = wd.SetWriteDeadline(time.Now().Add(t))
+		}
+	}
+	_, err := mc.conn.Write(wire)
+	mc.wmu.Unlock()
+	if err != nil {
+		telemetry.RecordFault("orb.client.write", err)
+		if mc.cl.res != nil {
+			// One failure for the wire event; the reactor's subsequent
+			// closed-connection exit is classified clean and not re-counted.
+			mc.cl.res.brk.Failure()
+		}
+		mc.fail(fmt.Errorf("orb client: write: %w", mc.cl.mapWireErr(err)))
+	}
+	return err
+}
+
+// fail kills the connection once: every pending entry completes with err
+// (wrapped as a transport-level failure), the socket closes, the client
+// detaches the connection, and — under supervision — a single breaker
+// failure is recorded for the whole batch.
+func (mc *muxConn) fail(err error) {
+	mc.pmu.Lock()
+	if mc.dead {
+		mc.pmu.Unlock()
+		return
+	}
+	mc.dead = true
+	mc.deadErr = err
+	victims := make([]*muxPending, 0, len(mc.pending))
+	for id, pe := range mc.pending {
+		delete(mc.pending, id)
+		victims = append(victims, pe)
+	}
+	mc.pmu.Unlock()
+
+	_ = mc.conn.Close()
+	mc.cl.detachConn(mc)
+	if n := len(victims); n > 0 {
+		mc.cl.inflight.Add(-int64(n))
+		telemetry.Record(telemetry.EvState, muxLabel, 0, 0, uint64(n))
+	}
+	for _, pe := range victims {
+		pe.complete(invokeResult{err: err})
+	}
+}
+
+// reactor is the demultiplexing read loop: it frames replies off the
+// connection, matches each to its pending entry by request id, and
+// completes the caller's channel. Replies bearing unknown ids — stale
+// answers to abandoned invocations, or corruption — are counted and
+// dropped without wedging the stream. The reactor exits when the
+// connection dies, failing whatever is still in flight.
+func (mc *muxConn) reactor() {
+	fr := giop.NewFrameReader(mc.conn, uint32(mc.cl.maxMsg))
+	var rep giop.Reply
+	var loc giop.LocateReply
+	for {
+		h, body, err := fr.Next()
+		if err != nil {
+			mc.readFailed(err)
+			return
+		}
+		switch h.Type {
+		case giop.MsgReply:
+			if err := giop.DecodeReply(h.Order, body, &rep); err != nil {
+				mc.readFailed(err)
+				return
+			}
+			if rep.TraceID != 0 {
+				// The reply carried the server's span for a trace we opened:
+				// record it so the client flight recorder holds the full
+				// stitched round trip.
+				telemetry.Record(telemetry.EvNetRecv, clientReplyLabel, rep.TraceID, rep.SpanID, uint64(len(body)))
+			}
+			pe, ok := mc.take(rep.RequestID)
+			if !ok {
+				muxStaleDropTotal.Inc()
+				continue
+			}
+			mc.noteOrder(rep.RequestID)
+			mc.brkSuccess()
+			if !pe.complete(replyResult(&rep)) {
+				muxStaleDropTotal.Inc()
+			}
+		case giop.MsgLocateReply:
+			if err := giop.DecodeLocateReply(h.Order, body, &loc); err != nil {
+				mc.readFailed(err)
+				return
+			}
+			pe, ok := mc.take(loc.RequestID)
+			if !ok || !pe.locate {
+				muxStaleDropTotal.Inc()
+				continue
+			}
+			mc.noteOrder(loc.RequestID)
+			mc.brkSuccess()
+			if !pe.complete(invokeResult{here: loc.Status == giop.LocateObjectHere}) {
+				muxStaleDropTotal.Inc()
+			}
+		case giop.MsgCloseConnection:
+			mc.fail(fmt.Errorf("orb client: %w", corba.ErrClosed))
+			return
+		default:
+			// A request-direction or unknown message on the reply stream is
+			// a protocol violation; the connection cannot be trusted.
+			mc.fail(fmt.Errorf("orb client: unexpected %v message", h.Type))
+			return
+		}
+	}
+}
+
+// noteOrder maintains the reorder counter: the reactor observing a
+// completion below the highest completed id has seen replies cross.
+func (mc *muxConn) noteOrder(id uint32) {
+	if id < mc.maxDone {
+		muxReorderTotal.Inc()
+		return
+	}
+	mc.maxDone = id
+}
+
+// brkSuccess records a completed exchange with the breaker, if any.
+func (mc *muxConn) brkSuccess() {
+	if mc.cl.res != nil {
+		mc.cl.res.brk.Success()
+	}
+}
+
+// readFailed classifies a reactor read error and kills the connection: a
+// clean shutdown (client closed, peer closed between frames) fails pending
+// entries with ErrClosed and stays off the fault log; anything else — a
+// reply cut off mid-frame, an over-bound body — is a recorded fault that
+// also counts one breaker failure.
+func (mc *muxConn) readFailed(err error) {
+	if err == io.EOF || mc.cl.closed.Load() || cleanClose(err) {
+		mc.fail(fmt.Errorf("orb client: read: %w", corba.ErrClosed))
+		return
+	}
+	telemetry.RecordFault("orb.client.read", err)
+	if mc.cl.res != nil {
+		mc.cl.res.brk.Failure()
+	}
+	mc.fail(fmt.Errorf("orb client: read: %w", mc.cl.mapWireErr(wireErr("read", mc.cl.addr, err))))
+}
+
+// replyResult maps a decoded GIOP reply to the caller-visible result,
+// copying the payload out of the reactor's scratch buffer (which the next
+// frame will overwrite).
+func replyResult(rep *giop.Reply) invokeResult {
+	switch rep.Status {
+	case giop.ReplyNoException:
+		out := make([]byte, len(rep.Payload))
+		copy(out, rep.Payload)
+		return invokeResult{payload: out}
+	case giop.ReplyUserException:
+		return invokeResult{err: fmt.Errorf("%w: %s", corba.ErrUserException, rep.Payload)}
+	default:
+		return invokeResult{err: fmt.Errorf("%w: %s", corba.ErrSystemException, rep.Payload)}
+	}
+}

@@ -1,0 +1,336 @@
+package orb
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corba"
+	"repro/internal/giop"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// rawServer accepts one connection on an in-process network and hands the
+// test full control of the GIOP frames flowing both ways — the only way to
+// provoke the reply streams a well-behaved server never produces (bogus
+// ids, reordered replies, mid-frame cuts).
+type rawServer struct {
+	t    *testing.T
+	ln   transport.Listener
+	addr string
+}
+
+func newRawServer(t *testing.T, net transport.Network) *rawServer {
+	t.Helper()
+	ln, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return &rawServer{t: t, ln: ln, addr: ln.Addr()}
+}
+
+// serve runs fn on the next accepted connection.
+func (rs *rawServer) serve(fn func(conn transport.Conn)) {
+	go func() {
+		conn, err := rs.ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		fn(conn)
+	}()
+}
+
+// readRequest frames and decodes one inbound request.
+func readRequest(t *testing.T, conn transport.Conn) (giop.ByteOrder, *giop.Request) {
+	t.Helper()
+	h, body, err := giop.ReadMessageLimited(conn, nil, 1<<16)
+	if err != nil {
+		t.Errorf("raw server read: %v", err)
+		return giop.BigEndian, nil
+	}
+	if h.Type != giop.MsgRequest {
+		t.Errorf("raw server: unexpected %v frame", h.Type)
+		return giop.BigEndian, nil
+	}
+	req := new(giop.Request)
+	if err := giop.DecodeRequest(h.Order, body, req); err != nil {
+		t.Errorf("raw server decode: %v", err)
+		return giop.BigEndian, nil
+	}
+	// Payload aliases the read buffer; copy before the next frame.
+	req.Payload = append([]byte(nil), req.Payload...)
+	return h.Order, req
+}
+
+// writeEcho replies to req with its own payload under the given id.
+func writeEcho(t *testing.T, conn transport.Conn, order giop.ByteOrder, id uint32, payload []byte) {
+	t.Helper()
+	wire := giop.MarshalReply(nil, order, &giop.Reply{
+		RequestID: id, Status: giop.ReplyNoException, Payload: payload,
+	})
+	if _, err := conn.Write(wire); err != nil {
+		t.Errorf("raw server write: %v", err)
+	}
+}
+
+// TestMuxStaleReplyDropped pins the reactor's unknown-id path: a reply
+// bearing an id that matches no pending entry is counted and dropped, and
+// the invocation stream keeps flowing — the stale frame must not wedge the
+// reactor or complete the wrong caller.
+func TestMuxStaleReplyDropped(t *testing.T) {
+	net := transport.NewInproc()
+	rs := newRawServer(t, net)
+	rs.serve(func(conn transport.Conn) {
+		for i := 0; i < 3; i++ {
+			order, req := readRequest(t, conn)
+			if req == nil {
+				return
+			}
+			// A stale reply first (an id nothing is waiting for), then the
+			// real one.
+			writeEcho(t, conn, order, req.RequestID+0x5000, []byte("stale"))
+			writeEcho(t, conn, order, req.RequestID, req.Payload)
+		}
+	})
+	cl := dial(t, net, rs.addr, ClientConfig{})
+
+	staleBefore := muxStaleDropTotal.Value()
+	for i := 0; i < 3; i++ {
+		payload := []byte(fmt.Sprintf("real-%d", i))
+		got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("invoke %d: got %q (stale reply delivered?)", i, got)
+		}
+	}
+	if got := muxStaleDropTotal.Value() - staleBefore; got < 3 {
+		t.Errorf("mux_stale_drop_total advanced by %d, want >= 3", got)
+	}
+	if cl.Inflight() != 0 {
+		t.Errorf("inflight = %d after all replies", cl.Inflight())
+	}
+}
+
+// TestMuxOutOfOrderCompletion pins pipelining itself: two invocations in
+// flight at once, replies written in reverse order, each caller receiving
+// exactly its own payload — and the reorder counter advancing, the
+// observable proof the completions crossed.
+func TestMuxOutOfOrderCompletion(t *testing.T) {
+	net := transport.NewInproc()
+	rs := newRawServer(t, net)
+	rs.serve(func(conn transport.Conn) {
+		type pend struct {
+			order giop.ByteOrder
+			req   *giop.Request
+		}
+		// Collect both requests before answering either, then reply in
+		// reverse arrival order.
+		var batch []pend
+		for len(batch) < 2 {
+			order, req := readRequest(t, conn)
+			if req == nil {
+				return
+			}
+			batch = append(batch, pend{order, req})
+		}
+		for i := len(batch) - 1; i >= 0; i-- {
+			writeEcho(t, conn, batch[i].order, batch[i].req.RequestID, batch[i].req.Payload)
+		}
+	})
+	cl := dial(t, net, rs.addr, ClientConfig{})
+
+	reorderBefore := muxReorderTotal.Value()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("caller-%d", i))
+			got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs[i] = fmt.Errorf("cross-talk: sent %q got %q", payload, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+	if got := muxReorderTotal.Value() - reorderBefore; got < 1 {
+		t.Errorf("mux_reorder_total advanced by %d, want >= 1", got)
+	}
+}
+
+// TestMuxConnDeathFailsAllPendingOnce cuts the connection mid-frame with a
+// batch of invocations in flight. Every pending invoke must fail exactly
+// once with a transport-level error — and the whole wire event must count
+// as ONE breaker failure, not one per stranded caller: with a threshold of
+// two, eight victims from a single cut must leave the breaker closed.
+func TestMuxConnDeathFailsAllPendingOnce(t *testing.T) {
+	net := transport.NewInproc()
+	rs := newRawServer(t, net)
+	const callers = 8
+	rs.serve(func(conn transport.Conn) {
+		for i := 0; i < callers; i++ {
+			if _, req := readRequest(t, conn); req == nil {
+				return
+			}
+		}
+		// All callers are now pending. A half-written reply header then a
+		// close is an abrupt wire failure (not a clean shutdown).
+		hdr := giop.MarshalReply(nil, giop.BigEndian, &giop.Reply{RequestID: 1})
+		conn.Write(hdr[:6])
+		conn.Close()
+	})
+	cl := dial(t, net, rs.addr, ClientConfig{
+		Resilience: &ResilienceConfig{BreakerThreshold: 2, MaxRetries: 0},
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.Invoke("echo", "echo", []byte("doomed"), sched.NormPriority)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("caller %d: expected a wire error, got success", i)
+		}
+	}
+	if got := cl.Inflight(); got != 0 {
+		t.Errorf("inflight = %d after connection death", got)
+	}
+	if st := cl.res.brk.State(); st != breakerClosed {
+		t.Errorf("breaker state = %d after one wire event; %d victims were each counted as a failure", st, callers)
+	}
+}
+
+// TestMuxStorm64 is the -race storm: 64 invokers hammer one multiplexed
+// connection concurrently, every reply must land with its own caller, and
+// the pending table must drain completely.
+func TestMuxStorm64(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{Concurrency: 16})
+	cl := dial(t, net, srv.Addr(), ClientConfig{
+		MsgPoolCapacity: 256,
+		PipelineDepth:   128,
+	})
+
+	const invokers = 64
+	const perInvoker = 25
+	var wg sync.WaitGroup
+	errs := make([]error, invokers)
+	for i := 0; i < invokers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perInvoker; j++ {
+				payload := []byte(fmt.Sprintf("invoker-%d-call-%d", i, j))
+				got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+				if err != nil {
+					errs[i] = fmt.Errorf("call %d: %w", j, err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs[i] = fmt.Errorf("call %d: cross-talk: got %q want %q", j, got, payload)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("invoker %d: %v", i, err)
+		}
+	}
+	if got := cl.Inflight(); got != 0 {
+		t.Errorf("inflight = %d after storm drained", got)
+	}
+	if n, err := cl.App().Errors(); n != 0 {
+		t.Errorf("client handler errors: %d (%v)", n, err)
+	}
+	if n, err := srv.App().Errors(); n != 0 {
+		t.Errorf("server handler errors: %d (%v)", n, err)
+	}
+}
+
+// TestMuxRemoteProxyConcurrentSends pins the ORB surface remote.Proxy leans
+// on: many goroutines pushing oneways through one shared client must all
+// multiplex over the single connection with every message arriving exactly
+// once (the remote package's own concurrency test rides this same path).
+func TestMuxRemoteProxyConcurrentSends(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{Concurrency: 16})
+
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	srv.RegisterServant("sink", corba.ServantFunc(func(op string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		seen[string(payload)]++
+		mu.Unlock()
+		return nil, nil
+	}))
+	cl := dial(t, net, srv.Addr(), ClientConfig{MsgPoolCapacity: 128})
+
+	const senders = 16
+	const perSender = 20
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				payload := []byte(fmt.Sprintf("s%d-m%d", i, j))
+				if err := cl.InvokeOneway("sink", "push", payload, sched.NormPriority); err != nil {
+					t.Errorf("sender %d msg %d: %v", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Oneways complete at write time; give the servant a moment to drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == senders*perSender || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+		runtime.Gosched()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != senders*perSender {
+		t.Errorf("delivered %d distinct messages, want %d", len(seen), senders*perSender)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("message %q delivered %d times", k, n)
+		}
+	}
+}

@@ -23,8 +23,10 @@ var (
 	// the threshold and the cooldown has not yet elapsed.
 	ErrCircuitOpen = errors.New("orb client: circuit open")
 	// ErrDeadlineExceeded is returned when a per-invoke deadline elapses
-	// before the reply arrives. The connection is torn down (a late reply
-	// would desynchronise GIOP framing) and redialled on the next invoke.
+	// before the reply arrives. The connection stays up — the demux reactor
+	// keeps the framing synchronised and simply drops the stale reply when
+	// it eventually arrives — so one slow invocation no longer forces a
+	// teardown on everyone sharing the pipeline.
 	ErrDeadlineExceeded = errors.New("orb client: invoke deadline exceeded")
 )
 
@@ -33,7 +35,6 @@ var (
 	retryTotal         = telemetry.NewCounter("retry_total")
 	breakerOpenTotal   = telemetry.NewCounter("breaker_open_total")
 	reconnectTotal     = telemetry.NewCounter("reconnect_total")
-	dupSuppressedTotal = telemetry.NewCounter("dup_suppressed_total")
 	invokeTimeoutTotal = telemetry.NewCounter("invoke_timeout_total")
 )
 

@@ -35,7 +35,17 @@ type ServerConfig struct {
 	Synchronous bool
 	// MsgPoolCapacity overrides the per-type message pool capacity.
 	MsgPoolCapacity int
+	// Concurrency bounds how many requests one connection processes at
+	// once (the RequestProcessing pool width). Pipelined clients keep that
+	// many servant invocations in flight; replies go out in completion
+	// order, not arrival order. Zero selects DefaultConcurrency.
+	Concurrency int
 }
+
+// DefaultConcurrency is the per-connection request-processing width used
+// when ServerConfig.Concurrency is zero. It is sized so the default
+// message-pool capacity comfortably covers queued plus in-process requests.
+const DefaultConcurrency = 8
 
 // Server is the component-structured ORB server of Fig. 10 (right):
 // ORB → POA/Acceptor → per-connection Transport → per-request
@@ -59,10 +69,11 @@ type Server struct {
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 
-	threading core.Threading
-	usePool   bool
-	rpSize    int64
-	repPool   *memory.ScopePool
+	threading   core.Threading
+	usePool     bool
+	rpSize      int64
+	repPool     *memory.ScopePool
+	concurrency int
 }
 
 // serverConn is the per-connection state owned by a Transport instance.
@@ -90,10 +101,19 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		maxMsg = DefaultMaxMessage
 	}
 	rpSize := int64(4*maxMsg + 8192)
+	concurrency := cfg.Concurrency
+	if concurrency <= 0 {
+		concurrency = DefaultConcurrency
+	}
 
 	appCfg := core.AppConfig{Name: "CompadresORBServer", ImmortalSize: 1 << 20}
 	if cfg.MsgPoolCapacity != 0 {
 		appCfg.MsgPoolCapacity = cfg.MsgPoolCapacity
+	} else if need := 3*concurrency + 8; need > core.DefaultMsgPoolCapacity {
+		// A connection can hold queue (2×concurrency) plus in-process
+		// (concurrency) requests outstanding; the message pool must cover
+		// that or the reader loop sheds connections under pipelined load.
+		appCfg.MsgPoolCapacity = need
 	}
 	if cfg.ScopePoolCount > 0 {
 		appCfg.ScopePools = []core.ScopePoolSpec{
@@ -122,12 +142,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 
 	srv := &Server{
-		app:       app,
-		maxMsg:    maxMsg,
-		threading: core.ThreadingShared,
-		usePool:   cfg.ScopePoolCount > 0,
-		rpSize:    rpSize,
-		repPool:   repPool,
+		app:         app,
+		maxMsg:      maxMsg,
+		threading:   core.ThreadingShared,
+		usePool:     cfg.ScopePoolCount > 0,
+		rpSize:      rpSize,
+		repPool:     repPool,
+		concurrency: concurrency,
 	}
 	if cfg.Synchronous {
 		srv.threading = core.ThreadingSynchronous
@@ -301,10 +322,18 @@ func (s *Server) transportSetup(sc *serverConn) func(*core.Component) error {
 			MemorySize: s.rpSize,
 			UsePool:    s.usePool,
 			Setup: func(rp *core.Component) error {
+				// Concurrency pool workers dispatch requests side by side;
+				// the bounded buffer plus OverflowBlock turns "queue full"
+				// into the reader loop parking, which in turn stops reading
+				// the socket — wire-level backpressure instead of a dropped
+				// connection when a pipelined client runs ahead of the
+				// servants.
 				_, err := core.AddInPort(rp, tSMM, core.InPortConfig{
 					Name: "request", Type: requestType, Threading: s.threading,
-					MinThreads: 1, MaxThreads: 2, BufferSize: 32,
-					Handler: core.HandlerFunc(s.processRequest),
+					MinThreads: 1, MaxThreads: s.concurrency,
+					BufferSize: 2 * s.concurrency,
+					Overflow:   core.OverflowBlock,
+					Handler:    core.HandlerFunc(s.processRequest),
 				})
 				return err
 			},
@@ -324,11 +353,15 @@ func (s *Server) transportSetup(sc *serverConn) func(*core.Component) error {
 }
 
 // readLoop frames inbound GIOP messages and relays each into the
-// RequestProcessing scope through the component port.
+// RequestProcessing scope through the component port. Requests dispatch
+// concurrently (up to the configured Concurrency) and each reply goes out
+// under the connection's write lock as its servant finishes — out of order
+// when completions cross — while the demultiplexing client matches them
+// back to callers by request id.
 func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
-	scratch := make([]byte, s.maxMsg+giop.HeaderSize)
+	fr := giop.NewFrameReader(sc.conn, uint32(s.maxMsg))
 	for {
-		h, body, err := giop.ReadMessageLimited(sc.conn, scratch[:0], uint32(s.maxMsg))
+		h, body, err := fr.Next()
 		if err != nil {
 			// EOF and closed-pipe are normal teardown; anything else —
 			// a peer vanishing mid-frame, a short read, an over-limit
@@ -353,7 +386,16 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 			m.setRaw(body)
 			m.order = h.Order
 			m.conn = sc
-			if err := toRP.Send(msg, sched.NormPriority); err != nil {
+			// Dispatch at the priority the client stamped on the request, so
+			// a high-priority invocation overtakes queued lower ones instead
+			// of waiting behind the arrival order.
+			prio := sched.NormPriority
+			if p, ok := giop.PeekRequestPriority(h.Order, body); ok {
+				if cand := sched.Priority(p); cand.Valid() {
+					prio = cand
+				}
+			}
+			if err := toRP.Send(msg, prio); err != nil {
 				sc.conn.Close()
 				return
 			}

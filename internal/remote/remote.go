@@ -16,6 +16,12 @@
 // encoding.BinaryUnmarshaler; this is the serialization cross-scope
 // mechanism of §2.2 applied across address spaces, where the shared-object
 // mechanism cannot reach.
+//
+// All proxies built on one client share that client's single multiplexed
+// GIOP connection: concurrent Sends — through one proxy or many — pipeline
+// over it rather than serialising whole exchanges, so a bridge carrying
+// several components' traffic never queues one port's messages behind
+// another port's round trip.
 package remote
 
 import (
@@ -93,6 +99,9 @@ func (s *exportServant) InvokeWithPriority(op string, in []byte, priority byte) 
 }
 
 // Proxy sends messages to an exported remote port through an ORB client.
+// Proxies are safe for concurrent use: Sends from many goroutines (and from
+// sibling proxies on the same client) pipeline over the client's one
+// multiplexed connection instead of serialising.
 type Proxy struct {
 	cl   *orb.Client
 	key  string

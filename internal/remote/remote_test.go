@@ -3,6 +3,7 @@ package remote
 import (
 	"encoding/binary"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -255,5 +256,74 @@ func TestExportUnknownOperation(t *testing.T) {
 	defer cl.Close()
 	if _, err := cl.Invoke("port:Sink.in", "frobnicate", nil, sched.NormPriority); err == nil {
 		t.Error("unknown operation accepted")
+	}
+}
+
+// TestProxyConcurrentSendsPipeline pins the multiplexed-client contract at
+// the remote-port surface: many goroutines pushing acknowledged Sends
+// through one proxy pipeline over the client's single GIOP connection, and
+// every message arrives exactly once.
+func TestProxyConcurrentSendsPipeline(t *testing.T) {
+	net := transport.NewInproc()
+	srv, got := startRemoteSink(t, net)
+	cl, err := orb.DialClient(orb.ClientConfig{Network: net, Addr: srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	proxy, err := NewProxy(cl, "Sink.in", wireType, true /* ackd */)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 16, 20
+	seen := make(map[int64]int, workers*perWorker)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for i := 0; i < workers*perWorker; i++ {
+			select {
+			case v := <-got:
+				seen[v[0]]++
+			case <-time.After(5 * time.Second):
+				return // drained-count check below reports the shortfall
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				msg := proxy.GetMessage()
+				msg.(*wireMsg).value = int64(w)<<16 | int64(i)
+				if err := proxy.Send(msg, sched.NormPriority); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	<-drained
+
+	if len(seen) != workers*perWorker {
+		t.Fatalf("distinct values = %d, want %d", len(seen), workers*perWorker)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("value %d delivered %d times", v, n)
+		}
+	}
+	if n := cl.Inflight(); n != 0 {
+		t.Errorf("in-flight after drain = %d, want 0", n)
 	}
 }

@@ -26,13 +26,13 @@ type GaugeValue struct {
 // (optionally) the flight-recorder contents.
 type Snapshot struct {
 	// UptimeNanos is Now() at snapshot time.
-	UptimeNanos int64              `json:"uptime_ns"`
-	Counters    []CounterValue     `json:"counters"`
-	Gauges      []GaugeValue       `json:"gauges"`
+	UptimeNanos int64               `json:"uptime_ns"`
+	Counters    []CounterValue      `json:"counters"`
+	Gauges      []GaugeValue        `json:"gauges"`
 	Histograms  []HistogramSnapshot `json:"histograms,omitempty"`
-	FaultsTotal int64              `json:"faults_total"`
-	Faults      []Fault            `json:"faults,omitempty"`
-	Events      []Event            `json:"events,omitempty"`
+	FaultsTotal int64               `json:"faults_total"`
+	Faults      []Fault             `json:"faults,omitempty"`
+	Events      []Event             `json:"events,omitempty"`
 }
 
 // SnapshotOptions selects what a snapshot includes beyond counters and

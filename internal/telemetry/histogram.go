@@ -43,7 +43,7 @@ func bucketIndex(v int64) int {
 	if u < histSubCount {
 		return int(u)
 	}
-	msb := bits.Len64(u) - 1            // position of the highest set bit
+	msb := bits.Len64(u) - 1             // position of the highest set bit
 	exp := uint(msb - (histSubBits - 1)) // doublings beyond the linear range
 	mantissa := u >> exp                 // top histSubBits bits ∈ [histHalf, histSubCount)
 	return histSubCount + int(exp-1)*histHalf + int(mantissa) - histHalf
