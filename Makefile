@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1 bench2 allocguard chaos
+.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 allocguard chaos
 
 all: build
 
@@ -54,3 +54,9 @@ bench1:
 # lockstep baseline it is judged against.
 bench2:
 	$(GO) run ./cmd/benchharness -experiment bench2 -warmup 200 -observations 2000 -out BENCH_2.json
+
+# bench3 regenerates BENCH_3.json, the write-coalescing + channel-striping
+# sweep over the paced wire: the PR-4 single-stripe baseline against
+# one/two/four stripes with adaptive coalescing at both ends.
+bench3:
+	$(GO) run ./cmd/benchharness -experiment bench3 -warmup 200 -observations 2000 -out BENCH_3.json

@@ -7,6 +7,7 @@
 //	benchharness -experiment ablations   # cross-scope / shadow-port / scope-pool
 //	benchharness -experiment bench1      # BENCH_1.json snapshot (Fig. 11 + dispatch path)
 //	benchharness -experiment bench2      # BENCH_2.json snapshot (pipelined concurrency sweep)
+//	benchharness -experiment bench3      # BENCH_3.json snapshot (coalescing + striping sweep)
 //	benchharness -experiment chaos       # resilient invocation under seeded fault injection
 //	benchharness -experiment all
 //
@@ -33,10 +34,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | bench2 | chaos | all")
+		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | bench2 | bench3 | chaos | all")
 		obs        = flag.Int("observations", metrics.DefaultObservations, "steady-state observations per configuration")
 		warmup     = flag.Int("warmup", metrics.DefaultWarmup, "warm-up iterations discarded before measuring")
-		out        = flag.String("out", "", "output path for the bench1/bench2 snapshot (default BENCH_1.json / BENCH_2.json)")
+		out        = flag.String("out", "", "output path for the bench1/bench2/bench3 snapshot (default BENCH_<n>.json)")
 		seed       = flag.Uint64("seed", 1, "chaos fault-schedule seed")
 		telem      = flag.Bool("telemetry", true, "record runtime telemetry during experiments")
 		telemOut   = flag.String("telemetry-out", "", "write a telemetry JSON snapshot (with flight-recorder events) to this file after the run")
@@ -89,6 +90,11 @@ func run(experiment string, warmup, obs int, out string, seed uint64) error {
 			out = "BENCH_2.json"
 		}
 		return runBench2(warmup, obs, out)
+	case "bench3":
+		if out == "" {
+			out = "BENCH_3.json"
+		}
+		return runBench3(warmup, obs, out)
 	case "chaos":
 		return runChaos(warmup, obs, seed)
 	case "all":

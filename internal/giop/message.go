@@ -284,43 +284,57 @@ func DecodeRequest(order ByteOrder, body []byte, req *Request) error {
 	return nil
 }
 
+// PriorityUnparsed is the sentinel PeekRequestPriority returns alongside
+// ok=false when the body is malformed or truncated: it lies outside the
+// RT-CORBA priority band (1..31), so a caller that ignores ok and feeds the
+// value to a band clamp cannot silently impersonate a valid priority.
+const PriorityUnparsed byte = 0xFF
+
 // PeekRequestPriority extracts the Priority octet from an encoded request
 // body without materialising strings or copying. The server's read loop
 // uses it to submit each request to the dispatch pool at the propagated
 // RT-CORBA priority before the full (allocating) demarshal runs inside the
-// RequestProcessing scope.
+// RequestProcessing scope. A malformed body — truncated mid-field, or
+// declaring more service contexts than its bytes could possibly hold —
+// returns (PriorityUnparsed, false); it never guesses a default.
 func PeekRequestPriority(order ByteOrder, body []byte) (byte, bool) {
 	d := Decoder{order: order, buf: body}
 	nctx, err := d.ReadULong()
 	if err != nil {
-		return 0, false
+		return PriorityUnparsed, false
+	}
+	// Each service context is at least 8 bytes (id + length); a count the
+	// remaining bytes cannot hold is corruption, rejected before the loop
+	// walks (and re-walks) a hostile count.
+	if uint64(nctx)*8 > uint64(d.Remaining()) {
+		return PriorityUnparsed, false
 	}
 	for i := uint32(0); i < nctx; i++ {
 		if _, err := d.ReadULong(); err != nil { // context id
-			return 0, false
+			return PriorityUnparsed, false
 		}
 		if err := d.skipOctetSeq(); err != nil { // context data
-			return 0, false
+			return PriorityUnparsed, false
 		}
 	}
 	if _, err := d.ReadULong(); err != nil { // request id
-		return 0, false
+		return PriorityUnparsed, false
 	}
 	if _, err := d.ReadBool(); err != nil { // response expected
-		return 0, false
+		return PriorityUnparsed, false
 	}
 	if err := d.skipOctetSeq(); err != nil { // object key
-		return 0, false
+		return PriorityUnparsed, false
 	}
 	if err := d.skipString(); err != nil { // operation
-		return 0, false
+		return PriorityUnparsed, false
 	}
 	if err := d.skipOctetSeq(); err != nil { // principal
-		return 0, false
+		return PriorityUnparsed, false
 	}
 	p, err := d.ReadOctet()
 	if err != nil {
-		return 0, false
+		return PriorityUnparsed, false
 	}
 	return p, true
 }

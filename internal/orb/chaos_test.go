@@ -146,8 +146,8 @@ func TestResilientClientSurvivesServerRestart(t *testing.T) {
 	if reconnectTotal.Value() <= reconnBefore {
 		t.Error("reconnect_total did not advance")
 	}
-	if cl.res.brk.State() != breakerClosed {
-		t.Errorf("breaker state = %d after recovery, want closed", cl.res.brk.State())
+	if cl.stripes[0].brk.State() != breakerClosed {
+		t.Errorf("breaker state = %d after recovery, want closed", cl.stripes[0].brk.State())
 	}
 }
 

@@ -50,7 +50,21 @@ type ClientConfig struct {
 	// redial with backoff, per-invoke deadlines, retry budgets for
 	// idempotent operations, and a circuit breaker. Nil (the default)
 	// keeps the original semantics — one dial, every error surfaces.
+	// With Channels > 1 the breaker is per stripe: one dead connection
+	// opens its own circuit while the others keep serving.
 	Resilience *ResilienceConfig
+	// Channels opens that many multiplexed connections (stripes) to the
+	// server and spreads invocations across them: power-of-two-choices on
+	// in-flight count, sticky per priority band so RT-CORBA ordering within
+	// a band is preserved (stripe.go). Zero or one keeps the single
+	// connection; values above 32 clamp.
+	Channels int
+	// Coalesce opts the send path into adaptive write coalescing
+	// (coalesce.go): concurrent senders' frames are flushed as one vectored
+	// write, amortising syscalls under pipelining with no latency tax on a
+	// lone caller. Nil disables coalescing (every frame is its own write,
+	// the PR-4 discipline).
+	Coalesce *CoalesceConfig
 }
 
 // DefaultMaxMessage is the default bound on message bodies.
@@ -77,15 +91,21 @@ type Client struct {
 	closed   atomic.Bool
 	network  transport.Network
 	addr     string
-	res      *resilience // nil unless ClientConfig.Resilience was set
+	res      *resilience    // nil unless ClientConfig.Resilience was set
+	coalesce *CoalesceConfig // nil unless ClientConfig.Coalesce was set
 	inflight atomic.Int64
 	gauge    *telemetry.GaugeHandle
 
-	// cur is the live multiplexed connection; nil when disconnected. cmu
-	// serialises (re)dials so a wire fault that strands N in-flight callers
-	// triggers one supervised redial, not N.
-	cur atomic.Pointer[muxConn]
-	cmu sync.Mutex
+	// stripes is the channel pool: each entry owns one multiplexed
+	// connection slot with its own redial lock and breaker. Selection state
+	// lives here: sticky maps a priority band to 1+the stripe it last rode
+	// (0 = unset) and bandInflight counts the band's in-flight invocations,
+	// so a busy band stays on one stripe (ordering) while an idle one
+	// re-balances; rng drives the two random choices.
+	stripes      []*stripe
+	sticky       [bandCount]atomic.Int32
+	bandInflight [bandCount]atomic.Int64
+	rng          atomic.Uint64
 }
 
 // DialClient builds the client component structure and connects it. The
@@ -154,9 +174,43 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Resilience != nil {
 		cl.res = newResilience(*cfg.Resilience)
 	}
+	if cfg.Coalesce != nil {
+		co := cfg.Coalesce.withDefaults()
+		cl.coalesce = &co
+	}
+	channels := cfg.Channels
+	if channels <= 0 {
+		channels = 1
+	}
+	if channels > maxChannels {
+		channels = maxChannels
+	}
+	for i := 0; i < channels; i++ {
+		st := &stripe{cl: cl, idx: i}
+		if cl.res != nil {
+			cl.res.initBreaker(&st.brk)
+		}
+		cl.stripes = append(cl.stripes, st)
+	}
 	cl.gauge = telemetry.Default.RegisterGauge("inflight", "orb.client", func() int64 {
 		return cl.inflight.Load()
 	})
+	if channels > 1 {
+		for _, st := range cl.stripes {
+			st := st
+			st.gauge = telemetry.Default.RegisterGauge("inflight",
+				fmt.Sprintf("orb.client.stripe%d", st.idx),
+				func() int64 { return st.inflight.Load() })
+		}
+	}
+
+	// The marshalling pipeline's width caps how many frames can be inside
+	// the coalescer at once, which in turn caps batch sizes; widen it when
+	// coalescing is on.
+	sendWidth := 2
+	if cl.coalesce != nil && cl.coalesce.SendWidth > sendWidth {
+		sendWidth = cl.coalesce.SendWidth
+	}
 
 	threading := core.ThreadingShared
 	if cfg.Synchronous {
@@ -176,7 +230,7 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 			Name:       "Transport",
 			MemorySize: transportSize,
 			Persistent: true,
-			Setup:      cl.transportSetup(threading, mpSize, cfg.ScopePoolCount > 0, depth),
+			Setup:      cl.transportSetup(threading, mpSize, cfg.ScopePoolCount > 0, depth, sendWidth),
 		})
 	})
 	if err != nil {
@@ -201,8 +255,9 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 
 // transportSetup wires one Transport instance: the In port fed by the ORB,
 // the Out port feeding MessageProcessing, the per-request child definition,
-// and the start function that dials the server and launches the reactor.
-func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool bool, depth int) func(*core.Component) error {
+// and the start function that dials every stripe's connection and launches
+// its reactor.
+func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool bool, depth, sendWidth int) func(*core.Component) error {
 	return func(tc *core.Component) error {
 		orbSMM := tc.Parent().SMM()
 		tSMM := tc.SMM()
@@ -219,7 +274,7 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 		// invocation over (messages never cross SMM pools).
 		if _, err := core.AddInPort(tc, orbSMM, core.InPortConfig{
 			Name: "request", Type: invokeType, Threading: threading,
-			MinThreads: 1, MaxThreads: 2, BufferSize: depth,
+			MinThreads: 1, MaxThreads: sendWidth, BufferSize: depth,
 			Handler: core.HandlerFunc(func(p *core.Proc, msg core.Message) error {
 				in := msg.(*invokeMsg)
 				fwd, err := toMP.GetMessage()
@@ -246,7 +301,7 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 			Setup: func(mp *core.Component) error {
 				_, err := core.AddInPort(mp, tSMM, core.InPortConfig{
 					Name: "request", Type: invokeType, Threading: threading,
-					MinThreads: 1, MaxThreads: 2, BufferSize: depth,
+					MinThreads: 1, MaxThreads: sendWidth, BufferSize: depth,
 					Handler: core.HandlerFunc(cl.processInvoke),
 				})
 				return err
@@ -256,19 +311,22 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 		}
 
 		tc.SetStart(func(p *core.Proc) error {
-			conn, err := cl.network.Dial(cl.addr)
-			if err != nil {
-				if cl.res != nil {
-					// Supervised mode: leave the connection nil and let
-					// the next submit redial with backoff; the failure
-					// still counts toward the breaker.
-					telemetry.RecordFault("orb.client.dial", err)
-					cl.res.brk.Failure()
-					return nil
+			for _, st := range cl.stripes {
+				conn, err := cl.network.Dial(cl.addr)
+				if err != nil {
+					if cl.res != nil {
+						// Supervised mode: leave this stripe's connection
+						// nil and let the next invoke routed to it redial
+						// with backoff; the failure still counts toward the
+						// stripe's breaker.
+						telemetry.RecordFault("orb.client.dial", err)
+						st.brk.Failure()
+						continue
+					}
+					return fmt.Errorf("orb client dial %q: %w", cl.addr, err)
 				}
-				return fmt.Errorf("orb client dial %q: %w", cl.addr, err)
+				st.cur.Store(newMuxConn(st, conn))
 			}
-			cl.cur.Store(newMuxConn(cl, conn))
 			return nil
 		})
 		return nil
@@ -317,7 +375,7 @@ func (cl *Client) processInvoke(p *core.Proc, msg core.Message) error {
 		// No reply will be demultiplexed: the successful write is the
 		// completion.
 		if cl.res != nil {
-			cl.res.brk.Success()
+			in.st.brk.Success()
 		}
 		in.pe.complete(invokeResult{})
 	}
@@ -357,7 +415,7 @@ func (cl *Client) submit(ctx *memory.Context, in *invokeMsg) error {
 		Payload:          in.payload,
 	})
 
-	mc, err := cl.conn()
+	mc, err := in.st.conn()
 	if err != nil {
 		in.pe.complete(invokeResult{err: err})
 		return err
@@ -389,44 +447,6 @@ func (cl *Client) submit(ctx *memory.Context, in *invokeMsg) error {
 		return werr
 	}
 	return nil
-}
-
-// conn returns the live multiplexed connection, redialling under the
-// single-flight lock when supervision is enabled and the previous
-// connection died.
-func (cl *Client) conn() (*muxConn, error) {
-	if mc := cl.cur.Load(); mc != nil {
-		return mc, nil
-	}
-	if cl.closed.Load() || cl.res == nil {
-		return nil, corba.ErrClosed
-	}
-	cl.cmu.Lock()
-	defer cl.cmu.Unlock()
-	if mc := cl.cur.Load(); mc != nil {
-		// Another caller redialled while we waited.
-		return mc, nil
-	}
-	if cl.closed.Load() {
-		return nil, corba.ErrClosed
-	}
-	conn, err := cl.network.Dial(cl.addr)
-	if err != nil {
-		telemetry.RecordFault("orb.client.redial", err)
-		cl.res.brk.Failure()
-		return nil, fmt.Errorf("orb client redial %q: %w", cl.addr, err)
-	}
-	mc := newMuxConn(cl, conn)
-	cl.cur.Store(mc)
-	reconnectTotal.Inc()
-	telemetry.Record(telemetry.EvState, connLabel, 0, 0, connReconnected)
-	return mc, nil
-}
-
-// detachConn clears the client's connection slot if mc is still current;
-// called by the mux when the connection dies.
-func (cl *Client) detachConn(mc *muxConn) {
-	cl.cur.CompareAndSwap(mc, nil)
 }
 
 // invokeTimeout returns the per-invoke deadline, zero when unconfigured.
@@ -488,10 +508,11 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 	if cl.closed.Load() {
 		return nil, corba.ErrClosed
 	}
-	if cl.res != nil && !cl.res.brk.Allow() {
-		return nil, ErrCircuitOpen
+	st, err := cl.pickStripe(prio)
+	if err != nil {
+		return nil, err
 	}
-	return cl.invokeOnce(key, op, payload, prio, false)
+	return cl.invokeOnce(st, key, op, payload, prio, false)
 }
 
 // InvokeIdempotent is Invoke for operations that are safe to execute more
@@ -505,14 +526,18 @@ func (cl *Client) InvokeIdempotent(key, op string, payload []byte, prio sched.Pr
 		return nil, corba.ErrClosed
 	}
 	return cl.withRetry(func() ([]byte, error) {
-		return cl.invokeOnce(key, op, payload, prio, false)
+		st, err := cl.pickStripe(prio)
+		if err != nil {
+			return nil, err
+		}
+		return cl.invokeOnce(st, key, op, payload, prio, false)
 	})
 }
 
 // invokeOnce runs one pass through the component pipeline: arm a pending
-// entry, submit the invocation, and wait for the reactor (or a failure
-// path) to complete it.
-func (cl *Client) invokeOnce(key, op string, payload []byte, prio sched.Priority, oneway bool) ([]byte, error) {
+// entry, submit the invocation toward the chosen stripe, and wait for the
+// reactor (or a failure path) to complete it.
+func (cl *Client) invokeOnce(st *stripe, key, op string, payload []byte, prio sched.Priority, oneway bool) ([]byte, error) {
 	msg, err := cl.invoke.GetMessage()
 	if err != nil {
 		return nil, err
@@ -522,7 +547,8 @@ func (cl *Client) invokeOnce(key, op string, payload []byte, prio sched.Priority
 	m.setKey(key)
 	m.op, m.payload, m.prio = op, payload, prio
 	m.oneway = oneway
-	pe := getPending(m.id)
+	m.st = st
+	pe := getPending(m.id, bandOf(prio))
 	m.pe = pe
 	// Open a trace around the round trip. The ids are captured in locals
 	// because the pooled message is recycled once its handler returns.
@@ -582,27 +608,28 @@ func (cl *Client) cancelPending(pe *muxPending) bool {
 	if !pe.state.CompareAndSwap(pendingArmed, pendingCancelled) {
 		return false
 	}
-	if mc := cl.cur.Load(); mc != nil {
-		mc.unregister(pe)
+	// Best effort: the entry is tabled on at most one stripe's connection
+	// (the failer clears whole tables anyway).
+	for _, st := range cl.stripes {
+		if mc := st.cur.Load(); mc != nil && mc.unregister(pe) {
+			break
+		}
 	}
 	return true
 }
 
-// withRetry runs op under breaker gating and, when resilience is enabled,
-// retries retriable failures within the retry budget.
+// withRetry runs op and, when resilience is enabled, retries retriable
+// failures within the retry budget. Breaker gating happens inside op —
+// stripe selection (pickStripe) fails fast with ErrCircuitOpen when no
+// stripe admits traffic, and ErrCircuitOpen is retriable, so a later
+// attempt can ride a half-open probe.
 func (cl *Client) withRetry(op func() ([]byte, error)) ([]byte, error) {
 	r := cl.res
 	if r == nil {
 		return op()
 	}
 	for attempt := 0; ; attempt++ {
-		var out []byte
-		var err error
-		if !r.brk.Allow() {
-			err = ErrCircuitOpen
-		} else {
-			out, err = op()
-		}
+		out, err := op()
 		if err == nil {
 			r.budget.Earn()
 			r.resetDelay()
@@ -655,21 +682,25 @@ func (cl *Client) Locate(key string) (bool, error) {
 	return here, err
 }
 
-// locateOnce performs one LocateRequest/LocateReply exchange through the
-// multiplexed connection.
+// locateOnce performs one LocateRequest/LocateReply exchange through a
+// stripe's multiplexed connection (locate carries no priority; it routes
+// under the normal band).
 func (cl *Client) locateOnce(key string) (bool, error) {
-	mc := cl.cur.Load()
+	st, err := cl.pickStripe(sched.NormPriority)
+	if err != nil {
+		return false, err
+	}
+	mc := st.cur.Load()
 	if mc == nil {
 		if cl.res == nil || cl.closed.Load() {
 			return false, fmt.Errorf("%w: transport not yet connected; invoke first", corba.ErrClosed)
 		}
-		var err error
-		if mc, err = cl.conn(); err != nil {
+		if mc, err = st.conn(); err != nil {
 			return false, err
 		}
 	}
 	id := cl.nextID.Add(1)
-	pe := getPending(id)
+	pe := getPending(id, bandOf(sched.NormPriority))
 	pe.locate = true
 	ok, err := mc.register(pe)
 	if err != nil || !ok {
@@ -702,7 +733,11 @@ func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priori
 		return corba.ErrClosed
 	}
 	_, err := cl.withRetry(func() ([]byte, error) {
-		return cl.invokeOnce(key, op, payload, prio, true)
+		st, err := cl.pickStripe(prio)
+		if err != nil {
+			return nil, err
+		}
+		return cl.invokeOnce(st, key, op, payload, prio, true)
 	})
 	return err
 }
@@ -715,15 +750,20 @@ func (cl *Client) Inflight() int64 { return cl.inflight.Load() }
 // harness).
 func (cl *Client) App() *core.App { return cl.app }
 
-// Close shuts the client down: the connection is closed (failing any
-// in-flight invocations with ErrClosed) and the component application
+// Close shuts the client down: every stripe's connection is closed (failing
+// any in-flight invocations with ErrClosed) and the component application
 // stopped.
 func (cl *Client) Close() {
 	if cl.closed.Swap(true) {
 		return
 	}
-	if mc := cl.cur.Load(); mc != nil {
-		mc.fail(fmt.Errorf("orb client: %w", corba.ErrClosed))
+	for _, st := range cl.stripes {
+		if mc := st.cur.Load(); mc != nil {
+			mc.fail(fmt.Errorf("orb client: %w", corba.ErrClosed))
+		}
+		if st.gauge != nil {
+			st.gauge.Unregister()
+		}
 	}
 	cl.gauge.Unregister()
 	cl.app.Stop()

@@ -1,0 +1,242 @@
+package orb
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// This file is the adaptive write-coalescing layer shared by the client mux
+// send path and the server reply path. Senders hand the coalescer one framed
+// GIOP message each and block until their frame reaches the connection; the
+// first sender to find the writer idle becomes the flusher and writes every
+// queued frame as one vectored write (group commit). The policy is adaptive
+// with no timers: a lone caller's frame flushes immediately — the idle
+// flusher takes a batch of one — while under contention frames pile up
+// behind the in-progress write and the next flush drains them all, bounded
+// by MaxBatchFrames/MaxBatchBytes. Blocking the sender (rather than copying
+// the frame and returning) is load-bearing twice over: the frame bytes live
+// in a pooled per-request scope that is reclaimed when the sender's handler
+// returns, and oneway invocations report write errors synchronously.
+
+// CoalesceConfig opts an ORB endpoint into adaptive write coalescing.
+// The zero value of each field selects its default.
+type CoalesceConfig struct {
+	// MaxBatchFrames bounds how many frames one vectored write carries;
+	// zero selects 32.
+	MaxBatchFrames int
+	// MaxBatchBytes bounds the byte size of one vectored write; zero
+	// selects 64 KiB. A single frame larger than the bound still flushes
+	// (alone) — the bound caps batching, not frame size.
+	MaxBatchBytes int
+	// SendWidth widens the client's marshalling pipeline (the Transport and
+	// MessageProcessing port pools) so that many requests can be in the
+	// coalescer at once; zero selects 8. Without widening, the default
+	// two-thread pipeline caps batches at two frames regardless of load.
+	// Ignored by the server, whose width is ServerConfig.Concurrency.
+	SendWidth int
+}
+
+// Coalescing defaults.
+const (
+	defaultMaxBatchFrames = 32
+	defaultMaxBatchBytes  = 64 << 10
+	defaultSendWidth      = 8
+)
+
+// withDefaults fills zero fields.
+func (c CoalesceConfig) withDefaults() CoalesceConfig {
+	if c.MaxBatchFrames <= 0 {
+		c.MaxBatchFrames = defaultMaxBatchFrames
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = defaultMaxBatchBytes
+	}
+	if c.SendWidth <= 0 {
+		c.SendWidth = defaultSendWidth
+	}
+	return c
+}
+
+// Coalescing metrics, exported at /metrics with the compadres_ prefix.
+// frames/flush — the syscall amortisation factor — is
+// coalesce_frames_total / coalesce_flush_total; the histogram carries the
+// distribution of batch sizes behind that mean.
+var (
+	coalesceFlushTotal  = telemetry.NewCounter("coalesce_flush_total")
+	coalesceFramesTotal = telemetry.NewCounter("coalesce_frames_total")
+	coalesceBatchFrames = telemetry.NewHistogram("coalesce_batch_frames")
+)
+
+// coalescer serialises writes to one connection through a flush queue.
+// Frames flush strictly in enqueue order, so a sender's frame has been
+// written exactly when the flushed-sequence counter passes the sequence it
+// was enqueued at. After a write error the coalescer is dead: the error is
+// sticky, queued frames are dropped (their senders get the error), and
+// every later write fails fast — a partial frame has desynchronised GIOP
+// framing, so the connection is unusable anyway.
+type coalescer struct {
+	conn writerConn
+	// timeout, when non-nil, bounds each flush via the connection's write
+	// deadline (the client passes its per-invoke timeout; the server passes
+	// nil).
+	timeout   func() time.Duration
+	maxFrames int
+	maxBytes  int
+
+	mu       sync.Mutex
+	cond     sync.Cond
+	queue    [][]byte
+	flushing bool
+	head     uint64 // sequence of the last enqueued frame
+	done     uint64 // sequence of the last flushed frame
+	err      error  // sticky first write error
+	batch    [][]byte
+}
+
+// writerConn is the slice of transport.Conn the coalescer needs; tests
+// substitute scripted writers.
+type writerConn interface {
+	Write(p []byte) (int, error)
+}
+
+// newCoalescer builds a coalescer over conn with cfg's (default-filled)
+// bounds.
+func newCoalescer(conn writerConn, cfg CoalesceConfig, timeout func() time.Duration) *coalescer {
+	cfg = cfg.withDefaults()
+	co := &coalescer{
+		conn:      conn,
+		timeout:   timeout,
+		maxFrames: cfg.MaxBatchFrames,
+		maxBytes:  cfg.MaxBatchBytes,
+		queue:     make([][]byte, 0, cfg.MaxBatchFrames),
+		batch:     make([][]byte, 0, cfg.MaxBatchFrames),
+	}
+	co.cond.L = &co.mu
+	return co
+}
+
+// write enqueues one frame and blocks until it has been written or the
+// coalescer has failed. The frame bytes are referenced, never copied, and
+// are released before write returns — callers may reclaim them immediately.
+// owner reports whether THIS call performed the failing flush: exactly one
+// caller per wire fault sees owner=true, and only it may charge the fault
+// to the breaker and fail the connection, preserving the mux invariant that
+// one wire event counts one breaker failure however many senders it
+// strands.
+func (co *coalescer) write(frame []byte) (err error, owner bool) {
+	co.mu.Lock()
+	if co.err != nil {
+		err = co.err
+		co.mu.Unlock()
+		return err, false
+	}
+	co.queue = append(co.queue, frame)
+	co.head++
+	seq := co.head
+	for {
+		if co.err != nil {
+			err = co.err
+			co.mu.Unlock()
+			return err, false
+		}
+		if co.done >= seq {
+			// Flushed — frames leave the queue strictly in enqueue order, so
+			// the counter passing our sequence means our frame went out even
+			// if a later flush failed.
+			co.mu.Unlock()
+			return nil, false
+		}
+		if co.flushing {
+			co.cond.Wait()
+			continue
+		}
+		// Writer idle: become the flusher. Take the longest queue prefix
+		// within the batch bounds (always at least one frame, so an
+		// over-bound frame still flushes alone) and write it outside the
+		// lock as one vectored write; frames arriving meanwhile queue behind
+		// the flushing flag and ride the next batch.
+		take, bytes := 0, 0
+		for take < len(co.queue) && take < co.maxFrames {
+			if take > 0 && bytes+len(co.queue[take]) > co.maxBytes {
+				break
+			}
+			bytes += len(co.queue[take])
+			take++
+		}
+		batch := append(co.batch[:0], co.queue[:take]...)
+		rest := copy(co.queue, co.queue[take:])
+		for i := rest; i < len(co.queue); i++ {
+			co.queue[i] = nil
+		}
+		co.queue = co.queue[:rest]
+		co.flushing = true
+		co.mu.Unlock()
+
+		werr := co.flush(batch)
+		// The batch was consumed (possibly resliced) by the vectored write;
+		// drop the frame references before the senders reclaim their scopes.
+		for i := range batch {
+			batch[i] = nil
+		}
+		co.batch = batch[:0]
+
+		co.mu.Lock()
+		co.flushing = false
+		if werr != nil {
+			co.err = werr
+			// Dead coalescer: unhook the unflushed frames so their scoped
+			// buffers can be reclaimed; their senders wake to the sticky
+			// error above.
+			for i := range co.queue {
+				co.queue[i] = nil
+			}
+			co.queue = co.queue[:0]
+			co.cond.Broadcast()
+			co.mu.Unlock()
+			return werr, true
+		}
+		co.done += uint64(take)
+		coalesceFlushTotal.Inc()
+		coalesceFramesTotal.Add(int64(take))
+		coalesceBatchFrames.Record(int64(take))
+		co.cond.Broadcast()
+		// Loop: if our own frame was beyond this batch, keep flushing (or
+		// wait for a successor flusher) until the counter covers it.
+	}
+}
+
+// flush writes one batch to the connection as a single vectored write,
+// bounded by the write deadline when one is configured.
+func (co *coalescer) flush(batch [][]byte) error {
+	if co.timeout != nil {
+		if t := co.timeout(); t > 0 {
+			if wd, ok := co.conn.(writeDeadliner); ok {
+				_ = wd.SetWriteDeadline(time.Now().Add(t))
+			}
+		}
+	}
+	_, err := writeBatch(co.conn, batch)
+	return err
+}
+
+// writeBatch routes a batch through the transport's vectored-write helper
+// when the writer is a full connection (writev on TCP, sequential parity
+// elsewhere) and degrades to sequential writes for the scripted writers the
+// tests substitute.
+func writeBatch(w writerConn, bufs [][]byte) (int64, error) {
+	if c, ok := w.(transport.Conn); ok {
+		return transport.WriteBuffers(c, bufs)
+	}
+	var total int64
+	for _, b := range bufs {
+		n, err := w.Write(b)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -28,6 +28,9 @@ type invokeMsg struct {
 	oneway  bool
 	prio    sched.Priority
 	pe      *muxPending
+	// st is the stripe the invocation was routed to at Invoke time; the
+	// submit path dials/uses that stripe's connection.
+	st *stripe
 	// trace and span identify the caller's trace context; they ride the
 	// invocation through the component structure and onto the wire as a
 	// GIOP service context, so client and server flight recorders can be

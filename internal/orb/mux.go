@@ -53,8 +53,12 @@ const (
 type muxPending struct {
 	id     uint32
 	locate bool
-	done   chan invokeResult
-	state  atomic.Int32
+	// band is the priority band the invocation was routed under; the stripe
+	// selector's per-band in-flight accounting is decremented with it when
+	// the entry leaves the pending table.
+	band  int32
+	done  chan invokeResult
+	state atomic.Int32
 }
 
 // complete delivers res to the waiting caller if the entry is still armed.
@@ -72,10 +76,11 @@ func (pe *muxPending) complete(res invokeResult) bool {
 var pendingPool = sync.Pool{New: func() any { return new(muxPending) }}
 
 // getPending returns an armed entry wired to a pooled completion channel.
-func getPending(id uint32) *muxPending {
+func getPending(id uint32, band int32) *muxPending {
 	pe := pendingPool.Get().(*muxPending)
 	pe.id = id
 	pe.locate = false
+	pe.band = band
 	pe.state.Store(pendingArmed)
 	pe.done = doneChanPool.Get().(chan invokeResult)
 	return pe
@@ -97,14 +102,20 @@ type writeDeadliner interface{ SetWriteDeadline(time.Time) error }
 // muxConn is one multiplexed connection: the pending table, the write
 // lock, and the reactor goroutine demultiplexing its replies. A wire fault
 // from either direction fails every pending entry exactly once with a
-// transport-level error, counts a single breaker failure, and detaches the
-// connection from the client so the next invoke triggers one supervised
-// redial — not one per in-flight caller.
+// transport-level error, counts a single failure against the owning
+// stripe's breaker, and detaches the connection from its stripe so the next
+// invoke routed there triggers one supervised redial — not one per
+// in-flight caller.
 type muxConn struct {
 	cl   *Client
+	st   *stripe
 	conn transport.Conn
 
-	wmu sync.Mutex // serialises request writes
+	wmu sync.Mutex // serialises request writes (uncoalesced path)
+	// co, when non-nil, replaces the direct write path with the adaptive
+	// write coalescer: senders enqueue frames and block until a vectored
+	// flush covers them.
+	co *coalescer
 
 	pmu     sync.Mutex
 	pending map[uint32]*muxPending
@@ -116,9 +127,13 @@ type muxConn struct {
 	maxDone uint32
 }
 
-// newMuxConn wraps conn and starts its reactor.
-func newMuxConn(cl *Client, conn transport.Conn) *muxConn {
-	mc := &muxConn{cl: cl, conn: conn, pending: make(map[uint32]*muxPending, 16)}
+// newMuxConn wraps conn for st and starts its reactor.
+func newMuxConn(st *stripe, conn transport.Conn) *muxConn {
+	cl := st.cl
+	mc := &muxConn{cl: cl, st: st, conn: conn, pending: make(map[uint32]*muxPending, 16)}
+	if cl.coalesce != nil {
+		mc.co = newCoalescer(conn, *cl.coalesce, cl.invokeTimeout)
+	}
 	go mc.reactor()
 	return mc
 }
@@ -141,6 +156,8 @@ func (mc *muxConn) register(pe *muxPending) (bool, error) {
 	mc.pending[pe.id] = pe
 	mc.pmu.Unlock()
 	mc.cl.inflight.Add(1)
+	mc.st.inflight.Add(1)
+	mc.cl.bandInflight[pe.band].Add(1)
 	return true, nil
 }
 
@@ -153,6 +170,8 @@ func (mc *muxConn) unregister(pe *muxPending) bool {
 		delete(mc.pending, pe.id)
 		mc.pmu.Unlock()
 		mc.cl.inflight.Add(-1)
+		mc.st.inflight.Add(-1)
+		mc.cl.bandInflight[pe.band].Add(-1)
 		return true
 	}
 	mc.pmu.Unlock()
@@ -170,16 +189,28 @@ func (mc *muxConn) take(id uint32) (*muxPending, bool) {
 	mc.pmu.Unlock()
 	if ok {
 		mc.cl.inflight.Add(-1)
+		mc.st.inflight.Add(-1)
+		mc.cl.bandInflight[pe.band].Add(-1)
 	}
 	return pe, ok
 }
 
-// send writes one request frame under the write lock. When the client has a
-// per-invoke deadline configured the write itself is bounded by it too — a
-// peer that stopped reading must not wedge the submit path forever. Any
-// write error (a partial frame desynchronises GIOP framing) kills the
-// connection.
+// send writes one request frame: through the coalescer when configured
+// (blocking until a vectored flush covers the frame), else directly under
+// the write lock. When the client has a per-invoke deadline configured the
+// write itself is bounded by it too — a peer that stopped reading must not
+// wedge the submit path forever. Any write error (a partial frame
+// desynchronises GIOP framing) kills the connection; with coalescing, many
+// senders may observe the same error but only the flush owner reports it,
+// preserving one-breaker-failure-per-wire-event.
 func (mc *muxConn) send(wire []byte) error {
+	if mc.co != nil {
+		err, owner := mc.co.write(wire)
+		if err != nil && owner {
+			mc.sendFailed(err)
+		}
+		return err
+	}
 	mc.wmu.Lock()
 	if t := mc.cl.invokeTimeout(); t > 0 {
 		if wd, ok := mc.conn.(writeDeadliner); ok {
@@ -189,15 +220,20 @@ func (mc *muxConn) send(wire []byte) error {
 	_, err := mc.conn.Write(wire)
 	mc.wmu.Unlock()
 	if err != nil {
-		telemetry.RecordFault("orb.client.write", err)
-		if mc.cl.res != nil {
-			// One failure for the wire event; the reactor's subsequent
-			// closed-connection exit is classified clean and not re-counted.
-			mc.cl.res.brk.Failure()
-		}
-		mc.fail(fmt.Errorf("orb client: write: %w", mc.cl.mapWireErr(err)))
+		mc.sendFailed(err)
 	}
 	return err
+}
+
+// sendFailed records one write fault, charges one breaker failure to the
+// stripe, and kills the connection. The reactor's subsequent
+// closed-connection exit is classified clean and not re-counted.
+func (mc *muxConn) sendFailed(err error) {
+	telemetry.RecordFault("orb.client.write", err)
+	if mc.cl.res != nil {
+		mc.st.brk.Failure()
+	}
+	mc.fail(fmt.Errorf("orb client: write: %w", mc.cl.mapWireErr(err)))
 }
 
 // fail kills the connection once: every pending entry completes with err
@@ -220,12 +256,14 @@ func (mc *muxConn) fail(err error) {
 	mc.pmu.Unlock()
 
 	_ = mc.conn.Close()
-	mc.cl.detachConn(mc)
+	mc.st.detach(mc)
 	if n := len(victims); n > 0 {
 		mc.cl.inflight.Add(-int64(n))
+		mc.st.inflight.Add(-int64(n))
 		telemetry.Record(telemetry.EvState, muxLabel, 0, 0, uint64(n))
 	}
 	for _, pe := range victims {
+		mc.cl.bandInflight[pe.band].Add(-1)
 		pe.complete(invokeResult{err: err})
 	}
 }
@@ -305,10 +343,11 @@ func (mc *muxConn) noteOrder(id uint32) {
 	mc.maxDone = id
 }
 
-// brkSuccess records a completed exchange with the breaker, if any.
+// brkSuccess records a completed exchange with the stripe's breaker, if
+// supervised.
 func (mc *muxConn) brkSuccess() {
 	if mc.cl.res != nil {
-		mc.cl.res.brk.Success()
+		mc.st.brk.Success()
 	}
 }
 
@@ -324,7 +363,7 @@ func (mc *muxConn) readFailed(err error) {
 	}
 	telemetry.RecordFault("orb.client.read", err)
 	if mc.cl.res != nil {
-		mc.cl.res.brk.Failure()
+		mc.st.brk.Failure()
 	}
 	mc.fail(fmt.Errorf("orb client: read: %w", mc.cl.mapWireErr(wireErr("read", mc.cl.addr, err))))
 }

@@ -176,13 +176,26 @@ func (b *breaker) Failure() {
 	}
 }
 
+// mayAllow reports whether Allow could currently admit an invocation,
+// without consuming a half-open probe. The stripe selector uses it to skip
+// refusing stripes while scanning candidates, reserving the probe-consuming
+// Allow() for the stripe actually chosen.
+func (b *breaker) mayAllow() bool {
+	if b.state.Load() == breakerClosed {
+		return true
+	}
+	return telemetry.Now()-b.openedAt.Load() >= b.cooldown
+}
+
 // State returns the current breaker state (breakerClosed/Open/HalfOpen).
 func (b *breaker) State() int32 { return b.state.Load() }
 
 // resilience is the per-client runtime state behind a ResilienceConfig.
+// Circuit-breaker state is NOT here: each stripe of the channel pool
+// carries its own breaker (stripe.go), so one dead connection opens one
+// stripe's circuit while the rest keep serving.
 type resilience struct {
 	cfg    ResilienceConfig
-	brk    breaker
 	budget *sched.RetryBudget
 
 	mu      sync.Mutex // guards backoff
@@ -195,10 +208,14 @@ func newResilience(cfg ResilienceConfig) *resilience {
 		cfg:    cfg,
 		budget: sched.NewRetryBudget(cfg.RetryBudgetTokens, cfg.RetryBudgetEarnEvery),
 	}
-	r.brk.threshold = int32(cfg.BreakerThreshold)
-	r.brk.cooldown = int64(cfg.BreakerCooldown)
 	r.backoff = sched.Backoff{Base: cfg.ReconnectBase, Max: cfg.ReconnectMax, Seed: cfg.Seed}
 	return r
+}
+
+// initBreaker arms a stripe's breaker with this config's thresholds.
+func (r *resilience) initBreaker(b *breaker) {
+	b.threshold = int32(r.cfg.BreakerThreshold)
+	b.cooldown = int64(r.cfg.BreakerCooldown)
 }
 
 // nextDelay draws the next backoff delay.

@@ -40,6 +40,11 @@ type ServerConfig struct {
 	// many servant invocations in flight; replies go out in completion
 	// order, not arrival order. Zero selects DefaultConcurrency.
 	Concurrency int
+	// Coalesce opts reply writes into adaptive write coalescing
+	// (coalesce.go): replies completing close together flush as one
+	// vectored write per connection. Nil disables coalescing; SendWidth is
+	// ignored (reply concurrency is Concurrency).
+	Coalesce *CoalesceConfig
 }
 
 // DefaultConcurrency is the per-connection request-processing width used
@@ -74,16 +79,25 @@ type Server struct {
 	rpSize      int64
 	repPool     *memory.ScopePool
 	concurrency int
+	coalesce    *CoalesceConfig // nil unless ServerConfig.Coalesce was set
 }
 
 // serverConn is the per-connection state owned by a Transport instance.
 type serverConn struct {
 	conn transport.Conn
-	wmu  sync.Mutex // serialises reply writes
+	wmu  sync.Mutex // serialises reply writes (uncoalesced path)
+	co   *coalescer // nil unless ServerConfig.Coalesce was set
 }
 
-// write sends one framed message.
+// write sends one framed message: through the reply coalescer when
+// configured (blocking until a vectored flush covers the frame — the reply
+// buffer lives in a pooled request scope reclaimed when the handler
+// returns), else directly under the write lock.
 func (sc *serverConn) write(b []byte) error {
+	if sc.co != nil {
+		err, _ := sc.co.write(b)
+		return err
+	}
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
 	_, err := sc.conn.Write(b)
@@ -152,6 +166,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Synchronous {
 		srv.threading = core.ThreadingSynchronous
+	}
+	if cfg.Coalesce != nil {
+		co := cfg.Coalesce.withDefaults()
+		srv.coalesce = &co
 	}
 
 	ln, err := cfg.Network.Listen(cfg.Addr)
@@ -283,6 +301,9 @@ func (s *Server) acceptLoop() {
 // child of the POA) and pins it open for the connection's lifetime.
 func (s *Server) addConnection(conn transport.Conn) error {
 	sc := &serverConn{conn: conn}
+	if s.coalesce != nil {
+		sc.co = newCoalescer(conn, *s.coalesce, nil)
+	}
 	s.mu.Lock()
 	s.conns = append(s.conns, sc)
 	s.mu.Unlock()

@@ -1,0 +1,195 @@
+package orb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/corba"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// This file is the striped channel pool: ClientConfig.Channels = N opens N
+// multiplexed connections ("stripes") to the same server and spreads
+// invocations across them. Selection is power-of-two-choices on per-stripe
+// in-flight count, made sticky per priority band: while a band has
+// invocations in flight its traffic stays on one stripe, so the RT-CORBA
+// guarantee that a stripe's writer serialises same-priority requests in
+// submission order is preserved — striping reorders traffic between bands,
+// never within one. Resilience state is per stripe: each has its own
+// circuit breaker and single-flight redial, so one dead stripe sheds its
+// load onto the others without tripping the whole client open.
+
+// bandCount is the number of priority bands (sched.MaxPriority plus the
+// unused zero slot).
+const bandCount = int(sched.MaxPriority) + 1
+
+// maxChannels bounds ClientConfig.Channels.
+const maxChannels = 32
+
+// bandOf maps a priority to its band index; out-of-band priorities clamp.
+func bandOf(prio sched.Priority) int32 { return int32(prio.Clamp()) }
+
+// stripe is one multiplexed connection slot: the live connection (nil when
+// disconnected), its single-flight redial lock, its in-flight count, and —
+// under supervision — its own circuit breaker.
+type stripe struct {
+	cl  *Client
+	idx int
+
+	// cur is the stripe's live connection; nil when disconnected. cmu
+	// serialises redials so a wire fault stranding N callers triggers one
+	// supervised redial on this stripe, not N.
+	cur atomic.Pointer[muxConn]
+	cmu sync.Mutex
+
+	inflight atomic.Int64
+	// sent counts invocations routed to this stripe (selection
+	// observability, exercised by the stripe tests).
+	sent  atomic.Int64
+	brk   breaker
+	gauge *telemetry.GaugeHandle
+}
+
+// live reports whether the stripe has a connection up right now.
+func (st *stripe) live() bool { return st.cur.Load() != nil }
+
+// conn returns the stripe's live connection, redialling under the stripe's
+// single-flight lock when supervision is enabled and the previous
+// connection died.
+func (st *stripe) conn() (*muxConn, error) {
+	if mc := st.cur.Load(); mc != nil {
+		return mc, nil
+	}
+	cl := st.cl
+	if cl.closed.Load() || cl.res == nil {
+		return nil, corba.ErrClosed
+	}
+	st.cmu.Lock()
+	defer st.cmu.Unlock()
+	if mc := st.cur.Load(); mc != nil {
+		// Another caller redialled while we waited.
+		return mc, nil
+	}
+	if cl.closed.Load() {
+		return nil, corba.ErrClosed
+	}
+	conn, err := cl.network.Dial(cl.addr)
+	if err != nil {
+		telemetry.RecordFault("orb.client.redial", err)
+		st.brk.Failure()
+		return nil, fmt.Errorf("orb client redial %q: %w", cl.addr, err)
+	}
+	mc := newMuxConn(st, conn)
+	st.cur.Store(mc)
+	reconnectTotal.Inc()
+	telemetry.Record(telemetry.EvState, connLabel, 0, 0, connReconnected)
+	return mc, nil
+}
+
+// detach clears the stripe's connection slot if mc is still current; called
+// by the mux when the connection dies.
+func (st *stripe) detach(mc *muxConn) {
+	st.cur.CompareAndSwap(mc, nil)
+}
+
+// pickStripe selects the stripe an invocation at prio rides. The single
+// Allow() call of the whole invoke path lives here: when the chosen
+// stripe's breaker is open the caller fails fast with ErrCircuitOpen, and
+// half-open probe admission is consumed exactly once per attempt.
+func (cl *Client) pickStripe(prio sched.Priority) (*stripe, error) {
+	sts := cl.stripes
+	if len(sts) == 1 {
+		st := sts[0]
+		if cl.res != nil && !st.brk.Allow() {
+			return nil, ErrCircuitOpen
+		}
+		st.sent.Add(1)
+		return st, nil
+	}
+	b := bandOf(prio)
+	// Sticky hit: while the band has invocations in flight, follow them —
+	// same-band requests must share a stripe so its writer serialises them
+	// in submission order. An idle band owes no ordering to anyone and
+	// re-balances via power-of-two-choices below.
+	if i := cl.sticky[b].Load(); i > 0 {
+		st := sts[i-1]
+		if cl.bandInflight[b].Load() > 0 && st.live() &&
+			(cl.res == nil || st.brk.Allow()) {
+			st.sent.Add(1)
+			return st, nil
+		}
+	}
+	st, err := cl.chooseStripe()
+	if err != nil {
+		return nil, err
+	}
+	cl.sticky[b].Store(int32(st.idx + 1))
+	st.sent.Add(1)
+	return st, nil
+}
+
+// chooseStripe picks the least-loaded of two random eligible stripes.
+// Eligible means reachable — a live connection, or supervision to redial
+// one — and, under supervision, a breaker that is not refusing traffic
+// (read-only check; disconnected stripes stay eligible so load drifts back
+// and triggers their redial). The winner still has to pass its breaker's
+// Allow(), which is what consumes a half-open probe.
+func (cl *Client) chooseStripe() (*stripe, error) {
+	sts := cl.stripes
+	elig := make([]*stripe, 0, len(sts))
+	for _, st := range sts {
+		if !st.live() && cl.res == nil {
+			continue
+		}
+		if cl.res != nil && !st.brk.mayAllow() {
+			continue
+		}
+		elig = append(elig, st)
+	}
+	if len(elig) == 0 {
+		if cl.res == nil {
+			// Every stripe is dead and nothing can redial: surface ErrClosed
+			// through the normal conn() path.
+			return sts[0], nil
+		}
+		return nil, ErrCircuitOpen
+	}
+	var pick *stripe
+	if len(elig) == 1 {
+		pick = elig[0]
+	} else {
+		i := int(cl.rand() % uint64(len(elig)))
+		j := int(cl.rand() % uint64(len(elig)-1))
+		if j >= i {
+			j++
+		}
+		pick = elig[i]
+		if elig[j].inflight.Load() < pick.inflight.Load() {
+			pick = elig[j]
+		}
+	}
+	if cl.res == nil || pick.brk.Allow() {
+		return pick, nil
+	}
+	// Lost the half-open probe race (or the breaker flipped): any other
+	// eligible stripe that admits traffic will do.
+	for _, st := range elig {
+		if st != pick && st.brk.Allow() {
+			return st, nil
+		}
+	}
+	return nil, ErrCircuitOpen
+}
+
+// rand steps the client's splitmix64 state: cheap, lock-free randomness for
+// the two choices.
+func (cl *Client) rand() uint64 {
+	s := cl.rng.Add(0x9e3779b97f4a7c15)
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	return s ^ (s >> 31)
+}

@@ -37,6 +37,48 @@ type Network interface {
 	Dial(addr string) (Conn, error)
 }
 
+// BuffersWriter is the optional vectored-write capability of a Conn: a
+// batch of buffers delivered to the peer as one logical write. Connections
+// that expose it (or that are net.Conns, which Go can writev under the
+// hood) let the ORBs' write-coalescing layer flush a whole batch of GIOP
+// frames in one syscall; everything else falls back to sequential Writes
+// with identical observable behaviour.
+type BuffersWriter interface {
+	// WriteBuffers writes every buffer in order and returns the total byte
+	// count written. On error the count reflects the prefix that reached
+	// the connection. The bufs slice and its elements may be consumed
+	// (resliced) by the call; callers must not reuse their contents.
+	WriteBuffers(bufs [][]byte) (int64, error)
+}
+
+// WriteBuffers writes bufs to c as one logical vectored write: through the
+// connection's own BuffersWriter capability when it has one, through
+// net.Buffers (writev on TCP, sequential writes on pipes) when c is a
+// net.Conn, and through plain sequential Writes otherwise — which is how a
+// fault-injection wrapper sees each frame individually and can fault any
+// one of them. All three paths deliver the same byte stream to the peer;
+// on error the returned count is the bytes written before the failure.
+// The bufs slice is consumed: its header and elements may be resliced.
+func WriteBuffers(c Conn, bufs [][]byte) (int64, error) {
+	switch w := c.(type) {
+	case BuffersWriter:
+		return w.WriteBuffers(bufs)
+	case net.Conn:
+		nb := net.Buffers(bufs)
+		return nb.WriteTo(w)
+	default:
+		var total int64
+		for _, b := range bufs {
+			n, err := c.Write(b)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+}
+
 // ErrClosed reports use of a closed listener or network endpoint.
 var ErrClosed = errors.New("transport: closed")
 
