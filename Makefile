@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 allocguard chaos
+.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 allocguard zerocopy-guard chaos
 
 all: build
 
@@ -25,13 +25,19 @@ allocguard:
 	$(GO) test -run TestSteadyStateRoundTripAllocFree .
 	$(GO) test -run='^$$' -bench=BenchmarkSteadyStateRoundTrip -benchtime=20000x .
 
+# zerocopy-guard pins the counted-copy contract: InvokeView delivers reply
+# payloads with zero payload copies and zero frame detaches at steady state,
+# while the copying Invoke is charged exactly one copy per call.
+zerocopy-guard:
+	$(GO) test -run 'TestInvokeViewZeroPayloadCopies|TestInvokeViewLoanScope' -count=1 ./internal/orb/
+
 # bench-smoke runs every benchmark a handful of iterations — enough to
 # catch a bench that no longer compiles or errors out, without the cost of
 # a full measurement run.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=10x .
 
-verify: vet build race bench-smoke
+verify: vet build race bench-smoke zerocopy-guard
 
 # chaos is the resilience gate: the fault-injection suite — seeded fault
 # network, circuit breaker, reconnect/retry, deadline teardown, overload
@@ -60,3 +66,9 @@ bench2:
 # one/two/four stripes with adaptive coalescing at both ends.
 bench3:
 	$(GO) run ./cmd/benchharness -experiment bench3 -warmup 200 -observations 2000 -out BENCH_3.json
+
+# bench4 regenerates BENCH_4.json, the zero-copy + sharding snapshot: the
+# Fig. 11 grid on the refcounted frame path, the shard-count throughput
+# sweep, and per-op copy accounting for Invoke vs InvokeView.
+bench4:
+	$(GO) run ./cmd/benchharness -experiment bench4 -warmup 200 -observations 2000 -out BENCH_4.json

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/corba"
+	"repro/internal/experiments"
+	"repro/internal/giop"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/orb"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// bench4Snapshot is the schema of BENCH_4.json: the zero-copy request path
+// and reactor-sharding snapshot. Three sections:
+//
+//   - fig11: the paper's Fig. 11 grid re-run on the refcounted frame path,
+//     with the Compadres/RTZen median ratio per message size. This is the
+//     headline overhead number the PR moves.
+//   - shards: in-process echo throughput swept over matched client/server
+//     shard counts. Sharding buys parallelism, so on a single-core host the
+//     sweep is expected flat — the contract it pins there is "no worse than
+//     inline"; the scaling claim needs a multi-core run.
+//   - copy_path: counted payload copies and frame detaches per operation
+//     for the copying Invoke against the lending InvokeView. InvokeView's
+//     steady-state figure must be 0.0 — the same invariant the
+//     TestInvokeViewZeroPayloadCopies guard pins in CI.
+//
+// Durations are nanoseconds so the file diffs cleanly across runs.
+type bench4Snapshot struct {
+	Observations int              `json:"observations"`
+	Warmup       int              `json:"warmup"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	Fig11        []bench4Fig11Row `json:"fig11"`
+	// MedianRatio256 is the Compadres/RTZen median ratio at the 256-byte
+	// point — the single number tracked across PRs.
+	MedianRatio256 float64          `json:"median_ratio_256"`
+	Shards         []bench4ShardRow `json:"shards"`
+	ShardSpeedup   float64          `json:"shard_speedup_best_vs_1"`
+	CopyPath       []bench4CopyPath `json:"copy_path"`
+}
+
+type bench4Fig11Row struct {
+	Size              int     `json:"size_bytes"`
+	CompadresMedianNs int64   `json:"compadres_median_ns"`
+	CompadresP99Ns    int64   `json:"compadres_p99_ns"`
+	RTZenMedianNs     int64   `json:"rtzen_median_ns"`
+	RTZenP99Ns        int64   `json:"rtzen_p99_ns"`
+	MedianRatio       float64 `json:"median_ratio"`
+}
+
+type bench4ShardRow struct {
+	Shards        int     `json:"shards"`
+	ThroughputOps float64 `json:"throughput_ops_per_sec"`
+	MedianNs      int64   `json:"median_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+}
+
+type bench4CopyPath struct {
+	API         string  `json:"api"`
+	Ops         int     `json:"ops"`
+	CopiesPerOp float64 `json:"payload_copies_per_op"`
+	BytesPerOp  float64 `json:"payload_bytes_copied_per_op"`
+	DetachPerOp float64 `json:"frame_detaches_per_op"`
+}
+
+// bench4ShardCounts sweeps the inline path and three pool widths; on
+// multi-core hosts the wider pools are where read+dispatch parallelism
+// shows up.
+var bench4ShardCounts = []int{1, 2, 4, 8}
+
+func runBench4(warmup, obs int, outPath string) error {
+	fmt.Printf("== BENCH_4 snapshot: zero-copy request path + reactor sharding ==\n")
+	fmt.Printf("   (%d observations after %d warm-up iterations)\n\n", obs, warmup)
+
+	snap := bench4Snapshot{
+		Observations: obs, Warmup: warmup,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// --- Fig. 11 on the frame path ---
+	fmt.Printf("  Fig. 11 (in-process loopback, TimesysRI model):\n")
+	points, err := experiments.RunFig11(nil, warmup, obs)
+	if err != nil {
+		return err
+	}
+	bySize := map[int]*bench4Fig11Row{}
+	for _, p := range points {
+		row := bySize[p.Size]
+		if row == nil {
+			row = &bench4Fig11Row{Size: p.Size}
+			bySize[p.Size] = row
+		}
+		switch p.ORB {
+		case "CompadresORB":
+			row.CompadresMedianNs = int64(p.Summary.Median)
+			row.CompadresP99Ns = int64(p.Summary.P99)
+		case "RTZen":
+			row.RTZenMedianNs = int64(p.Summary.Median)
+			row.RTZenP99Ns = int64(p.Summary.P99)
+		}
+	}
+	for _, size := range experiments.Fig11Sizes {
+		row := bySize[size]
+		if row == nil {
+			continue
+		}
+		if row.RTZenMedianNs > 0 {
+			row.MedianRatio = float64(row.CompadresMedianNs) / float64(row.RTZenMedianNs)
+		}
+		if size == 256 {
+			snap.MedianRatio256 = row.MedianRatio
+		}
+		snap.Fig11 = append(snap.Fig11, *row)
+		fmt.Printf("    %4dB: compadres %sµs vs rtzen %sµs (%.2fx)\n", size,
+			metrics.Micros(time.Duration(row.CompadresMedianNs)),
+			metrics.Micros(time.Duration(row.RTZenMedianNs)), row.MedianRatio)
+	}
+	fmt.Println()
+
+	// --- shard sweep ---
+	fmt.Printf("  Shard sweep (in-process echo, 32 pipelined invokers):\n")
+	for _, shards := range bench4ShardCounts {
+		row, err := runBench4Shards(shards, warmup, obs)
+		if err != nil {
+			return err
+		}
+		snap.Shards = append(snap.Shards, row)
+		fmt.Printf("    shards=%d: %10.0f ops/s  median %sµs  p99 %sµs\n",
+			shards, row.ThroughputOps,
+			metrics.Micros(time.Duration(row.MedianNs)),
+			metrics.Micros(time.Duration(row.P99Ns)))
+	}
+	base := snap.Shards[0].ThroughputOps
+	for _, row := range snap.Shards {
+		if base > 0 && row.ThroughputOps/base > snap.ShardSpeedup {
+			snap.ShardSpeedup = row.ThroughputOps / base
+		}
+	}
+	fmt.Printf("    best vs 1 shard: %.2fx (GOMAXPROCS=%d)\n\n", snap.ShardSpeedup, snap.GOMAXPROCS)
+
+	// --- copy path ---
+	fmt.Printf("  Copy accounting per reply (512B payload):\n")
+	for _, view := range []bool{false, true} {
+		cp, err := runBench4CopyPath(view, obs)
+		if err != nil {
+			return err
+		}
+		snap.CopyPath = append(snap.CopyPath, cp)
+		fmt.Printf("    %-10s %.2f copies/op, %.0f bytes/op, %.2f detaches/op\n",
+			cp.API, cp.CopiesPerOp, cp.BytesPerOp, cp.DetachPerOp)
+	}
+	fmt.Println()
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// runBench4Shards stands up a matched shard-count pair and drives 32
+// pipelined invokers through it, measuring wall-clock throughput.
+func runBench4Shards(shards, warmup, obs int) (bench4ShardRow, error) {
+	net := transport.NewInproc()
+	srv, err := orb.NewServer(orb.ServerConfig{
+		Network: net, Addr: "bench4", ScopePoolCount: 4,
+		Shards: shards, Concurrency: 8,
+	})
+	if err != nil {
+		return bench4ShardRow{}, err
+	}
+	defer srv.Close()
+	srv.RegisterServant("echo", corba.EchoServant{})
+	srv.ServeBackground()
+
+	cl, err := orb.DialClient(orb.ClientConfig{
+		Network: net, Addr: "bench4", ScopePoolCount: 4,
+		ReactorShards: shards, PipelineDepth: 128, MsgPoolCapacity: 256,
+	})
+	if err != nil {
+		return bench4ShardRow{}, err
+	}
+	defer cl.Close()
+
+	const invokers = 32
+	drive := func(total int, observe func(time.Duration)) error {
+		per := total / invokers
+		if per == 0 {
+			per = 1
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, invokers)
+		for w := 0; w < invokers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				payload := make([]byte, 256)
+				for i := 0; i < per; i++ {
+					t0 := time.Now()
+					if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
+						errs[w] = fmt.Errorf("worker %d invoke %d: %w", w, i, err)
+						return
+					}
+					if observe != nil {
+						observe(time.Since(t0))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := drive(warmup, nil); err != nil {
+		return bench4ShardRow{}, err
+	}
+	samples := make([]time.Duration, 0, obs)
+	var mu sync.Mutex
+	start := time.Now()
+	if err := drive(obs, func(d time.Duration) {
+		mu.Lock()
+		samples = append(samples, d)
+		mu.Unlock()
+	}); err != nil {
+		return bench4ShardRow{}, err
+	}
+	wall := time.Since(start)
+	s := metrics.Summarize(samples)
+	return bench4ShardRow{
+		Shards:        shards,
+		ThroughputOps: float64(len(samples)) / wall.Seconds(),
+		MedianNs:      int64(s.Median),
+		P99Ns:         int64(s.P99),
+	}, nil
+}
+
+// runBench4CopyPath measures counted payload copies, copied bytes, and
+// frame detaches per operation for one reply-delivery API at steady state.
+func runBench4CopyPath(view bool, ops int) (bench4CopyPath, error) {
+	net := transport.NewInproc()
+	srv, err := orb.NewServer(orb.ServerConfig{Network: net, Addr: "copy", ScopePoolCount: 2})
+	if err != nil {
+		return bench4CopyPath{}, err
+	}
+	defer srv.Close()
+	srv.RegisterServant("echo", corba.EchoServant{})
+	srv.ServeBackground()
+	cl, err := orb.DialClient(orb.ClientConfig{Network: net, Addr: "copy", ScopePoolCount: 2})
+	if err != nil {
+		return bench4CopyPath{}, err
+	}
+	defer cl.Close()
+
+	payload := make([]byte, 512)
+	invoke := func() error {
+		_, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+		return err
+	}
+	if view {
+		invoke = func() error {
+			return cl.InvokeView("echo", "echo", payload, sched.NormPriority,
+				func(reply memory.Loan) error { _, err := reply.Bytes(); return err })
+		}
+	}
+	// Warm pools and frame classes so the measured window is steady state.
+	for i := 0; i < 64; i++ {
+		if err := invoke(); err != nil {
+			return bench4CopyPath{}, err
+		}
+	}
+
+	copies0 := telemetry.Default.Counter("payload_copy_total").Value()
+	bytes0 := telemetry.Default.Counter("payload_copy_bytes").Value()
+	detach0 := giop.ReadFrameStats().Detached
+	for i := 0; i < ops; i++ {
+		if err := invoke(); err != nil {
+			return bench4CopyPath{}, err
+		}
+	}
+	name := "Invoke"
+	if view {
+		name = "InvokeView"
+	}
+	n := float64(ops)
+	return bench4CopyPath{
+		API:         name,
+		Ops:         ops,
+		CopiesPerOp: float64(telemetry.Default.Counter("payload_copy_total").Value()-copies0) / n,
+		BytesPerOp:  float64(telemetry.Default.Counter("payload_copy_bytes").Value()-bytes0) / n,
+		DetachPerOp: float64(giop.ReadFrameStats().Detached-detach0) / n,
+	}, nil
+}

@@ -113,6 +113,9 @@ func dialClient(orbKind, addr string) (echoClient, error) {
 }
 
 func run(mode, addr, orbKind string, size, n, warmup int, metricsAddr string, chaos bool, seed uint64, concurrency int) error {
+	// The demo's contract is full observability: when telemetry is on at
+	// all, record the per-hop events (spans, send/dispatch) too.
+	telemetry.Verbose(telemetry.Enabled())
 	if metricsAddr != "" {
 		if err := serveMetrics(metricsAddr); err != nil {
 			return err

@@ -156,10 +156,9 @@ func (a *App) NewImmortalComponent(name string, setup func(*Component) error) (*
 		return nil, fmt.Errorf("%w: component %q", ErrDuplicateName, name)
 	}
 	c := &Component{
-		app:       a,
-		name:      name,
-		area:      a.model.Immortal(),
-		childDefs: make(map[string]*ChildDef),
+		app:  a,
+		name: name,
+		area: a.model.Immortal(),
 	}
 	a.top = append(a.top, c)
 	a.topNames[name] = c

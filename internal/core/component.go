@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/memory"
 	"repro/internal/sched"
@@ -26,6 +27,16 @@ type ChildDef struct {
 	// Persistent keeps the instance alive at quiescence; it is reclaimed
 	// only by Handle.Disconnect or App.Stop.
 	Persistent bool
+	// Reusable lets the SMM cache the component shell at quiescence and
+	// revive it on the next instantiation instead of rebuilding it. The
+	// memory semantics are unchanged — the scoped area is still reclaimed at
+	// quiescence and a fresh one acquired, charged, and pinned on revival,
+	// and the start function re-runs — but Setup runs only on the shell's
+	// first construction: its port registrations and bindings survive
+	// because the very same shell returns. Only set this for children whose
+	// Setup is pure declaration (ports, handlers, start function) with no
+	// per-instance side effects outside the component's area.
+	Reusable bool
 	// Setup declares the child's ports, nested child definitions, and start
 	// function. It runs on every instantiation.
 	Setup func(*Component) error
@@ -43,12 +54,16 @@ type Component struct {
 	wedge  *memory.Wedge // nil for immortal components
 	level  int           // 0 for immortal components
 	mgr    *SMM          // the SMM that instantiated this component (nil for top-level)
+	def    *ChildDef     // blueprint this instance came from (nil for top-level)
 
-	// startedCh is closed once the instance's start function has run (child
-	// instances only). Message dispatch waits on it, so a component never
-	// processes a message before it has finished initialising, even when
-	// deliveries race with instantiation.
-	startedCh chan struct{}
+	// started flips once the instance's start function has run (child
+	// instances only). Message dispatch checks it — one atomic load on the
+	// hot path — so a component never processes a message before it has
+	// finished initialising. startWait is created lazily, under liveMu, only
+	// by a delivery that actually races instantiation; it is closed (and the
+	// waiters released) when started flips.
+	started   atomic.Bool
+	startWait chan struct{}
 
 	// Construction-time state; smm is created lazily under app.mu.
 	smm       *SMM
@@ -136,6 +151,12 @@ func (c *Component) DefineChild(def ChildDef) error {
 	if _, dup := c.childDefs[def.Name]; dup {
 		return fmt.Errorf("%w: child %q of %q", ErrDuplicateName, def.Name, c.name)
 	}
+	if c.childDefs == nil {
+		// Allocated on first definition: most instances (every pooled
+		// transient re-instantiated per request) define no children, and a
+		// nil map reads fine everywhere else.
+		c.childDefs = make(map[string]*ChildDef)
+	}
 	d := def
 	c.childDefs[def.Name] = &d
 	return nil
@@ -179,12 +200,36 @@ func (c *Component) enterChain(ctx *memory.Context, fn func(*memory.Context) err
 }
 
 // waitStarted blocks until the instance's start function has completed.
-// Top-level components (nil channel) never block: their start order is
+// Top-level components (nil mgr) never block: their start order is
 // App.Start's contract.
 func (c *Component) waitStarted() {
-	if c.startedCh != nil {
-		<-c.startedCh
+	if c.mgr == nil || c.started.Load() {
+		return
 	}
+	c.liveMu.Lock()
+	if c.started.Load() {
+		c.liveMu.Unlock()
+		return
+	}
+	if c.startWait == nil {
+		c.startWait = make(chan struct{})
+	}
+	ch := c.startWait
+	c.liveMu.Unlock()
+	<-ch
+}
+
+// markStarted releases deliveries parked in waitStarted. It runs whether or
+// not the start function succeeded — a failed instance is force-disposed
+// right after, and the parked dispatches fail on the disposed check.
+func (c *Component) markStarted() {
+	c.liveMu.Lock()
+	c.started.Store(true)
+	if c.startWait != nil {
+		close(c.startWait)
+		c.startWait = nil
+	}
+	c.liveMu.Unlock()
 }
 
 // runStart invokes the start function (if any) in the component's context.
@@ -277,8 +322,19 @@ func (c *Component) maybeQuiesce() {
 	c.disposed = true
 	c.liveMu.Unlock()
 
-	c.mgr.detach(c)
-	c.teardown()
+	if c.def != nil && c.def.Reusable {
+		// Keep the port bindings: the same shell comes back on revival, so a
+		// binding that still names it is merely dormant — addPending rejects
+		// deliveries while the shell is disposed, and the resolveIn fallback
+		// re-instantiates. The shell is stashed only after teardown so a
+		// concurrent revival can never race the wedge release.
+		c.mgr.forget(c)
+		c.teardown()
+		c.mgr.stashShell(c)
+	} else {
+		c.mgr.detach(c)
+		c.teardown()
+	}
 	if p := c.parent; p != nil {
 		p.childGone()
 		p.maybeQuiesce()
@@ -305,14 +361,19 @@ func (c *Component) forceDispose() {
 	}
 }
 
-// teardown shuts the component's own SMM down and releases its area.
+// teardown shuts the component's own SMM down and releases its area. Most
+// transient instances never created an SMM of their own (their ports live on
+// the parent's), so the common path is one lock cycle and the wedge release.
 func (c *Component) teardown() {
-	if smm := c.currentSMM(); smm != nil {
-		smm.shutdown()
-	}
 	c.app.mu.Lock()
-	c.smm = nil
+	smm := c.smm
 	c.app.mu.Unlock()
+	if smm != nil {
+		smm.shutdown()
+		c.app.mu.Lock()
+		c.smm = nil
+		c.app.mu.Unlock()
+	}
 	if c.wedge != nil {
 		c.wedge.Release()
 	}

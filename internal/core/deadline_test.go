@@ -34,6 +34,8 @@ func missCollector(t *testing.T) func() []telemetry.Miss {
 // handler runs inline on the sender, and a 1ns deadline has always lapsed by
 // the time dispatch checks it.
 func TestDeadlineMissSynchronousDispatch(t *testing.T) {
+	telemetry.Verbose(true)
+	defer telemetry.Verbose(false)
 	misses := missCollector(t)
 	app := newTestApp(t, AppConfig{})
 	done := make(chan struct{}, 1)

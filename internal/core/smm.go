@@ -69,6 +69,7 @@ type SMM struct {
 	in       map[string]*InPort
 	out      map[string]*OutPort
 	children map[string]*Component
+	shells   map[string]*Component // disposed Reusable shells awaiting revival
 	msgPools map[string]*msgPool
 	shared   *sched.Pool
 	pools    []*sched.Pool // all pools owned by this SMM, for shutdown
@@ -306,6 +307,19 @@ func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
 	return p, nil
 }
 
+// destsEqual reports whether two destination lists are identical, in order.
+func destsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // registerOut adds (or rebinds) an Out port of component c.
 func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
 	if err := checkName(cfg.Name); err != nil {
@@ -318,8 +332,6 @@ func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
 		return nil, err
 	}
 	qname := c.name + "." + cfg.Name
-	dests := make([]string, len(cfg.Dests))
-	copy(dests, cfg.Dests)
 
 	s.mu.Lock()
 	if existing, ok := s.out[qname]; ok {
@@ -331,12 +343,26 @@ func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
 		existing.mu.Lock()
 		existing.owner = c
 		existing.mu.Unlock()
+		if destsEqual(existing.Dests(), cfg.Dests) {
+			// A pooled component re-registering the same wiring (the common
+			// per-request re-instantiation) changes no routes: keep the
+			// current destination list and, crucially, do not bump routeGen —
+			// every OutPort's cached route stays valid, so steady-state sends
+			// skip the rebuild (SMM lock plus map walks) entirely.
+			s.mu.Unlock()
+			return existing, nil
+		}
+		dests := make([]string, len(cfg.Dests))
+		copy(dests, cfg.Dests)
 		existing.setDests(dests)
 		s.mu.Unlock()
 		s.routeGen.Add(1)
 		return existing, nil
 	}
 	s.mu.Unlock()
+
+	dests := make([]string, len(cfg.Dests))
+	copy(dests, cfg.Dests)
 
 	if err := s.charge(portHeaderBytes); err != nil {
 		return nil, fmt.Errorf("out port %q: %w", qname, err)
@@ -511,9 +537,9 @@ func (s *SMM) materialize(name string) (*Component, error) {
 
 	// Run the start function outside instMu so it may send messages —
 	// including to siblings whose instantiation needs the same lock.
-	// Deliveries racing in meanwhile queue up: dispatch waits on startedCh.
+	// Deliveries racing in meanwhile park in waitStarted.
 	startErr := child.runStart()
-	close(child.startedCh)
+	child.markStarted()
 	if startErr != nil {
 		child.forceDispose()
 		return nil, fmt.Errorf("child %q start: %w", def.Name, startErr)
@@ -549,6 +575,12 @@ func (s *SMM) instantiate(def *ChildDef) (*Component, error) {
 		return nil, fmt.Errorf("child %q: %w", def.Name, err)
 	}
 
+	if def.Reusable {
+		if shell := s.takeShell(def.Name); shell != nil {
+			return s.revive(shell, def, area, wedge)
+		}
+	}
+
 	child := &Component{
 		app:         app,
 		name:        def.Name,
@@ -557,8 +589,7 @@ func (s *SMM) instantiate(def *ChildDef) (*Component, error) {
 		wedge:       wedge,
 		level:       level,
 		mgr:         s,
-		startedCh:   make(chan struct{}),
-		childDefs:   make(map[string]*ChildDef),
+		def:         def,
 		autoDispose: !def.Persistent,
 	}
 
@@ -582,6 +613,74 @@ func (s *SMM) instantiate(def *ChildDef) (*Component, error) {
 	s.children[def.Name] = child
 	s.mu.Unlock()
 	return child, nil
+}
+
+// revive re-arms a stashed Reusable shell with a freshly acquired area
+// (already pinned by the caller): the chain's own-area slot is swapped, the
+// header is re-charged, and the shell is re-exposed. Exposure — the children
+// insert and the disposed flip — happens in a single s.mu critical section
+// so no reader can ever observe the shell in the table while still marked
+// disposed. started is cleared before exposure; the caller (materialize)
+// re-runs the start function and marks it. Runs under instMu.
+func (s *SMM) revive(c *Component, def *ChildDef, area *memory.Area, wedge *memory.Wedge) (*Component, error) {
+	c.area = area
+	c.wedge = wedge
+	if n := len(c.chain); n > 0 {
+		// The cached scope chain ends at the instance's own area, which
+		// changes per revival (the pool may hand back a different region).
+		c.chain[n-1] = area
+	}
+	c.started.Store(false)
+
+	if err := c.Exec(func(ctx *memory.Context) error {
+		_, aerr := ctx.Alloc(componentHeaderBytes)
+		return aerr
+	}); err != nil {
+		// The shell stays disposed and is dropped, not re-stashed: the next
+		// instantiation rebuilds from scratch.
+		wedge.Release()
+		return nil, fmt.Errorf("child %q header: %w", def.Name, err)
+	}
+	s.owner.childBorn()
+
+	s.mu.Lock()
+	s.children[def.Name] = c
+	c.liveMu.Lock()
+	c.disposed = false
+	c.liveMu.Unlock()
+	s.mu.Unlock()
+	return c, nil
+}
+
+// forget removes a disposed Reusable child from the children table, leaving
+// its port bindings in place for revival.
+func (s *SMM) forget(c *Component) {
+	s.mu.Lock()
+	if s.children[c.name] == c {
+		delete(s.children, c.name)
+	}
+	s.mu.Unlock()
+}
+
+// stashShell parks a torn-down Reusable shell for the next instantiation.
+func (s *SMM) stashShell(c *Component) {
+	s.mu.Lock()
+	if s.shells == nil {
+		s.shells = make(map[string]*Component)
+	}
+	s.shells[c.name] = c
+	s.mu.Unlock()
+}
+
+// takeShell claims a stashed shell, if any.
+func (s *SMM) takeShell(name string) *Component {
+	s.mu.Lock()
+	c := s.shells[name]
+	if c != nil {
+		delete(s.shells, name)
+	}
+	s.mu.Unlock()
+	return c
 }
 
 // detach unbinds a disposed child's ports and forgets the instance. The
@@ -715,7 +814,7 @@ func (s *SMM) send(p *OutPort, proc *Proc, msg Message, prio sched.Priority) err
 	}
 	if err == nil {
 		p.sent.Add(1)
-		telemetry.Record(telemetry.EvSend, p.label, 0, 0, uint64(prio))
+		telemetry.RecordVerbose(telemetry.EvSend, p.label, 0, 0, uint64(prio))
 	}
 	return err
 }
@@ -858,7 +957,7 @@ func (s *SMM) dispatch(in *InPort, prio sched.Priority) {
 	// synchronous port whose owner sends to itself from its own start
 	// function would deadlock here; send asynchronously or after Start.)
 	owner.waitStarted()
-	telemetry.Record(telemetry.EvDispatch, in.label, 0, 0, uint64(prio))
+	telemetry.RecordVerbose(telemetry.EvDispatch, in.label, 0, 0, uint64(prio))
 	// Deadline check: the handler is about to start; if the deadline already
 	// passed, the message is late no matter how fast processing is.
 	if it.deadline > 0 {

@@ -33,6 +33,7 @@ var (
 	cConnDropped  = telemetry.NewCounter("fault_conn_dropped_total")
 	cDelay        = telemetry.NewCounter("fault_delay_total")
 	cPartialWrite = telemetry.NewCounter("fault_partial_write_total")
+	cPartialRead  = telemetry.NewCounter("fault_partial_read_total")
 	cCorrupt      = telemetry.NewCounter("fault_corrupt_total")
 )
 
@@ -65,6 +66,12 @@ type Config struct {
 	// PartialWriteProb makes a write deliver only a prefix of its buffer and
 	// then sever the connection, so the peer observes a truncated frame.
 	PartialWriteProb float64
+	// PartialReadProb makes a read return fewer bytes than the peer has
+	// ready, without severing — the benign short read every resumable frame
+	// reader must tolerate mid-header and mid-body. The read delivers a
+	// random proper prefix of what a full read would have returned; the
+	// remainder arrives on later reads.
+	PartialReadProb float64
 	// CorruptProb flips one byte of a written buffer (the caller's slice is
 	// not modified; the corruption happens on a copy).
 	CorruptProb float64
@@ -81,6 +88,7 @@ type Stats struct {
 	ConnsDropped  int64
 	DelaysAdded   int64
 	PartialWrites int64
+	PartialReads  int64
 	BytesFlipped  int64
 }
 
@@ -97,6 +105,7 @@ type Network struct {
 	connsDropped  atomic.Int64
 	delaysAdded   atomic.Int64
 	partialWrites atomic.Int64
+	partialReads  atomic.Int64
 	bytesFlipped  atomic.Int64
 }
 
@@ -119,6 +128,7 @@ func (n *Network) Stats() Stats {
 		ConnsDropped:  n.connsDropped.Load(),
 		DelaysAdded:   n.delaysAdded.Load(),
 		PartialWrites: n.partialWrites.Load(),
+		PartialReads:  n.partialReads.Load(),
 		BytesFlipped:  n.bytesFlipped.Load(),
 	}
 }
@@ -266,6 +276,17 @@ func (c *conn) Read(p []byte) (int, error) {
 	}
 	if c.n.roll(c.n.cfg.DropProb) {
 		return 0, c.sever("drop")
+	}
+	if len(p) > 1 && c.n.roll(c.n.cfg.PartialReadProb) {
+		// Benign short read: cap this read at a random proper prefix of the
+		// caller's buffer and leave the connection healthy — the rest of the
+		// frame arrives on later reads. Counted but not logged to the fault
+		// recorder: a short read is legal io.Reader behaviour, injected here
+		// only to force the resumable-read paths.
+		p = p[:1+int(c.n.draw()%uint64(len(p)-1))]
+		c.n.partialReads.Add(1)
+		cInjected.Inc()
+		cPartialRead.Inc()
 	}
 	nr, err := c.inner.Read(p)
 	c.chargeTraffic(nr)

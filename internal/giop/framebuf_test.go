@@ -1,0 +1,302 @@
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func TestFrameClassLadder(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int // expected capacity class
+	}{
+		{0, 256}, {1, 256}, {256, 256},
+		{257, 1024}, {1024, 1024},
+		{1025, 4096}, {65536, 65536},
+		{65537, 262144}, {262145, MaxMessageSize}, {MaxMessageSize, MaxMessageSize},
+	}
+	for _, c := range cases {
+		f := AcquireFrame(c.n)
+		if f.Cap() != c.want {
+			t.Errorf("AcquireFrame(%d).Cap() = %d, want %d", c.n, f.Cap(), c.want)
+		}
+		f.Release()
+	}
+
+	// Oversized requests bypass the pool but still work.
+	f := AcquireFrame(MaxMessageSize + 1)
+	if f.Cap() != MaxMessageSize+1 {
+		t.Errorf("oversized cap = %d", f.Cap())
+	}
+	if f.class != -1 {
+		t.Errorf("oversized class = %d, want -1", f.class)
+	}
+	f.Release()
+}
+
+func TestFramePoolRecycles(t *testing.T) {
+	before := ReadFrameStats()
+	for i := 0; i < 100; i++ {
+		f := AcquireFrame(64)
+		f.Release()
+	}
+	after := ReadFrameStats()
+	if d := after.Acquired - before.Acquired; d != 100 {
+		t.Errorf("acquires delta = %d, want 100", d)
+	}
+	if after.Recycled == before.Recycled {
+		t.Error("no frame came back from the pool across 100 acquire/release cycles")
+	}
+}
+
+func TestFrameRefcount(t *testing.T) {
+	f := AcquireFrame(16)
+	f.Retain()
+	f.Release() // back to 1; body still valid
+	copy(f.buf, "hello")
+	f.setLen(5)
+	if string(f.Body()) != "hello" {
+		t.Errorf("body = %q", f.Body())
+	}
+	f.Release() // final
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Release past zero did not panic")
+			}
+		}()
+		f.Release()
+	}()
+}
+
+func TestFrameRetainAfterReleasePanics(t *testing.T) {
+	f := &FrameBuf{buf: make([]byte, 8), class: -1}
+	f.refs.Store(1)
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Retain of a released frame did not panic")
+		}
+	}()
+	f.Retain()
+}
+
+func TestFrameLoansGoStaleAtRelease(t *testing.T) {
+	f := AcquireFrame(8)
+	copy(f.buf, "payload!")
+	f.setLen(8)
+
+	view := f.View()
+	window := f.Lend(f.Body()[2:5])
+	if b, err := view.Bytes(); err != nil || string(b) != "payload!" {
+		t.Fatalf("live view = %q, %v", b, err)
+	}
+	if b, err := window.Bytes(); err != nil || string(b) != "ylo" {
+		t.Fatalf("live window = %q, %v", b, err)
+	}
+
+	// Detach while live: a private copy that survives the release.
+	escaped, err := window.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.Release()
+	if _, err := view.Bytes(); !errors.Is(err, memory.ErrStale) {
+		t.Errorf("view after release: err = %v, want ErrStale", err)
+	}
+	if _, err := window.Detach(); !errors.Is(err, memory.ErrStale) {
+		t.Errorf("detach after release: err = %v, want ErrStale", err)
+	}
+	if view.Valid() {
+		t.Error("view still Valid after release")
+	}
+	if string(escaped) != "ylo" {
+		t.Errorf("escaped copy = %q", escaped)
+	}
+}
+
+func TestFrameDetachCounted(t *testing.T) {
+	f := AcquireFrame(4)
+	copy(f.buf, "abcd")
+	f.setLen(4)
+	before := ReadFrameStats().Detached
+	out := f.Detach()
+	f.Release()
+	if string(out) != "abcd" {
+		t.Errorf("detached = %q", out)
+	}
+	if d := ReadFrameStats().Detached - before; d != 1 {
+		t.Errorf("detach counter delta = %d, want 1", d)
+	}
+}
+
+func TestFrameLeakCheck(t *testing.T) {
+	SetFrameLeakCheck(true)
+	defer SetFrameLeakCheck(false)
+
+	held := AcquireFrame(16)
+	released := AcquireFrame(16)
+	released.Release()
+
+	leaks := CheckFrameLeaks()
+	if len(leaks) != 1 {
+		t.Fatalf("leaks = %v, want exactly the held frame", leaks)
+	}
+	if !strings.Contains(leaks[0], "framebuf_test.go") {
+		t.Errorf("leak site = %q, want this test file", leaks[0])
+	}
+	held.Release()
+	if leaks := CheckFrameLeaks(); len(leaks) != 0 {
+		t.Errorf("leaks after release = %v", leaks)
+	}
+}
+
+// TestFrameReaderNextAliasesScratch pins the Next ownership contract: the
+// returned body aliases the reader's internal scratch buffer and is only
+// valid until the following Next call.
+func TestFrameReaderNextAliasesScratch(t *testing.T) {
+	var wire []byte
+	wire = MarshalRequest(wire, LittleEndian, &Request{RequestID: 1, Operation: "a", ObjectKey: []byte("k"), Payload: []byte("first")})
+	wire = MarshalRequest(wire, LittleEndian, &Request{RequestID: 2, Operation: "a", ObjectKey: []byte("k"), Payload: []byte("SECND")})
+
+	fr := NewFrameReader(bytes.NewReader(wire), 1<<10)
+	_, body1, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req1, err := UnmarshalRequest(LittleEndian, body1)
+	if err != nil || string(req1.Payload) != "first" {
+		t.Fatalf("req1 = %+v, %v", req1, err)
+	}
+	// req1.Payload borrows from body1, which borrows from the scratch; after
+	// the next frame overwrites the scratch the old view must show the new
+	// frame's bytes — proof of aliasing, and of why Next's contract demands
+	// copying before the next call.
+	snapshot := string(req1.Payload)
+	_, body2, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &body1[0] != &body2[0] {
+		t.Error("second Next returned a different backing array; want reused scratch")
+	}
+	if string(req1.Payload) == snapshot {
+		t.Error("old payload view unchanged after the scratch was overwritten")
+	}
+}
+
+// stutterReader returns the wire stream in tiny chunks and fails every
+// other read with a timeout error, exercising NextFrame's resume paths in
+// the middle of both the header and the body.
+type stutterReader struct {
+	data  []byte
+	chunk int
+	tick  int
+}
+
+func (s *stutterReader) Read(p []byte) (int, error) {
+	s.tick++
+	if s.tick%2 == 0 {
+		return 0, os.ErrDeadlineExceeded
+	}
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	n := s.chunk
+	if n > len(s.data) {
+		n = len(s.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, s.data[:n])
+	s.data = s.data[n:]
+	return n, nil
+}
+
+func TestFrameReaderNextFrameResumes(t *testing.T) {
+	SetFrameLeakCheck(true)
+	defer SetFrameLeakCheck(false)
+
+	var wire []byte
+	wire = MarshalRequest(wire, BigEndian, &Request{RequestID: 7, Operation: "echo", ObjectKey: []byte("key"), Payload: bytes.Repeat([]byte{0xAB}, 300)})
+	wire = MarshalReply(wire, BigEndian, &Reply{RequestID: 7, Payload: []byte("done")})
+
+	fr := NewFrameReader(&stutterReader{data: wire, chunk: 5}, 0)
+	var frames []*FrameBuf
+	var headers []Header
+	for len(frames) < 2 {
+		h, fb, err := fr.NextFrame()
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				continue // interrupted mid-frame; resume
+			}
+			t.Fatal(err)
+		}
+		frames = append(frames, fb)
+		headers = append(headers, h)
+	}
+
+	req, err := UnmarshalRequest(headers[0].Order, frames[0].Body())
+	if err != nil || req.RequestID != 7 || len(req.Payload) != 300 {
+		t.Fatalf("reassembled request = %+v, %v", req, err)
+	}
+	rep, err := UnmarshalReply(headers[1].Order, frames[1].Body())
+	if err != nil || string(rep.Payload) != "done" {
+		t.Fatalf("reassembled reply = %+v, %v", rep, err)
+	}
+	frames[0].Release()
+	frames[1].Release()
+
+	// Clean end-of-stream after the last frame: bare EOF.
+	for {
+		_, _, err := fr.NextFrame()
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			continue
+		}
+		if err != io.EOF {
+			t.Errorf("end of stream err = %v, want bare io.EOF", err)
+		}
+		break
+	}
+	if leaks := CheckFrameLeaks(); len(leaks) != 0 {
+		t.Errorf("frames leaked: %v", leaks)
+	}
+}
+
+func TestFrameReaderCloseReleasesPartialFrame(t *testing.T) {
+	SetFrameLeakCheck(true)
+	defer SetFrameLeakCheck(false)
+
+	wire := MarshalRequest(nil, LittleEndian, &Request{RequestID: 9, Operation: "x", ObjectKey: []byte("k"), Payload: []byte("abcdefgh")})
+	// Stop the stream partway through the body: the reader holds a partial
+	// frame that only Close can give back.
+	fr := NewFrameReader(bytes.NewReader(wire[:HeaderSize+4]), 0)
+	if _, _, err := fr.NextFrame(); err == nil {
+		t.Fatal("truncated frame succeeded")
+	}
+	if len(CheckFrameLeaks()) != 1 {
+		t.Fatal("expected the partial frame to be live")
+	}
+	fr.Close()
+	if leaks := CheckFrameLeaks(); len(leaks) != 0 {
+		t.Errorf("Close left frames live: %v", leaks)
+	}
+	fr.Close() // idempotent
+}
+
+func TestFrameReaderNextFrameTooLarge(t *testing.T) {
+	wire := MarshalRequest(nil, LittleEndian, &Request{RequestID: 1, Operation: "op", ObjectKey: []byte("k"), Payload: bytes.Repeat([]byte{1}, 128)})
+	fr := NewFrameReader(bytes.NewReader(wire), 64)
+	if _, _, err := fr.NextFrame(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}

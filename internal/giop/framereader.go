@@ -1,22 +1,35 @@
 package giop
 
-import "io"
+import (
+	"fmt"
+	"io"
+)
 
-// FrameReader reads framed GIOP messages from one stream through a single
-// reusable scratch buffer. Both demultiplexing endpoints — the client's
-// reply reactor and the server's per-connection read loop — sit in a tight
+// FrameReader reads framed GIOP messages from one stream, either through a
+// single reusable scratch buffer (Next) or directly into refcounted pooled
+// FrameBufs (NextFrame). Both demultiplexing endpoints — the client's reply
+// reactor and the server's per-connection read loop — sit in a tight
 // frame-at-a-time loop over one connection; FrameReader gives that loop a
-// stable allocation profile: the buffer is sized for the endpoint's body
-// bound up front and grows (once) only if a larger frame under the
-// protocol-wide cap arrives.
+// stable allocation profile.
 //
-// The body slice returned by Next aliases the reader's scratch buffer and
-// is valid only until the following Next call; callers that hand the bytes
-// to another goroutine must copy them first.
+// NextFrame is resumable: a deadline expiry or injected short read in the
+// middle of a header or body leaves the partial bytes in the reader, and
+// the following NextFrame call continues exactly where the stream stopped.
+// That lets a reactor poll with read deadlines (to notice shutdown) without
+// ever tearing a half-received frame. Close releases a partially-filled
+// frame so an abandoned reader leaks nothing.
 type FrameReader struct {
 	r       io.Reader
 	maxBody uint32
 	buf     []byte
+
+	// Resumable NextFrame state: header bytes accumulated so far, the
+	// parsed header, and the partially-filled frame.
+	hdr [HeaderSize]byte
+	hn  int
+	h   Header
+	cur *FrameBuf
+	bn  int
 }
 
 // NewFrameReader returns a FrameReader over r enforcing maxBody on frame
@@ -25,14 +38,23 @@ func NewFrameReader(r io.Reader, maxBody uint32) *FrameReader {
 	if maxBody == 0 || maxBody > MaxMessageSize {
 		maxBody = MaxMessageSize
 	}
-	return &FrameReader{r: r, maxBody: maxBody, buf: make([]byte, 0, int(maxBody)+HeaderSize)}
+	return &FrameReader{r: r, maxBody: maxBody}
 }
 
 // Next reads one framed message, blocking until a full frame arrives, the
 // stream errors, or a deadline on the underlying connection expires. An
 // over-limit frame fails with ErrTooLarge before any body byte is read,
 // exactly as ReadMessageLimited does.
+//
+// Ownership contract: the returned body aliases the reader's internal
+// scratch buffer and is valid only until the following Next call; a caller
+// that hands the bytes to another goroutine, or needs them past the next
+// frame, must copy them first (or use NextFrame, which makes the lifetime
+// explicit through refcounting).
 func (fr *FrameReader) Next() (Header, []byte, error) {
+	if fr.buf == nil {
+		fr.buf = make([]byte, 0, int(fr.maxBody)+HeaderSize)
+	}
 	h, body, err := ReadMessageLimited(fr.r, fr.buf[:0], fr.maxBody)
 	if err != nil {
 		return h, nil, err
@@ -43,4 +65,81 @@ func (fr *FrameReader) Next() (Header, []byte, error) {
 		fr.buf = body
 	}
 	return h, body, nil
+}
+
+// NextFrame reads one framed message into a pooled FrameBuf and returns it
+// with one reference owned by the caller, who must Release it (directly or
+// through whoever the frame is handed to) exactly once. Decoded views that
+// alias the frame go stale at that Release.
+//
+// Unlike Next, NextFrame survives interruption: if the read fails partway
+// through a frame — a read deadline fired, or a fault-injected short read —
+// the reader keeps the partial header/body and the next call resumes
+// filling the same frame. Errors before any byte of a frame arrives
+// surface as bare io.EOF on clean close, matching ReadMessageLimited.
+func (fr *FrameReader) NextFrame() (Header, *FrameBuf, error) {
+	// Phase 1: accumulate the 12-byte header.
+	for fr.cur == nil && fr.hn < HeaderSize {
+		n, err := fr.r.Read(fr.hdr[fr.hn:])
+		fr.hn += n
+		if fr.hn == HeaderSize {
+			break
+		}
+		if err != nil {
+			if err == io.EOF {
+				if fr.hn == 0 {
+					// Clean close between frames: callers match on bare EOF.
+					return Header{}, nil, io.EOF
+				}
+				err = io.ErrUnexpectedEOF
+			}
+			return Header{}, nil, fmt.Errorf("giop: header: %w", err)
+		}
+	}
+	// Phase 2: parse the header and acquire the frame, once per frame.
+	if fr.cur == nil {
+		h, err := ParseHeader(fr.hdr[:])
+		if err != nil {
+			fr.hn = 0
+			return Header{}, nil, err
+		}
+		if h.Size > fr.maxBody {
+			fr.hn = 0
+			return Header{}, nil, fmt.Errorf("%w: %d-byte body over the %d-byte endpoint bound", ErrTooLarge, h.Size, fr.maxBody)
+		}
+		fr.h = h
+		fr.cur = AcquireFrame(int(h.Size))
+		fr.bn = 0
+	}
+	// Phase 3: fill the body directly into the frame's buffer.
+	body := fr.cur.buf[:fr.h.Size]
+	for fr.bn < len(body) {
+		n, err := fr.r.Read(body[fr.bn:])
+		fr.bn += n
+		if fr.bn == len(body) {
+			break
+		}
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Header{}, nil, fmt.Errorf("giop: body: %w", err)
+		}
+	}
+	fb, h := fr.cur, fr.h
+	fb.setLen(int(fr.h.Size))
+	fr.cur, fr.hn, fr.bn = nil, 0, 0
+	return h, fb, nil
+}
+
+// Close releases any partially-received frame held by an interrupted
+// NextFrame. A reader being abandoned mid-stream must be closed, or the
+// partial frame never returns to its pool (and trips the leak detector in
+// tests).
+func (fr *FrameReader) Close() {
+	if fr.cur != nil {
+		fr.cur.Release()
+		fr.cur = nil
+	}
+	fr.hn, fr.bn = 0, 0
 }

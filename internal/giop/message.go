@@ -445,7 +445,12 @@ func ReadMessageLimited(r io.Reader, buf []byte, maxBody uint32) (Header, []byte
 	}
 	body := buf
 	if cap(body) < int(h.Size) {
-		body = make([]byte, h.Size)
+		// Scratch too small: grow it once to the body's size class rather
+		// than allocating the exact size per message. Callers that keep the
+		// returned buffer as their next scratch (FrameReader, the ORB read
+		// loops) then reuse one buffer for every later frame of the same
+		// class instead of paying an allocation per large message.
+		body = make([]byte, 0, frameClassCap(int(h.Size)))
 	}
 	body = body[:h.Size]
 	if _, err := io.ReadFull(r, body); err != nil {

@@ -1,0 +1,65 @@
+package giop
+
+import "repro/internal/memory"
+
+// Decode-into-view APIs: the zero-copy counterparts of DecodeRequest and
+// DecodeReply. Where the plain decoders return slices that silently alias
+// the caller's buffer, the view decoders run over a FrameBuf and wrap each
+// aliasing window in a memory.Loan issued by the frame. The loan enforces
+// the paper's shared-object scope rule at the wire boundary: a handler may
+// use the bytes for the duration of its turn, and once the frame's last
+// reference is released every view fails with memory.ErrStale. A handler
+// that needs the bytes afterwards must escape explicitly with Loan.Detach
+// (or FrameBuf.Detach), which copies into memory it owns — and is counted,
+// so the zero-copy claim stays measurable.
+
+// RequestView is a decoded request whose variable-length fields are
+// revocable views into the arrival frame. The embedded Request's ObjectKey
+// and Payload alias the frame directly (for same-goroutine, within-turn
+// use); KeyView and PayloadView carry the same windows as loans for
+// anything that outlives the turn.
+type RequestView struct {
+	Request
+	// KeyView and PayloadView are ObjectKey and Payload as revocable loans.
+	KeyView, PayloadView memory.Loan
+}
+
+// ReplyView is the reply-side analogue of RequestView.
+type ReplyView struct {
+	Reply
+	// PayloadView is Payload as a revocable loan.
+	PayloadView memory.Loan
+}
+
+// DecodeRequestView decodes the request frame fb into v. ObjectKey and
+// Payload alias the frame's buffer; the view loans go stale at the frame's
+// final Release.
+func DecodeRequestView(order ByteOrder, fb *FrameBuf, v *RequestView) error {
+	if err := DecodeRequest(order, fb.Body(), &v.Request); err != nil {
+		return err
+	}
+	v.KeyView = fb.Lend(v.ObjectKey)
+	v.PayloadView = fb.Lend(v.Payload)
+	return nil
+}
+
+// DecodeReplyView decodes the reply frame fb into v. Payload aliases the
+// frame's buffer; the view loan goes stale at the frame's final Release.
+func DecodeReplyView(order ByteOrder, fb *FrameBuf, v *ReplyView) error {
+	if err := DecodeReply(order, fb.Body(), &v.Reply); err != nil {
+		return err
+	}
+	v.PayloadView = fb.Lend(v.Payload)
+	return nil
+}
+
+// ReadOctetSeqView reads a CDR sequence<octet> as a revocable loan issued
+// by owner, for decoders walking a borrowed buffer whose lifetime the owner
+// controls. The codec-level primitive behind DecodeRequestView.
+func (d *Decoder) ReadOctetSeqView(owner *memory.LoanOwner) (memory.Loan, error) {
+	b, err := d.ReadOctetSeq()
+	if err != nil {
+		return memory.Loan{}, err
+	}
+	return owner.Lend(b), nil
+}

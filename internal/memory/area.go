@@ -294,6 +294,7 @@ func (a *Area) scopeLevel() int {
 func (a *Area) reclaimLocked() []func() {
 	fins := a.finalizers
 	a.finalizers = nil
+	used := a.used
 	a.used = 0
 	a.allocs = 0
 	a.gen++
@@ -301,7 +302,12 @@ func (a *Area) reclaimLocked() []func() {
 	a.level = 0
 	a.portal = Ref{}
 	if a.linear {
-		zero(a.buf) // linear-time reuse cost, like LTScopedMemory
+		// Linear-time reuse cost, like LTScopedMemory — but proportional to
+		// what the scope actually allocated, not its capacity. alloc hands
+		// out three-index slices (buf[off:end:end]), so nothing can write
+		// past the high-water mark: bytes beyond `used` are still zero from
+		// creation (or the previous reclaim) and need no re-zeroing.
+		zero(a.buf[:used])
 	}
 	return fins
 }

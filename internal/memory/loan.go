@@ -1,0 +1,81 @@
+package memory
+
+import "sync/atomic"
+
+// Loan is a revocable borrowed view of bytes owned by someone else — the
+// scope-rule side of zero-copy message delivery. A lender (for example a
+// pooled wire-frame buffer) hands a handler a Loan over a window of its
+// buffer; when the lender reclaims the buffer it revokes every outstanding
+// loan in O(1) by bumping a generation counter, and any later Bytes() on
+// the view fails with ErrStale instead of silently reading recycled bytes.
+// This mirrors the paper's shared-object escape rule: data crossing a
+// component boundary is valid for the duration of the handler, and a
+// handler that wants the bytes past its return must explicitly Detach()
+// them into memory it owns.
+//
+// Loan is the wire-buffer analogue of Ref: Ref guards allocations inside a
+// scoped Area against reclamation, Loan guards windows of a refcounted
+// buffer against release. Both fail closed with ErrStale.
+type Loan struct {
+	owner *LoanOwner
+	gen   uint64
+	data  []byte
+}
+
+// LoanOwner is the lender's half of the mechanism: a generation counter
+// embedded in (or held by) whoever owns the underlying buffer. Lend issues
+// views at the current generation; Revoke invalidates all of them at once.
+// The zero value is ready to use.
+type LoanOwner struct {
+	gen atomic.Uint64
+}
+
+// Lend issues a loan of b at the owner's current generation. The caller
+// must ensure b stays valid until the next Revoke.
+func (o *LoanOwner) Lend(b []byte) Loan {
+	return Loan{owner: o, gen: o.gen.Load(), data: b}
+}
+
+// Revoke invalidates every loan issued since the previous Revoke. It is the
+// lender's reclamation barrier: call it before recycling the underlying
+// buffer.
+func (o *LoanOwner) Revoke() {
+	o.gen.Add(1)
+}
+
+// Bytes returns the borrowed window, or ErrStale after the owner revoked.
+// The slice is valid only until the owner's next Revoke; callers needing it
+// longer must Detach.
+func (l Loan) Bytes() ([]byte, error) {
+	if l.owner == nil || l.owner.gen.Load() != l.gen {
+		return nil, ErrStale
+	}
+	return l.data, nil
+}
+
+// Valid reports whether the loan is still live.
+func (l Loan) Valid() bool {
+	return l.owner != nil && l.owner.gen.Load() == l.gen
+}
+
+// Len returns the length of the borrowed window (whether or not the loan is
+// still live — lengths do not dangle).
+func (l Loan) Len() int { return len(l.data) }
+
+// Detach copies the borrowed bytes into fresh caller-owned memory — the
+// explicit escape hatch for data that must outlive the loan. It fails with
+// ErrStale if the owner already revoked: an escape must happen while the
+// handler still legitimately holds the bytes, never after.
+func (l Loan) Detach() ([]byte, error) {
+	if l.owner == nil || l.owner.gen.Load() != l.gen {
+		return nil, ErrStale
+	}
+	out := make([]byte, len(l.data))
+	copy(out, l.data)
+	// A revocation may have raced the copy; re-check so a torn read can
+	// never escape as detached data.
+	if l.owner.gen.Load() != l.gen {
+		return nil, ErrStale
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package memory
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestLoanLifecycle(t *testing.T) {
+	buf := []byte("scoped-bytes")
+	var o LoanOwner
+
+	l := o.Lend(buf[0:6])
+	if !l.Valid() || l.Len() != 6 {
+		t.Fatalf("fresh loan: valid=%v len=%d", l.Valid(), l.Len())
+	}
+	if b, err := l.Bytes(); err != nil || string(b) != "scoped" {
+		t.Fatalf("Bytes = %q, %v", b, err)
+	}
+
+	// Detach while live gives an independent copy.
+	got, err := l.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	if string(got) != "scoped" {
+		t.Errorf("detached copy tracks the original: %q", got)
+	}
+
+	o.Revoke()
+	if l.Valid() {
+		t.Error("loan valid after revoke")
+	}
+	if _, err := l.Bytes(); !errors.Is(err, ErrStale) {
+		t.Errorf("Bytes after revoke: %v, want ErrStale", err)
+	}
+	if _, err := l.Detach(); !errors.Is(err, ErrStale) {
+		t.Errorf("Detach after revoke: %v, want ErrStale", err)
+	}
+	// Lengths do not dangle.
+	if l.Len() != 6 {
+		t.Errorf("Len after revoke = %d", l.Len())
+	}
+}
+
+func TestLoanGenerationsAreIndependent(t *testing.T) {
+	var o LoanOwner
+	old := o.Lend([]byte("one"))
+	o.Revoke()
+	fresh := o.Lend([]byte("two"))
+	if old.Valid() {
+		t.Error("pre-revoke loan still valid")
+	}
+	if b, err := fresh.Bytes(); err != nil || string(b) != "two" {
+		t.Errorf("post-revoke loan = %q, %v", b, err)
+	}
+}
+
+func TestZeroLoanIsStale(t *testing.T) {
+	var l Loan
+	if l.Valid() {
+		t.Error("zero loan valid")
+	}
+	if _, err := l.Bytes(); !errors.Is(err, ErrStale) {
+		t.Errorf("zero loan Bytes: %v", err)
+	}
+}
+
+// TestLoanRevokeRace hammers Detach against a concurrent Revoke: every
+// detach must either fail ErrStale or return the complete original bytes.
+// (The buffer itself is not mutated here — the owner's contract is that
+// recycling happens after Revoke, and Detach's post-copy re-check is what
+// keeps a revocation that lands mid-copy from escaping as data.)
+func TestLoanRevokeRace(t *testing.T) {
+	for round := 0; round < 500; round++ {
+		var o LoanOwner
+		l := o.Lend([]byte("AAAAAAAA"))
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var got []byte
+		var detErr error
+		go func() {
+			defer wg.Done()
+			got, detErr = l.Detach()
+		}()
+		go func() {
+			defer wg.Done()
+			o.Revoke()
+		}()
+		wg.Wait()
+		if detErr == nil && string(got) != "AAAAAAAA" {
+			t.Fatalf("round %d: detach returned %q", round, got)
+		}
+		if detErr != nil && !errors.Is(detErr, ErrStale) {
+			t.Fatalf("round %d: detach err = %v", round, detErr)
+		}
+	}
+}

@@ -65,6 +65,14 @@ type ClientConfig struct {
 	// lone caller. Nil disables coalescing (every frame is its own write,
 	// the PR-4 discipline).
 	Coalesce *CoalesceConfig
+	// ReactorShards shards each connection's demux pending table: entries
+	// hash by request id to per-shard maps with their own locks, so
+	// concurrent registrations (submitters) and completions (the reactor)
+	// stop serialising on one table mutex at high pipelining. Composes with
+	// Channels: every stripe's connection gets its own sharded table.
+	// Zero or one keeps a single shard; AutoShards sizes to GOMAXPROCS;
+	// values clamp to the same bound as ServerConfig.Shards.
+	ReactorShards int
 }
 
 // DefaultMaxMessage is the default bound on message bodies.
@@ -91,7 +99,7 @@ type Client struct {
 	closed   atomic.Bool
 	network  transport.Network
 	addr     string
-	res      *resilience    // nil unless ClientConfig.Resilience was set
+	res      *resilience     // nil unless ClientConfig.Resilience was set
 	coalesce *CoalesceConfig // nil unless ClientConfig.Coalesce was set
 	inflight atomic.Int64
 	gauge    *telemetry.GaugeHandle
@@ -106,6 +114,21 @@ type Client struct {
 	sticky       [bandCount]atomic.Int32
 	bandInflight [bandCount]atomic.Int64
 	rng          atomic.Uint64
+
+	// leaderFollower enables caller-driven demux: awaiting callers take
+	// turns holding a per-connection leader token and read replies
+	// themselves, so a round trip needs no reactor-to-caller rendezvous.
+	// Only set for synchronous clients, whose submissions register the
+	// pending entry on the caller's goroutine before await runs.
+	leaderFollower bool
+
+	// reactorShards is the per-connection pending-table shard count
+	// (resolved from ClientConfig.ReactorShards, minimum 1); shardOps
+	// counts registrations per shard across all stripes, exported as
+	// per-shard gauges when sharding is on.
+	reactorShards int
+	shardOps      []atomic.Int64
+	shardGauges   []*telemetry.GaugeHandle
 }
 
 // DialClient builds the client component structure and connects it. The
@@ -185,6 +208,19 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	if channels > maxChannels {
 		channels = maxChannels
 	}
+	cl.reactorShards = resolveShards(cfg.ReactorShards)
+	if cl.reactorShards < 1 {
+		cl.reactorShards = 1
+	}
+	if cl.reactorShards > 1 {
+		cl.shardOps = make([]atomic.Int64, cl.reactorShards)
+		for i := range cl.shardOps {
+			ops := &cl.shardOps[i]
+			cl.shardGauges = append(cl.shardGauges, telemetry.Default.RegisterGauge(
+				"demux_ops", fmt.Sprintf("orb.client.rshard%d", i),
+				func() int64 { return ops.Load() }))
+		}
+	}
 	for i := 0; i < channels; i++ {
 		st := &stripe{cl: cl, idx: i}
 		if cl.res != nil {
@@ -215,6 +251,7 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	threading := core.ThreadingShared
 	if cfg.Synchronous {
 		threading = core.ThreadingSynchronous
+		cl.leaderFollower = true
 	}
 
 	orbComp, err := app.NewImmortalComponent("ORB", func(c *core.Component) error {
@@ -298,6 +335,10 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 			Name:       "MessageProcessing",
 			MemorySize: mpSize,
 			UsePool:    usePool,
+			// Setup is pure declaration (one In port on the parent's SMM), so
+			// the shell survives quiescence and only the area cycles per
+			// request.
+			Reusable: true,
 			Setup: func(mp *core.Component) error {
 				_, err := core.AddInPort(mp, tSMM, core.InPortConfig{
 					Name: "request", Type: invokeType, Threading: threading,
@@ -512,7 +553,60 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 	if err != nil {
 		return nil, err
 	}
-	return cl.invokeOnce(st, key, op, payload, prio, false)
+	return consumeReply(cl.invokeOnce(st, key, op, payload, prio, false))
+}
+
+// InvokeView is the zero-copy Invoke: instead of returning a heap copy of
+// the reply payload, it runs view on the caller's goroutine with the payload
+// as a revocable loan into the arrival frame, then releases the frame. The
+// bytes travel socket→view with no intermediate copy. The loan is only valid
+// inside view — the release revokes it, and a retained loan answers ErrStale
+// afterwards; a view that needs the bytes past its return must escape
+// explicitly with Loan.Detach (a counted copy into memory the caller owns).
+func (cl *Client) InvokeView(key, op string, payload []byte, prio sched.Priority, view func(reply memory.Loan) error) error {
+	if cl.closed.Load() {
+		return corba.ErrClosed
+	}
+	st, err := cl.pickStripe(prio)
+	if err != nil {
+		return err
+	}
+	res := cl.invokeOnce(st, key, op, payload, prio, false)
+	if res.err != nil {
+		res.release()
+		return res.err
+	}
+	var verr error
+	if view != nil {
+		if res.frame != nil {
+			verr = view(res.frame.Lend(res.payload))
+		} else {
+			// Frameless success (cannot happen on the reply path today, but
+			// keep the contract total): lend from a one-shot owner that is
+			// never revoked.
+			verr = view((&memory.LoanOwner{}).Lend(res.payload))
+		}
+	}
+	res.release()
+	return verr
+}
+
+// consumeReply turns an invokeResult into the legacy ([]byte, error) shape:
+// a payload that aliases an arrival frame is copied out (the copy is
+// counted — this is the price of the retained-slice API) and the frame
+// released.
+func consumeReply(res invokeResult) ([]byte, error) {
+	if res.frame == nil {
+		return res.payload, res.err
+	}
+	var out []byte
+	if len(res.payload) > 0 {
+		out = make([]byte, len(res.payload))
+		copy(out, res.payload)
+		countPayloadCopy(len(res.payload))
+	}
+	res.release()
+	return out, res.err
 }
 
 // InvokeIdempotent is Invoke for operations that are safe to execute more
@@ -530,17 +624,19 @@ func (cl *Client) InvokeIdempotent(key, op string, payload []byte, prio sched.Pr
 		if err != nil {
 			return nil, err
 		}
-		return cl.invokeOnce(st, key, op, payload, prio, false)
+		return consumeReply(cl.invokeOnce(st, key, op, payload, prio, false))
 	})
 }
 
 // invokeOnce runs one pass through the component pipeline: arm a pending
 // entry, submit the invocation toward the chosen stripe, and wait for the
-// reactor (or a failure path) to complete it.
-func (cl *Client) invokeOnce(st *stripe, key, op string, payload []byte, prio sched.Priority, oneway bool) ([]byte, error) {
+// reactor (or a failure path) to complete it. The returned result may carry
+// a frame reference (payload aliasing the arrival buffer); the caller owns
+// it and must release it via consumeReply, InvokeView, or release.
+func (cl *Client) invokeOnce(st *stripe, key, op string, payload []byte, prio sched.Priority, oneway bool) invokeResult {
 	msg, err := cl.invoke.GetMessage()
 	if err != nil {
-		return nil, err
+		return invokeResult{err: err}
 	}
 	m := msg.(*invokeMsg)
 	m.id = cl.nextID.Add(1)
@@ -555,17 +651,26 @@ func (cl *Client) invokeOnce(st *stripe, key, op string, payload []byte, prio sc
 	trace, span, started := startSpan(uint64(m.id))
 	m.trace, m.span = trace, span
 	if err := cl.invoke.Send(msg, prio); err != nil {
-		// The message's fate is uncertain (a racing dispatcher may still
-		// run the handler and complete the entry): cancel it, and abandon
-		// the entry and channel rather than risk recycling a pair that
-		// gets a late write.
-		pe.state.CompareAndSwap(pendingArmed, pendingCancelled)
+		// The message's fate is uncertain: a racing dispatcher may still run
+		// the handler and complete the entry. Claim it; if the claim fails,
+		// a completion is already committed (complete moves armed→done
+		// before sending on the cap-1 channel), so take that result — it is
+		// the invocation's true fate, and draining it lets the entry and
+		// channel recycle instead of leaking to the collector, and keeps a
+		// result-borne frame reference from stranding in an abandoned
+		// channel.
+		if pe.state.CompareAndSwap(pendingArmed, pendingCancelled) {
+			endSpan(trace, span, started)
+			return invokeResult{err: err}
+		}
+		res := <-pe.done
+		putPending(pe)
 		endSpan(trace, span, started)
-		return nil, err
+		return res
 	}
 	res := cl.await(pe)
 	endSpan(trace, span, started)
-	return res.payload, res.err
+	return res
 }
 
 // await blocks until the entry completes or the per-invoke deadline
@@ -574,6 +679,9 @@ func (cl *Client) invokeOnce(st *stripe, key, op string, payload []byte, prio sc
 // when (if) it arrives — so one slow invocation no longer tears down the
 // pipeline for everyone else sharing the connection.
 func (cl *Client) await(pe *muxPending) invokeResult {
+	if mc := pe.mc.Load(); mc != nil && mc.lf {
+		return cl.awaitLF(mc, pe)
+	}
 	timeout := cl.invokeTimeout()
 	if timeout <= 0 {
 		res := <-pe.done
@@ -597,6 +705,82 @@ func (cl *Client) await(pe *muxPending) invokeResult {
 		putPending(pe)
 		return res
 	}
+}
+
+// awaitLF is await for leader/follower connections: wait on the completion
+// channel AND volunteer for the connection's leader token. A caller that
+// wins the token reads frames off the wire itself (mux.lead), completing
+// other callers' entries until its own reply arrives — the reply that
+// matters to this caller never crosses a goroutine boundary. Followers whose
+// replies the leader completes wake from their channel exactly as under the
+// dedicated reactor.
+func (cl *Client) awaitLF(mc *muxConn, pe *muxPending) invokeResult {
+	timeout := cl.invokeTimeout()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	// Fast path: a parked token means no reader is active on the connection.
+	// Take it with one non-blocking channel op — no timer armed, no 3-way
+	// select — and demux our own reply.
+	select {
+	case <-mc.leaderCh:
+		return cl.leadAfterToken(mc, pe, deadline, nil)
+	default:
+	}
+	var t *time.Timer
+	var tC <-chan time.Time
+	if timeout > 0 {
+		t = getTimer(time.Until(deadline))
+		tC = t.C
+	}
+	select {
+	case res := <-pe.done:
+		if t != nil {
+			putTimer(t)
+		}
+		putPending(pe)
+		return res
+	case <-mc.leaderCh:
+		return cl.leadAfterToken(mc, pe, deadline, t)
+	case <-tC:
+		timerPool.Put(t) // fired: already drained
+		if cl.cancelPending(pe) {
+			invokeTimeoutTotal.Inc()
+			return invokeResult{err: fmt.Errorf("%w: no reply within %v", ErrDeadlineExceeded, timeout)}
+		}
+		// Lost the race: a completion is already in flight. Take it.
+		res := <-pe.done
+		putPending(pe)
+		return res
+	}
+}
+
+// leadAfterToken runs once the caller holds mc's leader token: it re-checks
+// the completion channel (the outgoing leader may have completed this entry
+// and released the token in either order — leading with a completed entry
+// would wedge on a read no reply answers), then reads the wire until the
+// entry resolves. t, when non-nil, is the caller's armed deadline timer; it
+// is recycled here (lead bounds the read with the conn deadline instead).
+func (cl *Client) leadAfterToken(mc *muxConn, pe *muxPending, deadline time.Time, t *time.Timer) invokeResult {
+	select {
+	case res := <-pe.done:
+		mc.leaderCh <- struct{}{}
+		if t != nil {
+			putTimer(t)
+		}
+		putPending(pe)
+		return res
+	default:
+	}
+	res, recycle := mc.lead(pe, deadline)
+	if t != nil {
+		putTimer(t)
+	}
+	if recycle {
+		putPending(pe)
+	}
+	return res
 }
 
 // cancelPending claims an entry for its caller after a deadline expiry. On
@@ -644,9 +828,11 @@ func (cl *Client) withRetry(op func() ([]byte, error)) ([]byte, error) {
 }
 
 // startSpan opens a client invocation span in the flight recorder when
-// telemetry is enabled; it returns zero ids (meaning untraced) otherwise.
+// verbose telemetry is on; it returns zero ids (meaning untraced)
+// otherwise. The trace id rides the wire, so gating here also switches the
+// server's per-request span off in one place.
 func startSpan(correlator uint64) (trace, span uint64, started int64) {
-	if !telemetry.Enabled() {
+	if !telemetry.VerboseEnabled() {
 		return 0, 0, 0
 	}
 	trace, span = telemetry.NewID(), telemetry.NewID()
@@ -737,7 +923,7 @@ func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priori
 		if err != nil {
 			return nil, err
 		}
-		return cl.invokeOnce(st, key, op, payload, prio, true)
+		return consumeReply(cl.invokeOnce(st, key, op, payload, prio, true))
 	})
 	return err
 }
@@ -764,6 +950,9 @@ func (cl *Client) Close() {
 		if st.gauge != nil {
 			st.gauge.Unregister()
 		}
+	}
+	for _, g := range cl.shardGauges {
+		g.Unregister()
 	}
 	cl.gauge.Unregister()
 	cl.app.Stop()

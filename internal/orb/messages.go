@@ -4,14 +4,46 @@ import (
 	"repro/internal/core"
 	"repro/internal/giop"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
+// Payload-copy accounting for the zero-copy request path. The steady-state
+// pipeline moves payload bytes socket→servant (and reply→caller) without
+// intermediate copies; the sites that still copy — the legacy Invoke API
+// copying a reply out of its arrival frame before release, and explicit
+// FrameBuf/Loan Detach escapes — count here, so "zero copies per op" is a
+// measured property, not a claim. Exported at /metrics with the compadres_
+// prefix; bench4 reports bytes-copied-per-op from these.
+var (
+	payloadCopyTotal = telemetry.NewCounter("payload_copy_total")
+	payloadCopyBytes = telemetry.NewCounter("payload_copy_bytes")
+)
+
+// countPayloadCopy records one payload copy of n bytes.
+func countPayloadCopy(n int) {
+	payloadCopyTotal.Inc()
+	payloadCopyBytes.Add(int64(n))
+}
+
 // invokeResult carries a completed invocation back to the caller; here is
-// the answer of a LocateReply.
+// the answer of a LocateReply. When frame is non-nil, payload aliases the
+// arrival frame's buffer and ownership of one frame reference travels with
+// the result: whoever receives it from the completion channel must release
+// the frame once the payload has been consumed (copied out, or viewed under
+// InvokeView). Error results never carry a frame.
 type invokeResult struct {
 	payload []byte
 	err     error
 	here    bool
+	frame   *giop.FrameBuf
+}
+
+// release drops the result's frame reference, if any.
+func (r *invokeResult) release() {
+	if r.frame != nil {
+		r.frame.Release()
+		r.frame = nil
+	}
 }
 
 // invokeMsg travels from the client ORB component through the Transport to
@@ -56,7 +88,9 @@ func (m *invokeMsg) setKey(key string) {
 
 // copyFrom copies an invocation between pooled messages, keeping the
 // destination's own key buffer (the source message is recycled as soon as
-// its handler returns, while the copy may still be marshalling).
+// its handler returns, while the copy may still be marshalling). The payload
+// slice header aliases the caller's bytes — the caller blocks in await until
+// the invocation completes, so no byte copy is needed.
 func (m *invokeMsg) copyFrom(src *invokeMsg) {
 	kb := m.keyBuf
 	*m = *src
@@ -70,25 +104,35 @@ var invokeType = core.MessageType{
 }
 
 // requestMsg travels from a server Transport to its RequestProcessing
-// child: one framed GIOP request body. The raw buffer is owned by the
-// message and reused across pool cycles.
+// child: one framed GIOP request. The message owns one reference on the
+// arrival frame; raw aliases the frame's body, so the request bytes travel
+// socket→servant with no intermediate copy. Reset — which every pooled
+// recycle path runs, including dispatch-error unwinds — releases the
+// reference, bounding the frame's life to the dispatch turn.
 type requestMsg struct {
 	raw   []byte
+	frame *giop.FrameBuf
 	order giop.ByteOrder
 	conn  *serverConn
 }
 
-// Reset implements core.Message; it keeps the buffer capacity so pooled
-// messages stop allocating in steady state.
+// Reset implements core.Message; it releases the message's frame reference.
 func (m *requestMsg) Reset() {
-	m.raw = m.raw[:0]
+	if m.frame != nil {
+		m.frame.Release()
+		m.frame = nil
+	}
+	m.raw = nil
 	m.order = giop.BigEndian
 	m.conn = nil
 }
 
-// setRaw copies one frame body into the message-owned buffer.
-func (m *requestMsg) setRaw(b []byte) {
-	m.raw = append(m.raw[:0], b...)
+// setFrame adopts one frame reference: raw aliases the frame body and the
+// reference is released by Reset when the message is recycled.
+func (m *requestMsg) setFrame(fb *giop.FrameBuf, order giop.ByteOrder) {
+	m.frame = fb
+	m.raw = fb.Body()
+	m.order = order
 }
 
 var requestType = core.MessageType{

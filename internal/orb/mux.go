@@ -1,8 +1,10 @@
 package orb
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,7 +23,10 @@ import (
 // single GIOP connection and complete out of order. The whole-exchange
 // mutex the client used to hold for a full round trip is gone — the only
 // serialisation left on the hot path is the write lock for the request
-// frame itself.
+// frame itself. The pending table is sharded (ClientConfig.ReactorShards):
+// entries hash to per-shard maps with their own locks, so concurrent
+// registrations and completions at high pipelining no longer serialise on
+// one table mutex.
 
 // Mux counters, exported at /metrics with the compadres_ prefix.
 var (
@@ -59,11 +64,17 @@ type muxPending struct {
 	band  int32
 	done  chan invokeResult
 	state atomic.Int32
+	// mc is the connection the entry registered on, published by register so
+	// the awaiting caller can volunteer as that connection's demux leader
+	// (leader/follower mode). Nil until registered.
+	mc atomic.Pointer[muxConn]
 }
 
 // complete delivers res to the waiting caller if the entry is still armed.
 // It must not touch the entry after the channel send: the receiver recycles
-// the entry as soon as the result arrives.
+// the entry as soon as the result arrives. It reports false without sending
+// when the entry already left armed — a result carrying a frame reference
+// then stays with the caller of complete, which must release it.
 func (pe *muxPending) complete(res invokeResult) bool {
 	if !pe.state.CompareAndSwap(pendingArmed, pendingDone) {
 		return false
@@ -81,6 +92,7 @@ func getPending(id uint32, band int32) *muxPending {
 	pe.id = id
 	pe.locate = false
 	pe.band = band
+	pe.mc.Store(nil)
 	pe.state.Store(pendingArmed)
 	pe.done = doneChanPool.Get().(chan invokeResult)
 	return pe
@@ -99,9 +111,22 @@ func putPending(pe *muxPending) {
 // request write without disturbing the reactor's blocking read.
 type writeDeadliner interface{ SetWriteDeadline(time.Time) error }
 
-// muxConn is one multiplexed connection: the pending table, the write
-// lock, and the reactor goroutine demultiplexing its replies. A wire fault
-// from either direction fails every pending entry exactly once with a
+// readDeadliner is the matching read-deadline support; leader/follower mode
+// uses it so a leader whose own invoke deadline expires can abort its
+// blocking read (the resumable FrameReader keeps any partial frame for the
+// next leader) instead of wedging on the wire.
+type readDeadliner interface{ SetReadDeadline(time.Time) error }
+
+// pendingSeg is one shard of a connection's pending table: its own lock and
+// map, so registrations hashing to different shards never contend.
+type pendingSeg struct {
+	mu sync.Mutex
+	m  map[uint32]*muxPending
+}
+
+// muxConn is one multiplexed connection: the sharded pending table, the
+// write lock, and the reactor goroutine demultiplexing its replies. A wire
+// fault from either direction fails every pending entry exactly once with a
 // transport-level error, counts a single failure against the owning
 // stripe's breaker, and detaches the connection from its stripe so the next
 // invoke routed there triggers one supervised redial — not one per
@@ -117,25 +142,73 @@ type muxConn struct {
 	// flush covers them.
 	co *coalescer
 
-	pmu     sync.Mutex
-	pending map[uint32]*muxPending
-	dead    bool
+	// segs is the pending table, sharded by id. dead/deadErr are the
+	// connection's kill state: deadErr is written under deadMu strictly
+	// before dead is stored, and fail's sweep of each segment happens
+	// after the store while holding that segment's lock — so a register
+	// that saw dead==false under its segment lock either completes before
+	// the sweep reaches the segment or is collected by it; no entry can
+	// strand.
+	segs    []pendingSeg
+	dead    atomic.Bool
+	deadMu  sync.Mutex
 	deadErr error
 
 	// maxDone is the highest request id completed so far, maintained by the
-	// reactor alone; a completion below it is an out-of-order reply.
+	// demux reader alone (the dedicated reactor, or whichever caller holds
+	// the leader token); a completion below it is an out-of-order reply.
 	maxDone uint32
+
+	// Leader/follower demux (lf true): there is no dedicated reactor
+	// goroutine. Awaiting callers select on their completion channel and on
+	// leaderCh; whoever wins the single token reads frames off fr, completing
+	// other callers' entries, until its own reply arrives — then it hands the
+	// token to the next waiter. This removes one goroutine rendezvous from
+	// every round trip (the caller demultiplexes its own reply, as RTZen's
+	// waiter does). Token handoff through the channel serialises access to fr
+	// and maxDone. The mode is only safe when registration happens on the
+	// caller's goroutine before await (synchronous clients); shared-threading
+	// clients keep the dedicated reactor.
+	lf       bool
+	leaderCh chan struct{}
+	fr       *giop.FrameReader
 }
 
-// newMuxConn wraps conn for st and starts its reactor.
+// newMuxConn wraps conn for st and starts its demux: a dedicated reactor
+// goroutine, or — for synchronous clients whose connection supports read
+// deadlines when one is needed — caller-driven leader/follower demux.
 func newMuxConn(st *stripe, conn transport.Conn) *muxConn {
 	cl := st.cl
-	mc := &muxConn{cl: cl, st: st, conn: conn, pending: make(map[uint32]*muxPending, 16)}
+	mc := &muxConn{cl: cl, st: st, conn: conn, segs: make([]pendingSeg, cl.reactorShards)}
+	for i := range mc.segs {
+		mc.segs[i].m = make(map[uint32]*muxPending, 16)
+	}
 	if cl.coalesce != nil {
 		mc.co = newCoalescer(conn, *cl.coalesce, cl.invokeTimeout)
 	}
-	go mc.reactor()
+	mc.fr = giop.NewFrameReader(conn, uint32(cl.maxMsg))
+	_, canDeadline := conn.(readDeadliner)
+	if cl.leaderFollower && (cl.invokeTimeout() <= 0 || canDeadline) {
+		mc.lf = true
+		mc.leaderCh = make(chan struct{}, 1)
+		mc.leaderCh <- struct{}{}
+	} else {
+		go mc.reactor()
+	}
 	return mc
+}
+
+// seg returns the pending-table shard an id hashes to.
+func (mc *muxConn) seg(id uint32) *pendingSeg {
+	return &mc.segs[int(id)%len(mc.segs)]
+}
+
+// loadDeadErr returns the connection's kill error (call only after dead
+// reads true).
+func (mc *muxConn) loadDeadErr() error {
+	mc.deadMu.Lock()
+	defer mc.deadMu.Unlock()
+	return mc.deadErr
 }
 
 // register places an armed entry in the pending table. It fails if the
@@ -143,50 +216,56 @@ func newMuxConn(st *stripe, conn transport.Conn) *muxConn {
 // reports false without error if the caller cancelled the entry while the
 // invocation was queued — the request must not reach the wire.
 func (mc *muxConn) register(pe *muxPending) (bool, error) {
-	mc.pmu.Lock()
-	if mc.dead {
-		err := mc.deadErr
-		mc.pmu.Unlock()
-		return false, err
+	seg := mc.seg(pe.id)
+	seg.mu.Lock()
+	if mc.dead.Load() {
+		seg.mu.Unlock()
+		return false, mc.loadDeadErr()
 	}
 	if pe.state.Load() == pendingCancelled {
-		mc.pmu.Unlock()
+		seg.mu.Unlock()
 		return false, nil
 	}
-	mc.pending[pe.id] = pe
-	mc.pmu.Unlock()
+	seg.m[pe.id] = pe
+	seg.mu.Unlock()
+	pe.mc.Store(mc)
 	mc.cl.inflight.Add(1)
 	mc.st.inflight.Add(1)
 	mc.cl.bandInflight[pe.band].Add(1)
+	if ops := mc.cl.shardOps; ops != nil {
+		ops[int(pe.id)%len(ops)].Add(1)
+	}
 	return true, nil
 }
 
 // unregister removes an entry the caller is abandoning (deadline expiry).
 // It reports whether the entry was still tabled here.
 func (mc *muxConn) unregister(pe *muxPending) bool {
-	mc.pmu.Lock()
-	cur, ok := mc.pending[pe.id]
+	seg := mc.seg(pe.id)
+	seg.mu.Lock()
+	cur, ok := seg.m[pe.id]
 	if ok && cur == pe {
-		delete(mc.pending, pe.id)
-		mc.pmu.Unlock()
+		delete(seg.m, pe.id)
+		seg.mu.Unlock()
 		mc.cl.inflight.Add(-1)
 		mc.st.inflight.Add(-1)
 		mc.cl.bandInflight[pe.band].Add(-1)
 		return true
 	}
-	mc.pmu.Unlock()
+	seg.mu.Unlock()
 	return false
 }
 
 // take removes and returns the entry for id, used by the reactor when a
 // reply arrives.
 func (mc *muxConn) take(id uint32) (*muxPending, bool) {
-	mc.pmu.Lock()
-	pe, ok := mc.pending[id]
+	seg := mc.seg(id)
+	seg.mu.Lock()
+	pe, ok := seg.m[id]
 	if ok {
-		delete(mc.pending, id)
+		delete(seg.m, id)
 	}
-	mc.pmu.Unlock()
+	seg.mu.Unlock()
 	if ok {
 		mc.cl.inflight.Add(-1)
 		mc.st.inflight.Add(-1)
@@ -241,19 +320,25 @@ func (mc *muxConn) sendFailed(err error) {
 // detaches the connection, and — under supervision — a single breaker
 // failure is recorded for the whole batch.
 func (mc *muxConn) fail(err error) {
-	mc.pmu.Lock()
-	if mc.dead {
-		mc.pmu.Unlock()
+	mc.deadMu.Lock()
+	if mc.dead.Load() {
+		mc.deadMu.Unlock()
 		return
 	}
-	mc.dead = true
 	mc.deadErr = err
-	victims := make([]*muxPending, 0, len(mc.pending))
-	for id, pe := range mc.pending {
-		delete(mc.pending, id)
-		victims = append(victims, pe)
+	mc.dead.Store(true)
+	mc.deadMu.Unlock()
+
+	var victims []*muxPending
+	for i := range mc.segs {
+		seg := &mc.segs[i]
+		seg.mu.Lock()
+		for id, pe := range seg.m {
+			delete(seg.m, id)
+			victims = append(victims, pe)
+		}
+		seg.mu.Unlock()
 	}
-	mc.pmu.Unlock()
 
 	_ = mc.conn.Close()
 	mc.st.detach(mc)
@@ -269,66 +354,155 @@ func (mc *muxConn) fail(err error) {
 }
 
 // reactor is the demultiplexing read loop: it frames replies off the
-// connection, matches each to its pending entry by request id, and
-// completes the caller's channel. Replies bearing unknown ids — stale
-// answers to abandoned invocations, or corruption — are counted and
-// dropped without wedging the stream. The reactor exits when the
-// connection dies, failing whatever is still in flight.
+// connection into pooled refcounted buffers, matches each to its pending
+// entry by request id, and completes the caller's channel with the reply
+// payload still aliasing the arrival frame — the frame reference transfers
+// to the caller on a successful complete, and the bytes are not copied on
+// this path. Replies bearing unknown ids — stale answers to abandoned
+// invocations, or corruption — are counted, released, and dropped without
+// wedging the stream. The reactor exits when the connection dies, failing
+// whatever is still in flight.
 func (mc *muxConn) reactor() {
-	fr := giop.NewFrameReader(mc.conn, uint32(mc.cl.maxMsg))
+	defer mc.fr.Close()
 	var rep giop.Reply
 	var loc giop.LocateReply
 	for {
-		h, body, err := fr.Next()
+		h, fb, err := mc.fr.NextFrame()
 		if err != nil {
 			mc.readFailed(err)
 			return
 		}
-		switch h.Type {
-		case giop.MsgReply:
-			if err := giop.DecodeReply(h.Order, body, &rep); err != nil {
-				mc.readFailed(err)
-				return
-			}
-			if rep.TraceID != 0 {
-				// The reply carried the server's span for a trace we opened:
-				// record it so the client flight recorder holds the full
-				// stitched round trip.
-				telemetry.Record(telemetry.EvNetRecv, clientReplyLabel, rep.TraceID, rep.SpanID, uint64(len(body)))
-			}
-			pe, ok := mc.take(rep.RequestID)
-			if !ok {
-				muxStaleDropTotal.Inc()
-				continue
-			}
-			mc.noteOrder(rep.RequestID)
-			mc.brkSuccess()
-			if !pe.complete(replyResult(&rep)) {
-				muxStaleDropTotal.Inc()
-			}
-		case giop.MsgLocateReply:
-			if err := giop.DecodeLocateReply(h.Order, body, &loc); err != nil {
-				mc.readFailed(err)
-				return
-			}
-			pe, ok := mc.take(loc.RequestID)
-			if !ok || !pe.locate {
-				muxStaleDropTotal.Inc()
-				continue
-			}
-			mc.noteOrder(loc.RequestID)
-			mc.brkSuccess()
-			if !pe.complete(invokeResult{here: loc.Status == giop.LocateObjectHere}) {
-				muxStaleDropTotal.Inc()
-			}
-		case giop.MsgCloseConnection:
-			mc.fail(fmt.Errorf("orb client: %w", corba.ErrClosed))
+		if _, _, fatal := mc.handleFrame(h, fb, &rep, &loc, nil); fatal {
 			return
-		default:
-			// A request-direction or unknown message on the reply stream is
-			// a protocol violation; the connection cannot be trusted.
-			mc.fail(fmt.Errorf("orb client: unexpected %v message", h.Type))
-			return
+		}
+	}
+}
+
+// handleFrame demultiplexes one inbound frame: decode, match, complete.
+// own, when non-nil, is the reading caller's entry (leader/follower mode):
+// if the frame resolves it, the result is returned directly with mine=true
+// instead of taking the completion-channel rendezvous. fatal reports that
+// the frame killed the connection (fail has run; every tabled entry,
+// including own, completes with the error).
+func (mc *muxConn) handleFrame(h giop.Header, fb *giop.FrameBuf, rep *giop.Reply, loc *giop.LocateReply, own *muxPending) (res invokeResult, mine, fatal bool) {
+	switch h.Type {
+	case giop.MsgReply:
+		if err := giop.DecodeReply(h.Order, fb.Body(), rep); err != nil {
+			fb.Release()
+			mc.readFailed(err)
+			return invokeResult{}, false, true
+		}
+		if rep.TraceID != 0 {
+			// The reply carried the server's span for a trace we opened:
+			// record it so the client flight recorder holds the full
+			// stitched round trip.
+			telemetry.Record(telemetry.EvNetRecv, clientReplyLabel, rep.TraceID, rep.SpanID, uint64(len(fb.Body())))
+		}
+		pe, ok := mc.take(rep.RequestID)
+		if !ok {
+			fb.Release()
+			muxStaleDropTotal.Inc()
+			return invokeResult{}, false, false
+		}
+		mc.noteOrder(rep.RequestID)
+		mc.brkSuccess()
+		return mc.deliver(pe, replyResult(rep, fb), own)
+	case giop.MsgLocateReply:
+		err := giop.DecodeLocateReply(h.Order, fb.Body(), loc)
+		fb.Release() // locate results carry no payload view
+		if err != nil {
+			mc.readFailed(err)
+			return invokeResult{}, false, true
+		}
+		pe, ok := mc.take(loc.RequestID)
+		if !ok || !pe.locate {
+			muxStaleDropTotal.Inc()
+			return invokeResult{}, false, false
+		}
+		mc.noteOrder(loc.RequestID)
+		mc.brkSuccess()
+		return mc.deliver(pe, invokeResult{here: loc.Status == giop.LocateObjectHere}, own)
+	case giop.MsgCloseConnection:
+		fb.Release()
+		mc.fail(fmt.Errorf("orb client: %w", corba.ErrClosed))
+		return invokeResult{}, false, true
+	default:
+		// A request-direction or unknown message on the reply stream is
+		// a protocol violation; the connection cannot be trusted.
+		fb.Release()
+		mc.fail(fmt.Errorf("orb client: unexpected %v message", h.Type))
+		return invokeResult{}, false, true
+	}
+}
+
+// deliver completes a taken entry. The leader's own entry short-circuits:
+// the result is returned to the caller directly, skipping the channel
+// rendezvous (the entry is moved to done by CAS so cancellation and failure
+// paths observe a consistent state).
+func (mc *muxConn) deliver(pe *muxPending, r invokeResult, own *muxPending) (invokeResult, bool, bool) {
+	if pe == own {
+		if pe.state.CompareAndSwap(pendingArmed, pendingDone) {
+			return r, true, false
+		}
+		// A racing completion already committed (connection failer): its
+		// result is the entry's fate; this frame reference never transferred.
+		r.release()
+		return <-pe.done, true, false
+	}
+	if !pe.complete(r) {
+		// The caller cancelled between take and complete: the frame
+		// reference never transferred.
+		r.release()
+		muxStaleDropTotal.Inc()
+	}
+	return invokeResult{}, false, false
+}
+
+// lead runs the caller-as-leader demux loop: the caller holds the token and
+// reads frames, completing other callers' entries, until its own reply
+// arrives or its invoke deadline expires. Exactly one token exists per
+// connection; every exit path returns it to leaderCh (cap 1, never blocks).
+// recycle reports whether pe may be recycled (false when the entry was
+// cancelled on deadline expiry and abandoned to the collector).
+func (mc *muxConn) lead(pe *muxPending, deadline time.Time) (res invokeResult, recycle bool) {
+	cl := mc.cl
+	var rep giop.Reply
+	var loc giop.LocateReply
+	for {
+		if !deadline.IsZero() {
+			if rd, ok := mc.conn.(readDeadliner); ok {
+				_ = rd.SetReadDeadline(deadline)
+			}
+		}
+		h, fb, err := mc.fr.NextFrame()
+		if err != nil {
+			if !deadline.IsZero() && errors.Is(err, os.ErrDeadlineExceeded) && !mc.dead.Load() {
+				// Our own invoke deadline fired while leading. The resumable
+				// FrameReader kept any partial frame; the connection stays up.
+				// Hand the token to the next waiter, then resolve our entry
+				// the same way a timed-out follower would.
+				mc.leaderCh <- struct{}{}
+				if cl.cancelPending(pe) {
+					invokeTimeoutTotal.Inc()
+					return invokeResult{err: fmt.Errorf("%w: no reply within %v", ErrDeadlineExceeded, cl.invokeTimeout())}, false
+				}
+				return <-pe.done, true
+			}
+			mc.fr.Close()
+			mc.readFailed(err)
+			mc.leaderCh <- struct{}{}
+			// fail completed every tabled entry — ours included.
+			return <-pe.done, true
+		}
+		res, mine, fatal := mc.handleFrame(h, fb, &rep, &loc, pe)
+		if fatal {
+			mc.fr.Close()
+			mc.leaderCh <- struct{}{}
+			return <-pe.done, true
+		}
+		if mine {
+			mc.leaderCh <- struct{}{}
+			return res, true
 		}
 	}
 }
@@ -368,18 +542,23 @@ func (mc *muxConn) readFailed(err error) {
 	mc.fail(fmt.Errorf("orb client: read: %w", mc.cl.mapWireErr(wireErr("read", mc.cl.addr, err))))
 }
 
-// replyResult maps a decoded GIOP reply to the caller-visible result,
-// copying the payload out of the reactor's scratch buffer (which the next
-// frame will overwrite).
-func replyResult(rep *giop.Reply) invokeResult {
+// replyResult maps a decoded GIOP reply to the caller-visible result. A
+// successful reply's payload still aliases the arrival frame; the frame
+// reference rides the result to the caller, who releases it after copying
+// the payload out (Invoke) or finishing with the view (InvokeView).
+// Exception replies format their message — a copy — and the frame is
+// released here.
+func replyResult(rep *giop.Reply, fb *giop.FrameBuf) invokeResult {
 	switch rep.Status {
 	case giop.ReplyNoException:
-		out := make([]byte, len(rep.Payload))
-		copy(out, rep.Payload)
-		return invokeResult{payload: out}
+		return invokeResult{payload: rep.Payload, frame: fb}
 	case giop.ReplyUserException:
-		return invokeResult{err: fmt.Errorf("%w: %s", corba.ErrUserException, rep.Payload)}
+		err := fmt.Errorf("%w: %s", corba.ErrUserException, rep.Payload)
+		fb.Release()
+		return invokeResult{err: err}
 	default:
-		return invokeResult{err: fmt.Errorf("%w: %s", corba.ErrSystemException, rep.Payload)}
+		err := fmt.Errorf("%w: %s", corba.ErrSystemException, rep.Payload)
+		fb.Release()
+		return invokeResult{err: err}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +46,41 @@ type ServerConfig struct {
 	// vectored write per connection. Nil disables coalescing; SendWidth is
 	// ignored (reply concurrency is Concurrency).
 	Coalesce *CoalesceConfig
+	// Shards moves request demultiplexing off the per-connection reader
+	// goroutines onto a fixed pool of dispatch shards: each connection is
+	// hashed to one shard at accept time (so per-connection FIFO order is
+	// preserved) and its reader only frames bytes, handing whole frames to
+	// the shard for priority peeking and port dispatch. This removes the
+	// one-goroutine-per-connection dispatch ceiling when many connections
+	// multiplex onto few cores. Zero keeps dispatch inline on the reader
+	// (the pre-shard behaviour); AutoShards sizes the pool to GOMAXPROCS;
+	// explicit positive values are honoured as given (tests pin 1/2/8).
+	Shards int
+}
+
+// AutoShards selects a GOMAXPROCS-bounded shard count for
+// ServerConfig.Shards and ClientConfig.ReactorShards.
+const AutoShards = -1
+
+// maxShards bounds explicit shard counts.
+const maxShards = 64
+
+// resolveShards maps a Shards knob to a concrete count: 0 stays 0 (inline),
+// AutoShards becomes GOMAXPROCS, and anything else clamps to [1, maxShards].
+func resolveShards(n int) int {
+	if n == 0 {
+		return 0
+	}
+	if n == AutoShards {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
 }
 
 // DefaultConcurrency is the per-connection request-processing width used
@@ -80,6 +116,32 @@ type Server struct {
 	repPool     *memory.ScopePool
 	concurrency int
 	coalesce    *CoalesceConfig // nil unless ServerConfig.Coalesce was set
+
+	// shards is the dispatch pool (empty = inline dispatch on the reader);
+	// shardWg tracks its goroutines and gauges their telemetry handles.
+	shards  []*dispatchShard
+	shardWg sync.WaitGroup
+	gauges  []*telemetry.GaugeHandle
+}
+
+// dispatchShard is one dispatch lane: connections hashed to it enqueue
+// framed requests on ch; its goroutine runs the GetMessage → priority peek →
+// port Send sequence that the reader loop would otherwise run inline. The
+// channel is bounded, so a shard that falls behind parks its readers — the
+// same wire-level backpressure the inline path gets from OverflowBlock.
+type dispatchShard struct {
+	ch         chan inbound
+	dispatched atomic.Int64
+}
+
+// inbound is one framed request travelling reader → shard. The frame
+// reference travels with it: the shard's dispatch either hands it to a
+// pooled message (released on recycle) or releases it on a failed dispatch.
+type inbound struct {
+	sc   *serverConn
+	toRP *core.OutPort
+	h    giop.Header
+	fb   *giop.FrameBuf
 }
 
 // serverConn is the per-connection state owned by a Transport instance.
@@ -87,6 +149,10 @@ type serverConn struct {
 	conn transport.Conn
 	wmu  sync.Mutex // serialises reply writes (uncoalesced path)
 	co   *coalescer // nil unless ServerConfig.Coalesce was set
+	// shard is the dispatch shard this connection hashed to at accept time
+	// (nil = inline dispatch). Fixed per connection, so one connection's
+	// requests dispatch in arrival order regardless of shard count.
+	shard *dispatchShard
 }
 
 // write sends one framed message: through the reply coalescer when
@@ -171,9 +237,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		co := cfg.Coalesce.withDefaults()
 		srv.coalesce = &co
 	}
+	if n := resolveShards(cfg.Shards); n > 0 {
+		for i := 0; i < n; i++ {
+			sh := &dispatchShard{ch: make(chan inbound, 2*concurrency)}
+			srv.shards = append(srv.shards, sh)
+			srv.shardWg.Add(1)
+			go srv.shardLoop(sh)
+			srv.gauges = append(srv.gauges, telemetry.Default.RegisterGauge(
+				"shard_dispatched", fmt.Sprintf("orb.server.shard%d", i),
+				func() int64 { return sh.dispatched.Load() }))
+		}
+	}
 
 	ln, err := cfg.Network.Listen(cfg.Addr)
 	if err != nil {
+		srv.stopShards()
 		app.Stop()
 		return nil, err
 	}
@@ -192,11 +270,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	})
 	if err != nil {
 		ln.Close()
+		srv.stopShards()
 		app.Stop()
 		return nil, err
 	}
 	if err := app.Start(); err != nil {
 		ln.Close()
+		srv.stopShards()
 		app.Stop()
 		return nil, err
 	}
@@ -205,6 +285,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	h, err := app.Component("ORB").SMM().Connect("POA")
 	if err != nil {
 		ln.Close()
+		srv.stopShards()
 		app.Stop()
 		return nil, err
 	}
@@ -300,15 +381,21 @@ func (s *Server) acceptLoop() {
 // addConnection builds the per-connection Transport component (a scoped
 // child of the POA) and pins it open for the connection's lifetime.
 func (s *Server) addConnection(conn transport.Conn) error {
+	seq := s.connSeq.Add(1)
 	sc := &serverConn{conn: conn}
 	if s.coalesce != nil {
 		sc.co = newCoalescer(conn, *s.coalesce, nil)
+	}
+	if n := len(s.shards); n > 0 {
+		// Fixed connection→shard assignment: one connection's requests all
+		// dispatch through one lane, preserving their arrival order.
+		sc.shard = s.shards[int((seq-1)%uint64(n))]
 	}
 	s.mu.Lock()
 	s.conns = append(s.conns, sc)
 	s.mu.Unlock()
 
-	name := fmt.Sprintf("Transport%d", s.connSeq.Add(1))
+	name := fmt.Sprintf("Transport%d", seq)
 	if err := s.poa.DefineChild(core.ChildDef{
 		Name:       name,
 		MemorySize: int64(8*s.maxMsg + 32768),
@@ -342,6 +429,9 @@ func (s *Server) transportSetup(sc *serverConn) func(*core.Component) error {
 			Name:       "RequestProcessing",
 			MemorySize: s.rpSize,
 			UsePool:    s.usePool,
+			// Pure-declaration Setup: the shell is revived across requests,
+			// only the scoped area cycles.
+			Reusable: true,
 			Setup: func(rp *core.Component) error {
 				// Concurrency pool workers dispatch requests side by side;
 				// the bounded buffer plus OverflowBlock turns "queue full"
@@ -374,15 +464,21 @@ func (s *Server) transportSetup(sc *serverConn) func(*core.Component) error {
 }
 
 // readLoop frames inbound GIOP messages and relays each into the
-// RequestProcessing scope through the component port. Requests dispatch
+// RequestProcessing scope through the component port. Frames are read
+// directly into pooled, refcounted buffers (giop.AcquireFrame) and the
+// request bytes are never copied again: the dispatched message's raw slice
+// aliases the frame, and the frame reference is released when the pooled
+// message is recycled after its handler returns. Requests dispatch
 // concurrently (up to the configured Concurrency) and each reply goes out
 // under the connection's write lock as its servant finishes — out of order
 // when completions cross — while the demultiplexing client matches them
-// back to callers by request id.
+// back to callers by request id. With shards configured, the reader only
+// frames bytes; the connection's dispatch shard runs the peek-and-send.
 func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 	fr := giop.NewFrameReader(sc.conn, uint32(s.maxMsg))
+	defer fr.Close()
 	for {
-		h, body, err := fr.Next()
+		h, fb, err := fr.NextFrame()
 		if err != nil {
 			// EOF and closed-pipe are normal teardown; anything else —
 			// a peer vanishing mid-frame, a short read, an over-limit
@@ -396,27 +492,16 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 		}
 		switch h.Type {
 		case giop.MsgRequest:
-			msg, err := toRP.GetMessage()
-			if err != nil {
-				// Pool exhausted: apply backpressure by dropping the
-				// connection, the hard-real-time stance on overload.
-				sc.conn.Close()
-				return
+			if sc.shard != nil {
+				// Hand the frame (and its reference) to the connection's
+				// dispatch lane. The bounded channel is the backpressure:
+				// a full lane parks this reader, which stops reading the
+				// socket. Shard channels outlive every reader (Close drains
+				// them only after the readers exit), so the send is safe.
+				sc.shard.ch <- inbound{sc: sc, toRP: toRP, h: h, fb: fb}
+				continue
 			}
-			m := msg.(*requestMsg)
-			m.setRaw(body)
-			m.order = h.Order
-			m.conn = sc
-			// Dispatch at the priority the client stamped on the request, so
-			// a high-priority invocation overtakes queued lower ones instead
-			// of waiting behind the arrival order.
-			prio := sched.NormPriority
-			if p, ok := giop.PeekRequestPriority(h.Order, body); ok {
-				if cand := sched.Priority(p); cand.Valid() {
-					prio = cand
-				}
-			}
-			if err := toRP.Send(msg, prio); err != nil {
+			if !s.dispatch(sc, toRP, h, fb) {
 				sc.conn.Close()
 				return
 			}
@@ -424,7 +509,9 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 			// Locate is a transport-level probe; answer on the reader
 			// thread without entering the component structure.
 			var req giop.LocateRequest
-			if err := giop.DecodeLocateRequest(h.Order, body, &req); err != nil {
+			err := giop.DecodeLocateRequest(h.Order, fb.Body(), &req)
+			if err != nil {
+				fb.Release()
 				sc.conn.Close()
 				return
 			}
@@ -432,11 +519,12 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 			if _, ok := s.servant(req.ObjectKey); ok {
 				status = giop.LocateObjectHere
 			}
+			fb.Release() // req.ObjectKey is dead past this point
 			wb := giop.GetBuffer()
 			wb.B = giop.MarshalLocateReply(wb.B, h.Order, &giop.LocateReply{
 				RequestID: req.RequestID, Status: status,
 			})
-			err := sc.write(wb.B)
+			err = sc.write(wb.B)
 			giop.PutBuffer(wb)
 			if err != nil {
 				if !cleanClose(err) {
@@ -446,12 +534,71 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 				return
 			}
 		case giop.MsgCloseConnection:
+			fb.Release()
 			sc.conn.Close()
 			return
 		default:
 			// Ignore other message types.
+			fb.Release()
 		}
 	}
+}
+
+// stopShards closes the dispatch lanes, waits the shard goroutines out, and
+// unregisters their gauges. Callers must guarantee no reader can still send
+// into a lane (no readers were ever started, or wg.Wait has returned).
+func (s *Server) stopShards() {
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.shardWg.Wait()
+	for _, g := range s.gauges {
+		g.Unregister()
+	}
+	s.shards, s.gauges = nil, nil
+}
+
+// shardLoop drains one dispatch lane until Close closes its channel (after
+// every reader goroutine has exited). A failed dispatch closes the offending
+// connection but keeps the lane serving its other connections.
+func (s *Server) shardLoop(sh *dispatchShard) {
+	defer s.shardWg.Done()
+	for in := range sh.ch {
+		if s.dispatch(in.sc, in.toRP, in.h, in.fb) {
+			sh.dispatched.Add(1)
+		} else {
+			in.sc.conn.Close()
+		}
+	}
+}
+
+// dispatch moves one framed request into the RequestProcessing port: it
+// takes ownership of the frame reference, handing it to the pooled message
+// on success (released when the message recycles) and releasing it on a
+// failed message grab. It reports false when the connection should drop —
+// pool exhaustion is answered with disconnection, the hard-real-time stance
+// on overload.
+func (s *Server) dispatch(sc *serverConn, toRP *core.OutPort, h giop.Header, fb *giop.FrameBuf) bool {
+	msg, err := toRP.GetMessage()
+	if err != nil {
+		fb.Release()
+		return false
+	}
+	m := msg.(*requestMsg)
+	m.setFrame(fb, h.Order)
+	m.conn = sc
+	// Dispatch at the priority the client stamped on the request, so a
+	// high-priority invocation overtakes queued lower ones instead of
+	// waiting behind the arrival order.
+	prio := sched.NormPriority
+	if p, ok := giop.PeekRequestPriority(h.Order, m.raw); ok {
+		if cand := sched.Priority(p); cand.Valid() {
+			prio = cand
+		}
+	}
+	// On a send error the enqueue path has already recycled the message
+	// (envelope completion runs Reset), releasing the frame reference with it.
+	return toRP.Send(msg, prio) == nil
 }
 
 // processRequest runs in the RequestProcessing component's scope: it
@@ -470,7 +617,7 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 	// the client can stitch the round trip.
 	var serverSpan uint64
 	var spanStart int64
-	if req.TraceID != 0 && telemetry.Enabled() {
+	if req.TraceID != 0 && telemetry.VerboseEnabled() {
 		serverSpan = telemetry.NewID()
 		telemetry.Record(telemetry.EvSpanStart, serverSpanLabel, req.TraceID, serverSpan, uint64(req.RequestID))
 		spanStart = telemetry.Now()
@@ -553,6 +700,11 @@ func (s *Server) Close() {
 		_ = sc.conn.Close()
 	}
 	s.wg.Wait()
+	// Readers are gone: no more sends into the dispatch lanes. Close them
+	// and let the shards drain what is queued (each queued frame is either
+	// dispatched — its reply write fails on the closed socket — or released
+	// by a failed dispatch) before the component application stops.
+	s.stopShards()
 	for i := len(handles) - 1; i >= 0; i-- {
 		handles[i].Disconnect()
 	}

@@ -1,0 +1,183 @@
+package orb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/corba"
+	"repro/internal/giop"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// shardCounts is the sweep every determinism test runs: the inline path,
+// a small shard pool, and a pool wider than GOMAXPROCS on CI machines.
+var shardCounts = []int{1, 2, 8}
+
+// TestShardSubmissionOrderPerBand pins the determinism contract sharding
+// must not break: requests from one connection land on one shard, so a
+// single submitter's requests are processed in submission order within each
+// priority band — at every shard count. Two bands are interleaved; each
+// band's sequence numbers must arrive strictly increasing.
+func TestShardSubmissionOrderPerBand(t *testing.T) {
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			net := transport.NewInproc()
+			srv := startEchoServer(t, net, "", ServerConfig{
+				Shards: shards,
+				// Inline dispatch on the shard goroutine: any cross-request
+				// reorder would be the shard's fault, not a worker pool's.
+				Synchronous: true,
+			})
+
+			var mu sync.Mutex
+			arrivals := map[sched.Priority][]uint64{}
+			srv.RegisterServant("order", corba.ServantFunc(func(op string, payload []byte) ([]byte, error) {
+				seq := binary.BigEndian.Uint64(payload[:8])
+				prio := sched.Priority(payload[8])
+				mu.Lock()
+				arrivals[prio] = append(arrivals[prio], seq)
+				mu.Unlock()
+				return nil, nil
+			}))
+
+			cl := dial(t, net, srv.Addr(), ClientConfig{ReactorShards: shards, Synchronous: true})
+
+			const perBand = 40
+			bands := []sched.Priority{sched.NormPriority, sched.MaxPriority - 1}
+			var payload [9]byte
+			for seq := 0; seq < perBand; seq++ {
+				for _, prio := range bands {
+					binary.BigEndian.PutUint64(payload[:8], uint64(seq))
+					payload[8] = byte(prio)
+					// Two-way invokes from one goroutine: each submission is
+					// acknowledged before the next, so arrival order at the
+					// servant is the submission order — unless a shard
+					// scrambled the connection's stream.
+					if _, err := cl.Invoke("order", "mark", payload[:], prio); err != nil {
+						t.Fatalf("seq %d prio %d: %v", seq, prio, err)
+					}
+				}
+			}
+
+			mu.Lock()
+			defer mu.Unlock()
+			for _, prio := range bands {
+				got := arrivals[prio]
+				if len(got) != perBand {
+					t.Fatalf("band %d: %d arrivals, want %d", prio, len(got), perBand)
+				}
+				for i, seq := range got {
+					if seq != uint64(i) {
+						t.Fatalf("band %d: arrival %d has seq %d; shard reordered the connection", prio, i, seq)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardStorm re-runs the 64-invoker storm at each shard count: replies
+// must land with their own callers and the pending tables must drain, with
+// both the client reactor and the server dispatch sharded.
+func TestShardStorm(t *testing.T) {
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			net := transport.NewInproc()
+			srv := startEchoServer(t, net, "", ServerConfig{Shards: shards, Concurrency: 8})
+			cl := dial(t, net, srv.Addr(), ClientConfig{
+				ReactorShards:   shards,
+				MsgPoolCapacity: 256,
+				PipelineDepth:   128,
+			})
+
+			const invokers = 64
+			const perInvoker = 10
+			var wg sync.WaitGroup
+			errs := make([]error, invokers)
+			for i := 0; i < invokers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for j := 0; j < perInvoker; j++ {
+						payload := []byte(fmt.Sprintf("invoker-%d-call-%d", i, j))
+						got, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+						if err != nil {
+							errs[i] = fmt.Errorf("call %d: %w", j, err)
+							return
+						}
+						if !bytes.Equal(got, payload) {
+							errs[i] = fmt.Errorf("call %d: cross-talk: got %q want %q", j, got, payload)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("invoker %d: %v", i, err)
+				}
+			}
+			if got := cl.Inflight(); got != 0 {
+				t.Errorf("inflight = %d after storm drained", got)
+			}
+			if n, err := srv.App().Errors(); n != 0 {
+				t.Errorf("server handler errors: %d (%v)", n, err)
+			}
+		})
+	}
+}
+
+// TestShardConnDeathFailsOnce re-runs the connection-death contract at each
+// reactor shard count: all pending callers fail, the pending segments drain,
+// and the breaker counts the wire event once, not once per victim.
+func TestShardConnDeathFailsOnce(t *testing.T) {
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			net := transport.NewInproc()
+			rs := newRawServer(t, net)
+			const callers = 8
+			rs.serve(func(conn transport.Conn) {
+				for i := 0; i < callers; i++ {
+					if _, req := readRequest(t, conn); req == nil {
+						return
+					}
+				}
+				hdr := giop.MarshalReply(nil, giop.BigEndian, &giop.Reply{RequestID: 1})
+				conn.Write(hdr[:6])
+				conn.Close()
+			})
+			cl := dial(t, net, rs.addr, ClientConfig{
+				ReactorShards: shards,
+				Resilience:    &ResilienceConfig{BreakerThreshold: 2, MaxRetries: 0},
+			})
+
+			var wg sync.WaitGroup
+			errs := make([]error, callers)
+			for i := 0; i < callers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, errs[i] = cl.Invoke("echo", "echo", []byte("doomed"), sched.NormPriority)
+				}(i)
+			}
+			wg.Wait()
+
+			for i, err := range errs {
+				if err == nil {
+					t.Errorf("caller %d: expected a wire error, got success", i)
+				}
+			}
+			if got := cl.Inflight(); got != 0 {
+				t.Errorf("inflight = %d after connection death", got)
+			}
+			if st := cl.stripes[0].brk.State(); st != breakerClosed {
+				t.Errorf("breaker state = %d after one wire event", st)
+			}
+		})
+	}
+}

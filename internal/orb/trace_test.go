@@ -15,6 +15,8 @@ import (
 // carried over the wire in the GIOP service context), and the reply receipt
 // that stitches the server span back into the client's recorder.
 func TestInvokeProducesStitchedTrace(t *testing.T) {
+	telemetry.Verbose(true)
+	defer telemetry.Verbose(false)
 	net := transport.NewInproc()
 	srv := startEchoServer(t, net, "", ServerConfig{})
 	cl := dial(t, net, srv.Addr(), ClientConfig{})

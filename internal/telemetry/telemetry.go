@@ -51,6 +51,21 @@ func Enable(on bool) { enabled.Store(on) }
 // Enabled reports whether event recording is on.
 func Enabled() bool { return enabled.Load() }
 
+// verbose gates the highest-frequency flight-recorder events: per-port
+// send/dispatch records, invocation spans, and wire-read events. These cost
+// around a microsecond per round trip in aggregate — visible against a
+// ~10µs invocation — so steady-state deployments leave them off and keep
+// the cheaper state-change events, counters, and histograms. Deadline
+// enforcement does not depend on this flag.
+var verbose atomic.Bool
+
+// Verbose toggles per-hop event recording (spans, per-port send/dispatch,
+// wire reads). Off by default; Enable(true) alone keeps them off.
+func Verbose(on bool) { verbose.Store(on) }
+
+// VerboseEnabled reports whether per-hop event recording is on.
+func VerboseEnabled() bool { return verbose.Load() && enabled.Load() }
+
 // ---------------------------------------------------------------------------
 // IDs
 
@@ -370,6 +385,15 @@ func (r *Registry) Ring() *Ring { return r.ring }
 // stores into a preallocated slot.
 func Record(kind EventKind, label LabelID, trace, span, arg uint64) {
 	if enabled.Load() {
+		Default.ring.Record(kind, label, trace, span, arg)
+	}
+}
+
+// RecordVerbose drops an event only when both recording and verbose mode
+// are on. Hot paths that fire on every message hop use this instead of
+// Record, so the steady-state cost is one atomic load.
+func RecordVerbose(kind EventKind, label LabelID, trace, span, arg uint64) {
+	if verbose.Load() && enabled.Load() {
 		Default.ring.Record(kind, label, trace, span, arg)
 	}
 }
