@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 allocguard zerocopy-guard chaos
+.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 bench5 allocguard zerocopy-guard chaos
 
 all: build
 
@@ -41,14 +41,16 @@ verify: vet build race bench-smoke zerocopy-guard
 
 # chaos is the resilience gate: the fault-injection suite — seeded fault
 # network, circuit breaker, reconnect/retry, deadline teardown, overload
-# shedding, transport error-chain parity, and the demux-reactor edge cases
+# shedding, transport error-chain parity, the demux-reactor edge cases
 # (stale replies, out-of-order completion, mid-flight connection death, the
-# 64-invoker storm) — under the race detector. Every fault schedule in
-# these tests is seeded, so failures replay.
+# 64-invoker storm), and the cluster failover soak (kill one of three
+# replicas under load: >=99% success, zero breaker trips, the re-added
+# member takes traffic again) — under the race detector. Every fault
+# schedule in these tests is seeded, so failures replay.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux' \
-		./internal/fault/ ./internal/orb/ ./internal/core/ ./internal/sched/ ./internal/transport/
+		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux|Cluster|Replica' \
+		./internal/fault/ ./internal/orb/ ./internal/core/ ./internal/sched/ ./internal/transport/ ./internal/cluster/ ./internal/deploy/
 
 # bench1 regenerates BENCH_1.json, the checked-in snapshot of the Fig. 11
 # grid and the dispatch-path latency/allocation numbers.
@@ -72,3 +74,10 @@ bench3:
 # sweep, and per-op copy accounting for Invoke vs InvokeView.
 bench4:
 	$(GO) run ./cmd/benchharness -experiment bench4 -warmup 200 -observations 2000 -out BENCH_4.json
+
+# bench5 regenerates BENCH_5.json, the cluster-failover snapshot: three
+# replicas under sustained load with one member killed and re-added
+# mid-run, recording per-phase goodput/p99, the failover gap, breaker
+# trips (must be 0), and the re-added member's traffic.
+bench5:
+	$(GO) run ./cmd/benchharness -experiment bench5 -out BENCH_5.json

@@ -14,6 +14,7 @@ import (
 // dispatch-path numbers the fast-path work is judged by. Durations are
 // nanoseconds so the file diffs cleanly across runs.
 type bench1Snapshot struct {
+	Meta         benchMeta         `json:"meta"`
 	Observations int               `json:"observations"`
 	Warmup       int               `json:"warmup"`
 	Fig11        []bench1Fig11Cell `json:"fig11"`
@@ -47,7 +48,7 @@ type bench1SteadyState struct {
 }
 
 func runBench1(warmup, obs int, outPath string) error {
-	snap := bench1Snapshot{Observations: obs, Warmup: warmup}
+	snap := bench1Snapshot{Meta: currentBenchMeta(), Observations: obs, Warmup: warmup}
 
 	fmt.Printf("== BENCH_1 snapshot: Fig. 11 grid + dispatch path ==\n")
 	fmt.Printf("   (%d observations after %d warm-up iterations)\n\n", obs, warmup)

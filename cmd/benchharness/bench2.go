@@ -25,6 +25,7 @@ import (
 // keep the whole pool busy. Durations are nanoseconds so the file diffs
 // cleanly across runs.
 type bench2Snapshot struct {
+	Meta           benchMeta     `json:"meta"`
 	Observations   int           `json:"observations_per_level"`
 	Warmup         int           `json:"warmup"`
 	PayloadBytes   int           `json:"payload_bytes"`
@@ -81,6 +82,7 @@ func runBench2(warmup, obs int, outPath string) error {
 	defer cl.Close()
 
 	snap := bench2Snapshot{
+		Meta:         currentBenchMeta(),
 		Observations: obs, Warmup: warmup,
 		PayloadBytes: payloadBytes, ServiceDelayNs: int64(serviceDelay),
 	}

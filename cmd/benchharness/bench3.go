@@ -28,6 +28,7 @@ import (
 // with adaptive coalescing on at both ends. Durations are nanoseconds so
 // the file diffs cleanly across runs.
 type bench3Snapshot struct {
+	Meta         benchMeta      `json:"meta"`
 	Observations int            `json:"observations_per_level"`
 	Warmup       int            `json:"warmup"`
 	PayloadBytes int            `json:"payload_bytes"`
@@ -132,6 +133,7 @@ func runBench3(warmup, obs int, outPath string) error {
 
 	const payloadBytes = 256
 	snap := bench3Snapshot{
+		Meta:         currentBenchMeta(),
 		Observations: obs, Warmup: warmup, PayloadBytes: payloadBytes,
 		PerWriteNs: int64(bench3WireCost),
 	}

@@ -36,6 +36,7 @@ import (
 //
 // Durations are nanoseconds so the file diffs cleanly across runs.
 type bench4Snapshot struct {
+	Meta         benchMeta        `json:"meta"`
 	Observations int              `json:"observations"`
 	Warmup       int              `json:"warmup"`
 	GOMAXPROCS   int              `json:"gomaxprocs"`
@@ -82,6 +83,7 @@ func runBench4(warmup, obs int, outPath string) error {
 	fmt.Printf("   (%d observations after %d warm-up iterations)\n\n", obs, warmup)
 
 	snap := bench4Snapshot{
+		Meta:         currentBenchMeta(),
 		Observations: obs, Warmup: warmup,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}

@@ -9,6 +9,7 @@
 //	benchharness -experiment bench2      # BENCH_2.json snapshot (pipelined concurrency sweep)
 //	benchharness -experiment bench3      # BENCH_3.json snapshot (coalescing + striping sweep)
 //	benchharness -experiment bench4      # BENCH_4.json snapshot (zero-copy path + shard sweep)
+//	benchharness -experiment bench5      # BENCH_5.json snapshot (cluster failover under load)
 //	benchharness -experiment chaos       # resilient invocation under seeded fault injection
 //	benchharness -experiment all
 //
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | bench2 | bench3 | bench4 | chaos | all")
+		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | bench2 | bench3 | bench4 | bench5 | chaos | all")
 		obs        = flag.Int("observations", metrics.DefaultObservations, "steady-state observations per configuration")
 		warmup     = flag.Int("warmup", metrics.DefaultWarmup, "warm-up iterations discarded before measuring")
 		out        = flag.String("out", "", "output path for the bench1/bench2/bench3 snapshot (default BENCH_<n>.json)")
@@ -101,6 +102,11 @@ func run(experiment string, warmup, obs int, out string, seed uint64) error {
 			out = "BENCH_4.json"
 		}
 		return runBench4(warmup, obs, out)
+	case "bench5":
+		if out == "" {
+			out = "BENCH_5.json"
+		}
+		return runBench5(warmup, obs, out)
 	case "chaos":
 		return runChaos(warmup, obs, seed)
 	case "all":

@@ -1,0 +1,21 @@
+package main
+
+import "runtime"
+
+// benchMeta stamps every BENCH_*.json snapshot with the runtime conditions
+// it was measured under, so a regression diff can tell a code change from a
+// host change.
+type benchMeta struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+// currentBenchMeta captures the running process's conditions.
+func currentBenchMeta() benchMeta {
+	return benchMeta{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+}

@@ -11,6 +11,12 @@
 //   - <UsePool> selects drawing the instance's area from the scope pool of
 //     its level.
 //   - <Persistent> keeps the instance alive across quiescence.
+//   - <Node> on a top-level instance assigns it to a deployment node (the
+//     DUECA-style placement the paper's deployment model intends); instances
+//     without a Node share the default node.
+//   - <Replicas> on a top-level instance runs its node as that many
+//     independent server processes backing the same exported ports (a
+//     replicated server group; see package deploy and internal/cluster).
 package ccl
 
 import (
@@ -74,8 +80,17 @@ type Instance struct {
 	MemorySize   int64         `xml:"MemorySize,omitempty"`
 	UsePool      bool          `xml:"UsePool,omitempty"`
 	Persistent   bool          `xml:"Persistent,omitempty"`
-	Connection   Connection    `xml:"Connection"`
-	Children     []Instance    `xml:"Component"`
+	// Node places a top-level instance (and its whole subtree) on a named
+	// deployment node; empty selects the default node. Only legal at the top
+	// level — children deploy with their root.
+	Node string `xml:"Node,omitempty"`
+	// Replicas runs the instance's node as that many independent processes
+	// (a replicated server group). Zero or one means unreplicated; values
+	// above one require the compiler to find an exported port to reach the
+	// group through. Only legal at the top level.
+	Replicas   int        `xml:"Replicas,omitempty"`
+	Connection Connection `xml:"Connection"`
+	Children   []Instance `xml:"Component"`
 }
 
 // Connection groups an instance's port specifications.
@@ -229,6 +244,24 @@ func (inst *Instance) validate(level int, names map[string]bool) error {
 		return fmt.Errorf("%w: duplicate instance name %q", ErrValidation, inst.InstanceName)
 	}
 	names[inst.InstanceName] = true
+
+	if level != 0 {
+		if inst.Node != "" {
+			return fmt.Errorf("%w: nested instance %q declares a Node; placement is per top-level instance",
+				ErrValidation, inst.InstanceName)
+		}
+		if inst.Replicas != 0 {
+			return fmt.Errorf("%w: nested instance %q declares Replicas; replication is per top-level instance",
+				ErrValidation, inst.InstanceName)
+		}
+	}
+	if inst.Replicas < 0 {
+		return fmt.Errorf("%w: instance %q: negative Replicas", ErrValidation, inst.InstanceName)
+	}
+	if strings.ContainsAny(inst.Node, "./ ") {
+		return fmt.Errorf("%w: instance %q: node name %q contains illegal characters",
+			ErrValidation, inst.InstanceName, inst.Node)
+	}
 
 	switch inst.Type {
 	case Immortal:

@@ -123,6 +123,10 @@ func TestValidationErrors(t *testing.T) {
 		{"bad pool level", wrap(`<Component><InstanceName>A</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType></Component><RTSJAttributes><ScopedPool><ScopeLevel>0</ScopeLevel><ScopeSize>10</ScopeSize><PoolSize>1</PoolSize></ScopedPool></RTSJAttributes>`)},
 		{"duplicate pool level", wrap(`<Component><InstanceName>A</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType></Component><RTSJAttributes><ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>10</ScopeSize><PoolSize>1</PoolSize></ScopedPool><ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>10</ScopeSize><PoolSize>1</PoolSize></ScopedPool></RTSJAttributes>`)},
 		{"zero pool size", wrap(`<Component><InstanceName>A</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType></Component><RTSJAttributes><ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>0</ScopeSize><PoolSize>1</PoolSize></ScopedPool></RTSJAttributes>`)},
+		{"nested node", wrap(`<Component><InstanceName>A</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType><Component><InstanceName>B</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><MemorySize>10</MemorySize><Node>n1</Node></Component></Component>`)},
+		{"nested replicas", wrap(`<Component><InstanceName>A</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType><Component><InstanceName>B</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><MemorySize>10</MemorySize><Replicas>2</Replicas></Component></Component>`)},
+		{"negative replicas", wrap(`<Component><InstanceName>A</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType><Replicas>-1</Replicas></Component>`)},
+		{"illegal node name", wrap(`<Component><InstanceName>A</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType><Node>a b</Node></Component>`)},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

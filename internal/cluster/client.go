@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/transport"
+)
+
+// ClientConfig parameterises a replica-group client.
+type ClientConfig struct {
+	// Network carries both the directory exchange and the invocations.
+	Network transport.Network
+	// Directory is the address of a directory endpoint (an orb.Server with a
+	// Directory attached) answering Locate probes for Group.
+	Directory string
+	// Group is the group key to resolve, conventionally
+	// remote.PortKey("Instance.Port").
+	Group string
+	// Channels is the stripe count; orb.DialClient raises it to at least the
+	// member count so every replica gets a stripe. Zero lets the member
+	// count decide.
+	Channels int
+	// Resilience tunes retries/breakers. Nil selects the defaults
+	// (&orb.ResilienceConfig{}: 3 retries, breaker threshold 5) — a cluster
+	// client without retries cannot fail over transparently, so unlike
+	// orb.ClientConfig the zero value opts IN to supervision.
+	Resilience *orb.ResilienceConfig
+	// RefreshInterval re-resolves the group periodically and retargets
+	// stripes on membership change, healing re-added members without
+	// waiting for a dial failure. Zero disables the refresher (failover
+	// still works through the dial-failure Resolve path).
+	RefreshInterval time.Duration
+	// MaxMessage bounds a reply body; zero selects orb.DefaultMaxMessage.
+	MaxMessage int
+	// Coalesce and ReactorShards pass through to the underlying orb client.
+	Coalesce      *orb.CoalesceConfig
+	ReactorShards int
+}
+
+// Client is an orb.Client bound to a replica group instead of one server:
+// membership comes from a Directory, stripes spread across the members, a
+// dead member's stripes fail over through re-resolution, and the optional
+// refresher heals re-added members back into rotation. All orb.Client
+// methods (Invoke, InvokeIdempotent, ...) are promoted unchanged.
+type Client struct {
+	*orb.Client
+	network   transport.Network
+	directory string
+	group     string
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// Dial resolves the group at the directory and connects a replica-aware
+// client to the members.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("cluster: config needs a Network")
+	}
+	if cfg.Directory == "" || cfg.Group == "" {
+		return nil, fmt.Errorf("cluster: config needs a Directory address and a Group key")
+	}
+	members, err := Resolve(cfg.Network, cfg.Directory, cfg.Group)
+	if err != nil {
+		return nil, err
+	}
+	res := cfg.Resilience
+	if res == nil {
+		res = &orb.ResilienceConfig{}
+	}
+	ocl, err := orb.DialClient(orb.ClientConfig{
+		Network: cfg.Network,
+		Addrs:   members,
+		Resolve: func() ([]string, error) {
+			return Resolve(cfg.Network, cfg.Directory, cfg.Group)
+		},
+		Channels:      cfg.Channels,
+		Resilience:    res,
+		MaxMessage:    cfg.MaxMessage,
+		Coalesce:      cfg.Coalesce,
+		ReactorShards: cfg.ReactorShards,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial group %q: %w", cfg.Group, err)
+	}
+	c := &Client{
+		Client:    ocl,
+		network:   cfg.Network,
+		directory: cfg.Directory,
+		group:     cfg.Group,
+		stop:      make(chan struct{}),
+	}
+	if cfg.RefreshInterval > 0 {
+		c.wg.Add(1)
+		go c.refresher(cfg.RefreshInterval)
+	}
+	return c, nil
+}
+
+// refresher periodically re-resolves the group and retargets stripes when
+// the membership changed. This is the heal-forward path: a member re-added
+// to the directory starts receiving stripes within one interval, without
+// waiting for a survivor to die first.
+func (c *Client) refresher(every time.Duration) {
+	defer c.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			members, err := Resolve(c.network, c.directory, c.group)
+			if err != nil || len(members) == 0 {
+				continue // transient: keep the current membership
+			}
+			if sameMembers(c.Members(), members) {
+				continue
+			}
+			c.Retarget(members)
+		}
+	}
+}
+
+// Refresh re-resolves the group once and retargets immediately — the manual
+// counterpart of the refresher tick, for tests and operator tooling.
+func (c *Client) Refresh() error {
+	members, err := Resolve(c.network, c.directory, c.group)
+	if err != nil {
+		return err
+	}
+	if !sameMembers(c.Members(), members) {
+		c.Retarget(members)
+	}
+	return nil
+}
+
+// Group returns the group key this client resolves.
+func (c *Client) Group() string { return c.group }
+
+// Close stops the refresher and closes the underlying client.
+func (c *Client) Close() {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	c.Client.Close()
+}
+
+// MemberLoad aggregates the stripes targeting one member.
+type MemberLoad struct {
+	// Stripes is how many stripes currently target the member.
+	Stripes int
+	// Live is how many of those hold a live connection.
+	Live int
+	// Inflight is the member's total in-flight invocations.
+	Inflight int64
+	// Sent is the member's cumulative invocation count.
+	Sent int64
+}
+
+// MemberLoads folds StripeStates by target address — the per-replica gauge
+// a failover test (or dashboard) reads to prove a re-added member actually
+// receives traffic.
+func (c *Client) MemberLoads() map[string]MemberLoad {
+	out := make(map[string]MemberLoad)
+	for _, st := range c.StripeStates() {
+		ml := out[st.Addr]
+		ml.Stripes++
+		if st.Live {
+			ml.Live++
+		}
+		ml.Inflight += st.Inflight
+		ml.Sent += st.Sent
+		out[st.Addr] = ml
+	}
+	return out
+}
+
+// sameMembers compares two address lists as sets.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

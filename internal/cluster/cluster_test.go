@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corba"
+	"repro/internal/orb"
+	"repro/internal/remote"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// testGroup is the group key the test replicas serve, using the remote-port
+// convention the deployment layer follows.
+var testGroup = remote.PortKey("Echo.In")
+
+// startReplica runs an orb server at addr serving the test group's echo
+// servant — one member of the replica group.
+func startReplica(t *testing.T, net transport.Network, addr string) *orb.Server {
+	t.Helper()
+	srv, err := orb.NewServer(orb.ServerConfig{Network: net, Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterServant(testGroup, corba.EchoServant{})
+	srv.ServeBackground()
+	t.Cleanup(srv.Close)
+	testServers.Store(addr, srv)
+	return srv
+}
+
+// testServers tracks started replicas by address: inproc networks have no
+// process handles, so tests that kill a replica look its server up here.
+var testServers sync.Map // addr -> *orb.Server
+
+func serverAt(t *testing.T, addr string) *orb.Server {
+	t.Helper()
+	v, ok := testServers.Load(addr)
+	if !ok {
+		t.Fatalf("no test server registered at %q", addr)
+	}
+	return v.(*orb.Server)
+}
+
+// startDirectory runs a directory endpoint preloaded with members.
+func startDirectory(t *testing.T, net transport.Network, addr string, members ...string) (*Directory, *orb.Server) {
+	t.Helper()
+	srv, err := orb.NewServer(orb.ServerConfig{Network: net, Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := NewDirectory()
+	dir.Set(testGroup, members...)
+	dir.Attach(srv)
+	srv.ServeBackground()
+	t.Cleanup(srv.Close)
+	return dir, srv
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClusterDirectory(t *testing.T) {
+	d := NewDirectory()
+	if got := d.Members("g"); len(got) != 0 {
+		t.Errorf("empty directory members = %v", got)
+	}
+	d.Set("g", "a", "b")
+	d.Add("g", "c")
+	d.Add("g", "b") // duplicate: no-op
+	if got := d.Members("g"); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("members = %v, want [a b c]", got)
+	}
+	d.Remove("g", "b")
+	d.Remove("g", "nope") // absent: no-op
+	if got := d.Members("g"); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("members after remove = %v, want [a c]", got)
+	}
+	d.Set("h", "x")
+	if got := d.Groups(); len(got) != 2 || got[0] != "g" || got[1] != "h" {
+		t.Errorf("groups = %v, want [g h]", got)
+	}
+
+	fwd := d.Forwarder()
+	if got := fwd([]byte("nope")); got != nil {
+		t.Errorf("forwarder(unknown) = %v, want nil", got)
+	}
+	got := fwd([]byte("g"))
+	if len(got) != 2 {
+		t.Fatalf("forwarder(g) = %v", got)
+	}
+	got[0] = "mutated"
+	if d.Members("g")[0] != "a" {
+		t.Error("forwarder returned the directory's own slice")
+	}
+}
+
+func TestClusterResolve(t *testing.T) {
+	net := transport.NewInproc()
+	_, dsrv := startDirectory(t, net, "dir", "m0", "m1", "m2")
+
+	members, err := Resolve(net, dsrv.Addr(), testGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 || members[0] != "m0" || members[2] != "m2" {
+		t.Errorf("resolved members = %v", members)
+	}
+
+	// A servant hosted on the probed endpoint itself answers Here and
+	// resolves to the endpoint's own address.
+	rep := startReplica(t, net, "solo")
+	if members, err = Resolve(net, rep.Addr(), testGroup); err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0] != "solo" {
+		t.Errorf("co-hosted resolve = %v, want [solo]", members)
+	}
+
+	// Unknown group: the directory answers Unknown.
+	if _, err = Resolve(net, dsrv.Addr(), "port:Nope.In"); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("unknown group err = %v, want ErrUnknownGroup", err)
+	}
+
+	// Unreachable directory.
+	if _, err = Resolve(net, "nowhere", testGroup); err == nil {
+		t.Error("resolve against no listener succeeded")
+	}
+}
+
+func TestClusterDialErrors(t *testing.T) {
+	net := transport.NewInproc()
+	if _, err := Dial(ClientConfig{Directory: "d", Group: "g"}); err == nil {
+		t.Error("dial without network succeeded")
+	}
+	if _, err := Dial(ClientConfig{Network: net, Group: "g"}); err == nil {
+		t.Error("dial without directory succeeded")
+	}
+	if _, err := Dial(ClientConfig{Network: net, Directory: "nowhere", Group: "g"}); err == nil {
+		t.Error("dial against no directory succeeded")
+	}
+
+	_, dsrv := startDirectory(t, net, "dir") // group registered but empty
+	if _, err := Dial(ClientConfig{Network: net, Directory: dsrv.Addr(), Group: testGroup}); err == nil {
+		t.Error("dial against empty group succeeded")
+	}
+}
+
+func TestClusterInvokeSpreadsMembers(t *testing.T) {
+	net := transport.NewInproc()
+	for _, addr := range []string{"m0", "m1", "m2"} {
+		startReplica(t, net, addr)
+	}
+	_, dsrv := startDirectory(t, net, "dir", "m0", "m1", "m2")
+
+	c, err := Dial(ClientConfig{
+		Network: net, Directory: dsrv.Addr(), Group: testGroup, Channels: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Group() != testGroup {
+		t.Errorf("group = %q", c.Group())
+	}
+
+	payload := []byte("spread me")
+	for i := 0; i < 96; i++ {
+		prio := sched.MinPriority + sched.Priority(i%31)
+		got, err := c.Invoke(testGroup, "echo", payload, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("echo = %q", got)
+		}
+	}
+	loads := c.MemberLoads()
+	for _, m := range []string{"m0", "m1", "m2"} {
+		if loads[m].Stripes != 2 {
+			t.Errorf("member %s stripes = %d, want 2 (6 channels / 3 members)", m, loads[m].Stripes)
+		}
+		if loads[m].Sent == 0 {
+			t.Errorf("member %s received no traffic: %+v", m, loads)
+		}
+	}
+}
+
+// TestClusterFailoverSoak is the acceptance soak: three replicas under
+// sustained concurrent load, one killed mid-flight. At least 99% of
+// invocations must succeed, the breaker must never open, and after the
+// member is re-added it must demonstrably receive traffic again.
+func TestClusterFailoverSoak(t *testing.T) {
+	net := transport.NewInproc()
+	for _, addr := range []string{"m0", "m1", "m2"} {
+		startReplica(t, net, addr)
+	}
+	dir, dsrv := startDirectory(t, net, "dir", "m0", "m1", "m2")
+
+	c, err := Dial(ClientConfig{
+		Network: net, Directory: dsrv.Addr(), Group: testGroup, Channels: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 8
+	var (
+		ok, failed, breakerTrips atomic.Int64
+		stop                     atomic.Bool
+		wg                       sync.WaitGroup
+	)
+	payload := bytes.Repeat([]byte("x"), 64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prio := sched.MinPriority + sched.Priority(w%31)
+			for !stop.Load() {
+				_, err := c.InvokeIdempotent(testGroup, "echo", payload, prio)
+				if err == nil {
+					ok.Add(1)
+					continue
+				}
+				failed.Add(1)
+				if errors.Is(err, orb.ErrCircuitOpen) {
+					breakerTrips.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Let the load establish, then kill m1: membership first (so failing
+	// stripes resolve to survivors), then the process.
+	waitFor(t, "warm-up traffic", func() bool { return ok.Load() > 200 })
+	dir.Remove(testGroup, "m1")
+	serverAt(t, "m1").Close()
+
+	// Soak through the failover window, then re-add the member and confirm
+	// it heals back into rotation via the manual refresh path.
+	waitFor(t, "post-kill traffic", func() bool { return ok.Load() > 2000 })
+	startReplica(t, net, "m1")
+	dir.Add(testGroup, "m1")
+	if err := c.Refresh(); err != nil {
+		t.Fatalf("refresh after re-add: %v", err)
+	}
+	sentBefore := c.MemberLoads()["m1"].Sent
+	waitFor(t, "re-added member traffic", func() bool {
+		return c.MemberLoads()["m1"].Sent > sentBefore
+	})
+
+	stop.Store(true)
+	wg.Wait()
+
+	total := ok.Load() + failed.Load()
+	if trips := breakerTrips.Load(); trips != 0 {
+		t.Errorf("breaker opened %d times during failover", trips)
+	}
+	if rate := float64(ok.Load()) / float64(total); rate < 0.99 {
+		t.Errorf("success rate %.4f (%d/%d), want >= 0.99", rate, ok.Load(), total)
+	}
+	// The invoke that bumped m1's Sent dialed it; that stripe's connection
+	// stays live. (Other m1 stripes may still be lazily undialed.)
+	if m1 := c.MemberLoads()["m1"]; m1.Live == 0 {
+		t.Errorf("no live stripe on the re-added member: %+v", m1)
+	}
+}
+
+// TestClusterRefresherHealsReaddedMember exercises the background refresher:
+// no explicit Refresh call — the ticker notices the directory change and
+// retargets on its own.
+func TestClusterRefresherHealsReaddedMember(t *testing.T) {
+	net := transport.NewInproc()
+	for _, addr := range []string{"m0", "m1"} {
+		startReplica(t, net, addr)
+	}
+	dir, dsrv := startDirectory(t, net, "dir", "m0", "m1")
+
+	c, err := Dial(ClientConfig{
+		Network: net, Directory: dsrv.Addr(), Group: testGroup, Channels: 4,
+		RefreshInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	invokeAll := func() error {
+		var last error
+		for i := 0; i < 16; i++ {
+			prio := sched.MinPriority + sched.Priority(i%31)
+			if _, err := c.InvokeIdempotent(testGroup, "echo", []byte("hi"), prio); err != nil {
+				last = err
+			}
+		}
+		return last
+	}
+	if err := invokeAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop m1 from the directory; the refresher should pull its stripes
+	// over to m0 without any invocation failing against it first.
+	dir.Remove(testGroup, "m1")
+	waitFor(t, "stripes drained off removed member", func() bool {
+		return c.MemberLoads()["m1"].Stripes == 0
+	})
+
+	// Re-add; the refresher must spread stripes back.
+	dir.Add(testGroup, "m1")
+	waitFor(t, "stripes returned to re-added member", func() bool {
+		return c.MemberLoads()["m1"].Stripes > 0
+	})
+	sentBefore := c.MemberLoads()["m1"].Sent
+	waitFor(t, "re-added member traffic", func() bool {
+		if err := invokeAll(); err != nil {
+			t.Logf("invoke during heal: %v", err)
+		}
+		return c.MemberLoads()["m1"].Sent > sentBefore
+	})
+}

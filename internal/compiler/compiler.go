@@ -136,6 +136,13 @@ type Plan struct {
 	// are empty for single-process applications. See package deploy.
 	RemoteConnections []RemoteConnection
 	Exports           []Export
+	// Nodes is the placement plan (placement.go): one entry per deployment
+	// node, document order; a single default-node entry when the CCL
+	// declares no placement. ReplicatedExports maps a replicated node's
+	// exported ports ("Instance.Port") to its replica count — the groups a
+	// deployment's directory serves.
+	Nodes             []*NodePlan
+	ReplicatedExports map[string]int
 }
 
 // Compile validates app against defs and produces the assembly plan.
@@ -238,6 +245,11 @@ func Compile(defs *cdl.Definitions, app *ccl.Application) (*Plan, error) {
 
 	// Pass 4: derive per-port plans and check mediator consistency.
 	if err := p.buildPortPlans(); err != nil {
+		return nil, err
+	}
+
+	// Pass 5: placement — node plans, cross-node legality, replica groups.
+	if err := p.buildPlacement(); err != nil {
 		return nil, err
 	}
 	return p, nil

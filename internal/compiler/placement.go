@@ -1,0 +1,160 @@
+// Placement planning: the deployment half of the compiler. A CCL document
+// may assign top-level instances to named nodes (<Node>) and replicate a
+// node's process (<Replicas>), the way DUECA's configuration script assigns
+// modules to nodes. The compiler validates that the composition respects the
+// placement — a local connection cannot span nodes; a replicated node must be
+// reachable through an exported port — and the Plan then yields per-node
+// sub-plans that package deploy runs as independent processes.
+
+package compiler
+
+import "fmt"
+
+// NodePlan is the placement of one deployment node: the top-level instances
+// assigned to it and how many replica processes run it.
+type NodePlan struct {
+	// Node is the node name; empty is the default node.
+	Node string
+	// Replicas is how many independent processes run this node's
+	// composition; 1 when unreplicated.
+	Replicas int
+	// Instances lists the node's top-level instance names, document order.
+	Instances []string
+}
+
+// buildPlacement derives the node plans and the replicated-export map, and
+// validates that connections respect the placement. Runs after the port
+// plans, so exports and connections are fully resolved.
+func (p *Plan) buildPlacement() error {
+	byNode := make(map[string]*NodePlan)
+	declared := make(map[string]int)
+	for _, name := range p.Order {
+		ip := p.Instances[name]
+		if ip.Parent != "" {
+			continue
+		}
+		node := ip.Inst.Node
+		np := byNode[node]
+		if np == nil {
+			np = &NodePlan{Node: node, Replicas: 1}
+			byNode[node] = np
+			p.Nodes = append(p.Nodes, np)
+		}
+		np.Instances = append(np.Instances, name)
+		if r := ip.Inst.Replicas; r > 1 {
+			if prev, ok := declared[node]; ok && prev != r {
+				return fmt.Errorf("%w: node %q declares both %d and %d replicas; one count per node",
+					ErrCompile, node, prev, r)
+			}
+			declared[node] = r
+			np.Replicas = r
+		}
+	}
+
+	// Local connections (internal, external, shadow) ride scoped memory and
+	// component buffers; they cannot cross a process boundary. Remote links
+	// are the only legal inter-node edges.
+	for _, c := range p.Connections {
+		fn, tn := p.nodeOf(c.FromInstance), p.nodeOf(c.ToInstance)
+		if fn != tn {
+			return fmt.Errorf("%w: connection %s.%s -> %s.%s spans nodes %q and %q; cross-node traffic needs a Remote link",
+				ErrCompile, c.FromInstance, c.FromPort, c.ToInstance, c.ToPort, fn, tn)
+		}
+	}
+
+	// A replicated node is only reachable through its exported ports: each
+	// becomes a group entry in ReplicatedExports (qualified name -> replica
+	// count) for the deployment layer's directory.
+	for _, np := range p.Nodes {
+		if np.Replicas <= 1 {
+			continue
+		}
+		found := false
+		for _, ex := range p.Exports {
+			if p.nodeOf(ex.Instance) != np.Node {
+				continue
+			}
+			found = true
+			if p.ReplicatedExports == nil {
+				p.ReplicatedExports = make(map[string]int)
+			}
+			p.ReplicatedExports[ex.Instance+"."+ex.Port] = np.Replicas
+		}
+		if !found {
+			return fmt.Errorf("%w: node %q declares %d replicas but exports no port; a replica group without an export is unreachable",
+				ErrCompile, np.Node, np.Replicas)
+		}
+	}
+	return nil
+}
+
+// nodeOf returns the node an instance deploys on: the Node of its top-level
+// ancestor.
+func (p *Plan) nodeOf(inst string) string {
+	ip := p.Instances[inst]
+	for ip.Parent != "" {
+		ip = p.Instances[ip.Parent]
+	}
+	return ip.Inst.Node
+}
+
+// Node returns the plan for the named node, or nil.
+func (p *Plan) Node(name string) *NodePlan {
+	for _, np := range p.Nodes {
+		if np.Node == name {
+			return np
+		}
+	}
+	return nil
+}
+
+// SubPlan extracts the slice of the composition deployed on node as an
+// independently assemblable Plan: the node's instances (plans shared,
+// read-only, with the parent), the connections joining them, their exports,
+// and the Remote links originating there. The sub-plan's placement is the
+// single node itself, so deploying a sub-plan never recurses.
+func (p *Plan) SubPlan(node string) (*Plan, error) {
+	np := p.Node(node)
+	if np == nil {
+		return nil, fmt.Errorf("%w: unknown node %q", ErrCompile, node)
+	}
+	sub := &Plan{
+		AppName:   p.AppName,
+		RTSJ:      p.RTSJ,
+		Defs:      p.Defs,
+		Instances: make(map[string]*InstancePlan),
+		Nodes:     []*NodePlan{{Node: np.Node, Replicas: np.Replicas, Instances: np.Instances}},
+	}
+	if node != "" {
+		sub.AppName = p.AppName + "@" + node
+	}
+	for _, name := range p.Order {
+		if p.nodeOf(name) != node {
+			continue
+		}
+		sub.Order = append(sub.Order, name)
+		sub.Instances[name] = p.Instances[name]
+	}
+	for _, c := range p.Connections {
+		if p.nodeOf(c.FromInstance) == node {
+			sub.Connections = append(sub.Connections, c)
+		}
+	}
+	for _, rc := range p.RemoteConnections {
+		if p.nodeOf(rc.FromInstance) == node {
+			sub.RemoteConnections = append(sub.RemoteConnections, rc)
+		}
+	}
+	for _, ex := range p.Exports {
+		if p.nodeOf(ex.Instance) == node {
+			sub.Exports = append(sub.Exports, ex)
+			if n, ok := p.ReplicatedExports[ex.Instance+"."+ex.Port]; ok {
+				if sub.ReplicatedExports == nil {
+					sub.ReplicatedExports = make(map[string]int)
+				}
+				sub.ReplicatedExports[ex.Instance+"."+ex.Port] = n
+			}
+		}
+	}
+	return sub, nil
+}

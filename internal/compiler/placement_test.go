@@ -1,0 +1,195 @@
+package compiler
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// placedApp spreads two top-level instances over two nodes: a replicated
+// server node exporting Kid-less Parent's In port, and a client node holding
+// a Remote link toward it.
+const placedApp = `
+<Application>
+  <ApplicationName>Placed</ApplicationName>
+  <Component>
+    <InstanceName>Srv</InstanceName>
+    <ClassName>Parent</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Node>backend</Node>
+    <Replicas>3</Replicas>
+    <Connection>
+      <Port>
+        <PortName>fromChild</PortName>
+        <Exported>true</Exported>
+      </Port>
+    </Connection>
+  </Component>
+  <Component>
+    <InstanceName>Cli</InstanceName>
+    <ClassName>Parent</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Node>frontend</Node>
+    <Connection>
+      <Port>
+        <PortName>toChild</PortName>
+        <Link>
+          <PortType>Remote</PortType>
+          <ToComponent>Srv</ToComponent><ToPort>fromChild</ToPort>
+          <RemoteAddr>backend:9000</RemoteAddr>
+        </Link>
+      </Port>
+    </Connection>
+  </Component>
+</Application>`
+
+func TestCompilePlacement(t *testing.T) {
+	plan, err := Compile(mustDefs(t), mustApp(t, placedApp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Nodes) != 2 {
+		t.Fatalf("nodes = %+v, want backend and frontend", plan.Nodes)
+	}
+	be, fe := plan.Node("backend"), plan.Node("frontend")
+	if be == nil || be.Replicas != 3 || len(be.Instances) != 1 || be.Instances[0] != "Srv" {
+		t.Errorf("backend plan = %+v", be)
+	}
+	if fe == nil || fe.Replicas != 1 || len(fe.Instances) != 1 || fe.Instances[0] != "Cli" {
+		t.Errorf("frontend plan = %+v", fe)
+	}
+	if plan.Node("nowhere") != nil {
+		t.Error("unknown node lookup returned non-nil")
+	}
+	if n := plan.ReplicatedExports["Srv.fromChild"]; n != 3 {
+		t.Errorf("ReplicatedExports = %v, want Srv.fromChild -> 3", plan.ReplicatedExports)
+	}
+
+	sub, err := plan.SubPlan("backend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.AppName != "Placed@backend" {
+		t.Errorf("sub-plan app name = %q", sub.AppName)
+	}
+	if len(sub.Order) != 1 || sub.Order[0] != "Srv" || sub.Instances["Srv"] == nil {
+		t.Errorf("sub-plan order = %v", sub.Order)
+	}
+	if len(sub.Exports) != 1 || sub.Exports[0].Instance != "Srv" {
+		t.Errorf("sub-plan exports = %+v", sub.Exports)
+	}
+	if len(sub.RemoteConnections) != 0 {
+		t.Errorf("backend sub-plan carries the client's remote link: %+v", sub.RemoteConnections)
+	}
+	if n := sub.ReplicatedExports["Srv.fromChild"]; n != 3 {
+		t.Errorf("sub-plan ReplicatedExports = %v", sub.ReplicatedExports)
+	}
+
+	cliSub, err := plan.SubPlan("frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cliSub.RemoteConnections) != 1 || cliSub.RemoteConnections[0].FromInstance != "Cli" {
+		t.Errorf("frontend sub-plan remotes = %+v", cliSub.RemoteConnections)
+	}
+	if len(cliSub.Exports) != 0 {
+		t.Errorf("frontend sub-plan exports = %+v", cliSub.Exports)
+	}
+
+	if _, err := plan.SubPlan("nowhere"); err == nil {
+		t.Error("SubPlan of unknown node succeeded")
+	}
+}
+
+// TestCompileDefaultPlacement compiles a document with no Node declarations
+// and expects one default-node plan holding everything, with no replica
+// groups.
+func TestCompileDefaultPlacement(t *testing.T) {
+	plan, err := Compile(mustDefs(t), mustApp(t, parentChildApp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Nodes) != 1 || plan.Nodes[0].Node != "" || plan.Nodes[0].Replicas != 1 {
+		t.Fatalf("default placement = %+v", plan.Nodes)
+	}
+	if got := plan.Nodes[0].Instances; len(got) != 1 || got[0] != "Top" {
+		t.Errorf("default node instances = %v", got)
+	}
+	if plan.ReplicatedExports != nil {
+		t.Errorf("unreplicated plan has groups: %v", plan.ReplicatedExports)
+	}
+	sub, err := plan.SubPlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.AppName != "PC" || len(sub.Order) != len(plan.Order) || len(sub.Connections) != len(plan.Connections) {
+		t.Errorf("default sub-plan differs from plan: %+v", sub)
+	}
+}
+
+// TestCompilePlacementErrors covers the placement-specific rejections.
+func TestCompilePlacementErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{
+			name: "cross-node local link",
+			doc: `
+<Application>
+  <ApplicationName>X</ApplicationName>
+  <Component>
+    <InstanceName>A</InstanceName><ClassName>Parent</ClassName><ComponentType>Immortal</ComponentType>
+    <Node>n1</Node>
+    <Connection>
+      <Port>
+        <PortName>toChild</PortName>
+        <Link><PortType>External</PortType><ToComponent>B</ToComponent><ToPort>fromChild</ToPort></Link>
+      </Port>
+    </Connection>
+  </Component>
+  <Component>
+    <InstanceName>B</InstanceName><ClassName>Parent</ClassName><ComponentType>Immortal</ComponentType>
+    <Node>n2</Node>
+  </Component>
+</Application>`,
+			want: "spans nodes",
+		},
+		{
+			name: "replicas without export",
+			doc: `
+<Application>
+  <ApplicationName>X</ApplicationName>
+  <Component>
+    <InstanceName>A</InstanceName><ClassName>Parent</ClassName><ComponentType>Immortal</ComponentType>
+    <Node>n1</Node><Replicas>2</Replicas>
+  </Component>
+</Application>`,
+			want: "exports no port",
+		},
+		{
+			name: "conflicting replica counts",
+			doc: `
+<Application>
+  <ApplicationName>X</ApplicationName>
+  <Component>
+    <InstanceName>A</InstanceName><ClassName>Parent</ClassName><ComponentType>Immortal</ComponentType>
+    <Node>n1</Node><Replicas>2</Replicas>
+    <Connection><Port><PortName>fromChild</PortName><Exported>true</Exported></Port></Connection>
+  </Component>
+  <Component>
+    <InstanceName>B</InstanceName><ClassName>Parent</ClassName><ComponentType>Immortal</ComponentType>
+    <Node>n1</Node><Replicas>3</Replicas>
+  </Component>
+</Application>`,
+			want: "one count per node",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(mustDefs(t), mustApp(t, tc.doc))
+			if err == nil || !errors.Is(err, ErrCompile) || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want ErrCompile containing %q", err, tc.want)
+			}
+		})
+	}
+}

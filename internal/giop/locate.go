@@ -1,8 +1,13 @@
 package giop
 
+import "fmt"
+
 // GIOP 1.0 LocateRequest/LocateReply: a lightweight existence probe for an
 // object key, used by clients to confirm a servant is reachable before
-// issuing requests.
+// issuing requests. A LocateObjectForward reply additionally carries the
+// forwarding-address list — the endpoints of the server group actually
+// hosting the object — which is how a group directory redirects clients to
+// live replicas (package cluster).
 
 // Locate status values (GIOP 1.0).
 const (
@@ -36,12 +41,22 @@ type LocateRequest struct {
 	ObjectKey []byte
 }
 
+// MaxForwardAddrs bounds the forwarding-address list of one LocateReply: a
+// hostile count above it is rejected before any allocation.
+const MaxForwardAddrs = 64
+
 // LocateReply answers a LocateRequest.
 type LocateReply struct {
 	// RequestID correlates the request.
 	RequestID uint32
 	// Status reports where the object is.
 	Status LocateStatus
+	// Forward lists the endpoints the client should contact instead; it
+	// rides the wire only when Status is LocateObjectForward. Replies with
+	// any other status marshal exactly as they always have (no body beyond
+	// the status), and a forward-status reply without a body decodes as an
+	// empty list.
+	Forward []string
 }
 
 // MarshalLocateRequest encodes a full LocateRequest message into buf, in
@@ -89,12 +104,19 @@ func MarshalLocateReply(buf []byte, order ByteOrder, rep *LocateReply) []byte {
 	e.Reset(order, buf)
 	e.WriteULong(rep.RequestID)
 	e.WriteULong(uint32(rep.Status))
+	if rep.Status == LocateObjectForward {
+		e.WriteULong(uint32(len(rep.Forward)))
+		for _, addr := range rep.Forward {
+			e.WriteString(addr)
+		}
+	}
 	buf = e.buf
 	patchSize(buf, start, order)
 	return buf
 }
 
-// DecodeLocateReply decodes a LocateReply body into rep.
+// DecodeLocateReply decodes a LocateReply body into rep. rep may be reused
+// across frames: Forward is reset on every call.
 func DecodeLocateReply(order ByteOrder, body []byte, rep *LocateReply) error {
 	d := Decoder{order: order, buf: body}
 	id, err := d.ReadULong()
@@ -107,6 +129,34 @@ func DecodeLocateReply(order ByteOrder, body []byte, rep *LocateReply) error {
 	}
 	rep.RequestID = id
 	rep.Status = LocateStatus(status)
+	rep.Forward = nil
+	if rep.Status != LocateObjectForward || d.Remaining() == 0 {
+		// Non-forward replies carry no body past the status; a bodiless
+		// forward reply (the pre-forwarding wire form) means an empty list.
+		return nil
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	// Hostile-length guard: reject counts past the hard bound or past what
+	// the remaining bytes could possibly hold (each address costs at least a
+	// ulong length prefix) before allocating anything.
+	if n > MaxForwardAddrs || int(n) > d.Remaining()/4 {
+		return fmt.Errorf("%w: forward count %d", ErrTruncated, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	fwd := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		addr, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		fwd = append(fwd, addr)
+	}
+	rep.Forward = fwd
 	return nil
 }
 

@@ -1,0 +1,160 @@
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// locateReplyBody marshals a LocateReply and returns just the body bytes the
+// demux reactor would hand to DecodeLocateReply.
+func locateReplyBody(t *testing.T, order ByteOrder, rep *LocateReply) []byte {
+	t.Helper()
+	wire := MarshalLocateReply(nil, order, rep)
+	if len(wire) <= HeaderSize {
+		t.Fatalf("marshalled locate reply too short: %d bytes", len(wire))
+	}
+	return wire[HeaderSize:]
+}
+
+func TestLocateReplyForwardRoundTrip(t *testing.T) {
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		for _, fwd := range [][]string{
+			nil,
+			{},
+			{"replica-0"},
+			{"node-a/0", "node-a/1", "10.0.0.7:9001"},
+		} {
+			rep := &LocateReply{RequestID: 42, Status: LocateObjectForward, Forward: fwd}
+			body := locateReplyBody(t, order, rep)
+			var got LocateReply
+			if err := DecodeLocateReply(order, body, &got); err != nil {
+				t.Fatalf("order %v fwd %v: decode: %v", order, fwd, err)
+			}
+			if got.RequestID != 42 || got.Status != LocateObjectForward {
+				t.Errorf("order %v: decoded header = %+v", order, got)
+			}
+			if len(got.Forward) != len(fwd) {
+				t.Fatalf("order %v: forward = %v, want %v", order, got.Forward, fwd)
+			}
+			for i := range fwd {
+				if got.Forward[i] != fwd[i] {
+					t.Errorf("order %v: forward[%d] = %q, want %q", order, i, got.Forward[i], fwd[i])
+				}
+			}
+		}
+	}
+}
+
+// Non-forward replies must marshal exactly as they did before the forwarding
+// body existed — byte for byte — even when a stale Forward list is set.
+func TestLocateReplyZeroForwardWireFormUnchanged(t *testing.T) {
+	for _, status := range []LocateStatus{LocateUnknownObject, LocateObjectHere} {
+		rep := &LocateReply{RequestID: 9, Status: status, Forward: []string{"ignored"}}
+		wire := MarshalLocateReply(nil, BigEndian, rep)
+
+		// The legacy form, built by hand: header + request id + status.
+		legacy := AppendHeader(nil, Header{Type: MsgLocateReply, Order: BigEndian})
+		var e Encoder
+		e.Reset(BigEndian, legacy)
+		e.WriteULong(9)
+		e.WriteULong(uint32(status))
+		legacy = e.buf
+		patchSize(legacy, 0, BigEndian)
+
+		if !bytes.Equal(wire, legacy) {
+			t.Errorf("status %v: wire form changed:\n got %x\nwant %x", status, wire, legacy)
+		}
+		var got LocateReply
+		if err := DecodeLocateReply(BigEndian, wire[HeaderSize:], &got); err != nil {
+			t.Fatalf("status %v: decode: %v", status, err)
+		}
+		if got.Forward != nil {
+			t.Errorf("status %v: forward = %v, want nil", status, got.Forward)
+		}
+	}
+}
+
+// A forward-status reply without a body (the pre-forwarding wire form)
+// decodes as an empty address list rather than an error.
+func TestLocateReplyLegacyForwardBody(t *testing.T) {
+	var e Encoder
+	e.Reset(BigEndian, nil)
+	e.WriteULong(7)
+	e.WriteULong(uint32(LocateObjectForward))
+	var got LocateReply
+	got.Forward = []string{"stale"}
+	if err := DecodeLocateReply(BigEndian, e.buf, &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.RequestID != 7 || got.Status != LocateObjectForward || got.Forward != nil {
+		t.Errorf("decoded = %+v, want empty forward", got)
+	}
+}
+
+// Every strict prefix of a forwarded reply body must fail with a decode
+// error, never panic or fabricate addresses (the peek_test truncation
+// discipline).
+func TestLocateReplyForwardTruncationSweep(t *testing.T) {
+	rep := &LocateReply{
+		RequestID: 3, Status: LocateObjectForward,
+		Forward: []string{"alpha", "beta-long-address", "g"},
+	}
+	body := locateReplyBody(t, LittleEndian, rep)
+	for n := 0; n < len(body); n++ {
+		var got LocateReply
+		err := DecodeLocateReply(LittleEndian, body[:n], &got)
+		switch {
+		case n < 8:
+			// Too short even for id + status.
+			if err == nil {
+				t.Errorf("prefix %d: decode succeeded, want error", n)
+			}
+		case n == 8:
+			// Exactly id + status: the legacy bodiless form, empty list.
+			if err != nil || len(got.Forward) != 0 {
+				t.Errorf("prefix %d: (%v, %v), want empty forward", n, got.Forward, err)
+			}
+		default:
+			// Count or an address cut off mid-encoding.
+			if err == nil {
+				t.Errorf("prefix %d: decode succeeded with forward %v, want error", n, got.Forward)
+			}
+		}
+	}
+}
+
+// Hostile counts — far beyond what the body could hold, or beyond the hard
+// bound — are rejected before any allocation happens.
+func TestLocateReplyForwardHostileCount(t *testing.T) {
+	build := func(count uint32) []byte {
+		var e Encoder
+		e.Reset(BigEndian, nil)
+		e.WriteULong(1)
+		e.WriteULong(uint32(LocateObjectForward))
+		e.WriteULong(count)
+		return e.buf
+	}
+	for _, count := range []uint32{3, 1000, MaxForwardAddrs + 1, 0xFFFFFFFF} {
+		var got LocateReply
+		err := DecodeLocateReply(BigEndian, build(count), &got)
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("count %d: err = %v, want ErrTruncated", count, err)
+		}
+	}
+	// Zero is an honest empty list, not hostile.
+	var got LocateReply
+	if err := DecodeLocateReply(BigEndian, build(0), &got); err != nil || len(got.Forward) != 0 {
+		t.Errorf("count 0: (%v, %v), want empty forward", got.Forward, err)
+	}
+	// A malformed string inside an honest count surfaces the string error.
+	var e Encoder
+	e.Reset(BigEndian, nil)
+	e.WriteULong(1)
+	e.WriteULong(uint32(LocateObjectForward))
+	e.WriteULong(1)
+	e.WriteULong(0) // zero-length string encoding is illegal CDR
+	if err := DecodeLocateReply(BigEndian, e.buf, &got); !errors.Is(err, ErrBadString) {
+		t.Errorf("zero-length string: err = %v, want ErrBadString", err)
+	}
+}

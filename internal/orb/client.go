@@ -28,6 +28,20 @@ type ClientConfig struct {
 	// Network and Addr locate the server.
 	Network transport.Network
 	Addr    string
+	// Addrs, when non-empty, lists the addresses of a replicated server
+	// group; stripes spread round-robin across the members (Channels is
+	// raised to at least len(Addrs) so every member gets a stripe) and Addr
+	// is ignored. The striped pool then balances across replicas the same
+	// way it balances across connections — P2C on in-flight count with
+	// per-stripe breakers — and a dead member's stripes fail over to the
+	// survivors (replica.go).
+	Addrs []string
+	// Resolve, when set, re-resolves the group membership: it is consulted
+	// (single-flight, rate-limited) when a stripe's dial target refuses the
+	// dial, and may be invoked any time via Retarget-driven refreshers. It
+	// returns the current member addresses; errors and empty lists leave the
+	// previous membership in place.
+	Resolve func() ([]string, error)
 	// Order selects the CDR byte order; BigEndian by default.
 	Order giop.ByteOrder
 	// MaxMessage bounds a reply body; zero selects DefaultMaxMessage.
@@ -115,6 +129,18 @@ type Client struct {
 	bandInflight [bandCount]atomic.Int64
 	rng          atomic.Uint64
 
+	// Replica-set state (replica.go): members is the current address list,
+	// resolve the optional re-resolution hook (guarded by resolveMu with a
+	// lastResolve rate limit so a burst of failing stripes triggers one
+	// directory round trip, not one each), retargetMu serialises Retarget
+	// sweeps, and rotate spreads failed-over stripes across survivors.
+	members     atomic.Pointer[[]string]
+	resolve     func() ([]string, error)
+	resolveMu   sync.Mutex
+	lastResolve int64
+	retargetMu  sync.Mutex
+	rotate      atomic.Uint32
+
 	// leaderFollower enables caller-driven demux: awaiting callers take
 	// turns holding a per-connection leader token and read replies
 	// themselves, so a round trip needs no reactor-to-caller rendezvous.
@@ -186,14 +212,20 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 
+	addrs := append([]string(nil), cfg.Addrs...)
+	if len(addrs) == 0 {
+		addrs = []string{cfg.Addr}
+	}
 	cl := &Client{
 		app:     app,
 		reqPool: reqPool,
 		maxMsg:  maxMsg,
 		order:   cfg.Order,
 		network: cfg.Network,
-		addr:    cfg.Addr,
+		addr:    addrs[0],
+		resolve: cfg.Resolve,
 	}
+	cl.members.Store(&addrs)
 	if cfg.Resilience != nil {
 		cl.res = newResilience(*cfg.Resilience)
 	}
@@ -204,6 +236,10 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	channels := cfg.Channels
 	if channels <= 0 {
 		channels = 1
+	}
+	if channels < len(addrs) {
+		// Every member of the replica set gets at least one stripe.
+		channels = len(addrs)
 	}
 	if channels > maxChannels {
 		channels = maxChannels
@@ -223,6 +259,7 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	}
 	for i := 0; i < channels; i++ {
 		st := &stripe{cl: cl, idx: i}
+		st.setTarget(addrs[i%len(addrs)])
 		if cl.res != nil {
 			cl.res.initBreaker(&st.brk)
 		}
@@ -353,7 +390,7 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 
 		tc.SetStart(func(p *core.Proc) error {
 			for _, st := range cl.stripes {
-				conn, err := cl.network.Dial(cl.addr)
+				conn, err := cl.network.Dial(st.target())
 				if err != nil {
 					if cl.res != nil {
 						// Supervised mode: leave this stripe's connection
@@ -364,7 +401,7 @@ func (cl *Client) transportSetup(threading core.Threading, mpSize int64, usePool
 						st.brk.Failure()
 						continue
 					}
-					return fmt.Errorf("orb client dial %q: %w", cl.addr, err)
+					return fmt.Errorf("orb client dial %q: %w", st.target(), err)
 				}
 				st.cur.Store(newMuxConn(st, conn))
 			}
@@ -856,33 +893,41 @@ func endSpan(trace, span uint64, started int64) {
 // must already be connected (issue any Invoke first, or rely on lazy
 // instantiation via a throwaway call).
 func (cl *Client) Locate(key string) (bool, error) {
+	here, _, err := cl.LocateEx(key)
+	return here, err
+}
+
+// LocateEx is Locate with the forwarding evidence: when the server answers
+// LocateObjectForward — a group directory redirecting the probe — fwd
+// carries the addresses of the group members actually hosting the object
+// (here is false; the probed server itself does not serve it).
+func (cl *Client) LocateEx(key string) (here bool, fwd []string, err error) {
 	if cl.closed.Load() {
-		return false, corba.ErrClosed
+		return false, nil, corba.ErrClosed
 	}
-	var here bool
-	_, err := cl.withRetry(func() ([]byte, error) {
+	_, err = cl.withRetry(func() ([]byte, error) {
 		var err error
-		here, err = cl.locateOnce(key)
+		here, fwd, err = cl.locateOnce(key)
 		return nil, err
 	})
-	return here, err
+	return here, fwd, err
 }
 
 // locateOnce performs one LocateRequest/LocateReply exchange through a
 // stripe's multiplexed connection (locate carries no priority; it routes
 // under the normal band).
-func (cl *Client) locateOnce(key string) (bool, error) {
+func (cl *Client) locateOnce(key string) (bool, []string, error) {
 	st, err := cl.pickStripe(sched.NormPriority)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	mc := st.cur.Load()
 	if mc == nil {
 		if cl.res == nil || cl.closed.Load() {
-			return false, fmt.Errorf("%w: transport not yet connected; invoke first", corba.ErrClosed)
+			return false, nil, fmt.Errorf("%w: transport not yet connected; invoke first", corba.ErrClosed)
 		}
 		if mc, err = st.conn(); err != nil {
-			return false, err
+			return false, nil, err
 		}
 	}
 	id := cl.nextID.Add(1)
@@ -894,7 +939,7 @@ func (cl *Client) locateOnce(key string) (bool, error) {
 		if err == nil {
 			err = corba.ErrClosed
 		}
-		return false, fmt.Errorf("orb client: locate: %w", err)
+		return false, nil, fmt.Errorf("orb client: locate: %w", err)
 	}
 	wb := giop.GetBuffer()
 	wb.B = giop.MarshalLocateRequest(wb.B, cl.order, &giop.LocateRequest{
@@ -905,9 +950,9 @@ func (cl *Client) locateOnce(key string) (bool, error) {
 	_ = err // a send failure completed the registered entry with the wire error
 	res := cl.await(pe)
 	if res.err != nil {
-		return false, fmt.Errorf("orb client: locate: %w", res.err)
+		return false, nil, fmt.Errorf("orb client: locate: %w", res.err)
 	}
-	return res.here, nil
+	return res.here, res.fwd, nil
 }
 
 // InvokeOneway sends a request without waiting for a reply. Oneways are

@@ -35,7 +35,10 @@ type invokeResult struct {
 	payload []byte
 	err     error
 	here    bool
-	frame   *giop.FrameBuf
+	// fwd is a LocateReply's forwarding-address list (LocateObjectForward):
+	// the members of the server group actually hosting the probed object.
+	fwd   []string
+	frame *giop.FrameBuf
 }
 
 // release drops the result's frame reference, if any.

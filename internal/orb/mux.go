@@ -274,6 +274,35 @@ func (mc *muxConn) take(id uint32) (*muxPending, bool) {
 	return pe, ok
 }
 
+// pending reports how many entries are still tabled on the connection.
+func (mc *muxConn) pending() int {
+	n := 0
+	for i := range mc.segs {
+		seg := &mc.segs[i]
+		seg.mu.Lock()
+		n += len(seg.m)
+		seg.mu.Unlock()
+	}
+	return n
+}
+
+// retire drains the connection out of service: it detaches from the stripe
+// immediately — the next invoke routed there dials the stripe's (new) target
+// — and closes in the background once the in-flight invocations drain,
+// bounded by grace. The eventual close is ErrClosed-classified, so retiring
+// a healthy connection during a Retarget never charges the stripe's breaker
+// and loses nothing that was already accepted onto the wire.
+func (mc *muxConn) retire(grace time.Duration) {
+	mc.st.detach(mc)
+	go func() {
+		deadline := time.Now().Add(grace)
+		for mc.pending() > 0 && !mc.dead.Load() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		mc.fail(fmt.Errorf("orb client: retired: %w", corba.ErrClosed))
+	}()
+}
+
 // send writes one request frame: through the coalescer when configured
 // (blocking until a vectored flush covers the frame), else directly under
 // the write lock. When the client has a per-invoke deadline configured the
@@ -421,7 +450,7 @@ func (mc *muxConn) handleFrame(h giop.Header, fb *giop.FrameBuf, rep *giop.Reply
 		}
 		mc.noteOrder(loc.RequestID)
 		mc.brkSuccess()
-		return mc.deliver(pe, invokeResult{here: loc.Status == giop.LocateObjectHere}, own)
+		return mc.deliver(pe, invokeResult{here: loc.Status == giop.LocateObjectHere, fwd: loc.Forward}, own)
 	case giop.MsgCloseConnection:
 		fb.Release()
 		mc.fail(fmt.Errorf("orb client: %w", corba.ErrClosed))

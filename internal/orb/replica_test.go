@@ -1,0 +1,182 @@
+package orb
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// sentByAddr folds StripeStates into per-member sent counts.
+func sentByAddr(cl *Client) map[string]int64 {
+	out := make(map[string]int64)
+	for _, ss := range cl.StripeStates() {
+		out[ss.Addr] += ss.Sent
+	}
+	return out
+}
+
+// TestReplicaStripesSpreadMembers dials a 2-member replica set and demands
+// both members carry traffic: stripes are assigned round-robin over Addrs,
+// and P2C keeps idle bands drifting between them.
+func TestReplicaStripesSpreadMembers(t *testing.T) {
+	net := transport.NewInproc()
+	startEchoServer(t, net, "r0", ServerConfig{Concurrency: 8})
+	startEchoServer(t, net, "r1", ServerConfig{Concurrency: 8})
+	cl := dial(t, net, "", ClientConfig{
+		Addrs: []string{"r0", "r1"}, Channels: 4, PipelineDepth: 32,
+	})
+
+	if len(cl.stripes) != 4 {
+		t.Fatalf("Channels=4 built %d stripes", len(cl.stripes))
+	}
+	for i, st := range cl.stripes {
+		want := []string{"r0", "r1"}[i%2]
+		if got := st.target(); got != want {
+			t.Errorf("stripe %d targets %q, want %q", i, got, want)
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for p := sched.MinPriority; p <= sched.MaxPriority; p++ {
+			payload := []byte(fmt.Sprintf("r%d-p%d", round, p))
+			got, err := cl.Invoke("echo", "echo", payload, p)
+			if err != nil {
+				t.Fatalf("round %d prio %d: %v", round, p, err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("round %d prio %d: got %q", round, p, got)
+			}
+		}
+	}
+	by := sentByAddr(cl)
+	if by["r0"] == 0 || by["r1"] == 0 {
+		t.Errorf("traffic split %v; both members should carry load", by)
+	}
+}
+
+// TestReplicaFailoverAndReadd is the member-death story at the orb layer:
+// with 3 replicas and a Resolve hook, killing one member must (a) keep every
+// invocation succeeding, (b) never open any stripe's breaker — the dead
+// connection is a clean close and the one failed redial is under threshold —
+// and (c) once the member is restarted and Retarget runs, it must receive
+// traffic again.
+func TestReplicaFailoverAndReadd(t *testing.T) {
+	net := transport.NewInproc()
+	addrs := []string{"m0", "m1", "m2"}
+	startEchoServer(t, net, "m0", ServerConfig{Concurrency: 8})
+	victim := startEchoServer(t, net, "m1", ServerConfig{Concurrency: 8})
+	startEchoServer(t, net, "m2", ServerConfig{Concurrency: 8})
+
+	var mu sync.Mutex
+	live := []string{"m0", "m1", "m2"}
+	setLive := func(a ...string) { mu.Lock(); live = a; mu.Unlock() }
+
+	cl := dial(t, net, "", ClientConfig{
+		Addrs:    addrs,
+		Channels: 3,
+		Resolve: func() ([]string, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]string(nil), live...), nil
+		},
+		Resilience: &ResilienceConfig{BreakerThreshold: 5, MaxRetries: 3},
+	})
+
+	invokeSweep := func(tag string) {
+		t.Helper()
+		for p := sched.MinPriority; p <= sched.MaxPriority; p++ {
+			payload := []byte(fmt.Sprintf("%s-p%d", tag, p))
+			got, err := cl.InvokeIdempotent("echo", "echo", payload, p)
+			if err != nil {
+				t.Fatalf("%s prio %d: %v", tag, p, err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("%s prio %d: got %q", tag, p, got)
+			}
+		}
+	}
+	invokeSweep("warmup")
+
+	// Kill m1. Its stripe's connection dies cleanly; the next invocation
+	// routed there redials, fails once, resolves, and lands on a survivor.
+	setLive("m0", "m2")
+	victim.Close()
+	for round := 0; round < 4; round++ {
+		invokeSweep(fmt.Sprintf("kill%d", round))
+	}
+	for i, st := range cl.stripes {
+		if s := st.brk.State(); s != breakerClosed {
+			t.Errorf("stripe %d breaker state = %d after member death, want closed", i, s)
+		}
+		if st.target() == "m1" {
+			t.Errorf("stripe %d still targets the dead member", i)
+		}
+	}
+
+	// Restart m1 and re-add it. Retarget reassigns stripes round-robin, so
+	// some stripe targets m1 again; the next sweeps must put traffic on it.
+	startEchoServer(t, net, "m1", ServerConfig{Concurrency: 8})
+	setLive("m0", "m1", "m2")
+	before := sentByAddr(cl)["m1"]
+	cl.Retarget(addrs)
+	for round := 0; round < 4; round++ {
+		invokeSweep(fmt.Sprintf("readd%d", round))
+	}
+	if after := sentByAddr(cl)["m1"]; after <= before {
+		t.Errorf("re-added member got no traffic (sent %d -> %d)", before, after)
+	}
+	for i, st := range cl.stripes {
+		if s := st.brk.State(); s != breakerClosed {
+			t.Errorf("stripe %d breaker state = %d after re-add, want closed", i, s)
+		}
+	}
+}
+
+// TestServerLocateForward installs a forwarder on a server with no matching
+// servant and demands the Locate probe comes back OBJECT_FORWARD with the
+// group's addresses, while a locally-served key still answers OBJECT_HERE.
+func TestServerLocateForward(t *testing.T) {
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{})
+	srv.SetLocateForwarder(func(key []byte) []string {
+		if string(key) == "group/echo" {
+			return []string{"m0", "m1", "m2"}
+		}
+		return nil
+	})
+	cl := dial(t, net, srv.Addr(), ClientConfig{})
+	// The Transport dials on first submission; warm it up.
+	if _, err := cl.Invoke("echo", "echo", []byte("warmup"), sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+
+	here, fwd, err := cl.LocateEx("group/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if here {
+		t.Error("forwarded key reported OBJECT_HERE")
+	}
+	if len(fwd) != 3 || fwd[0] != "m0" || fwd[1] != "m1" || fwd[2] != "m2" {
+		t.Errorf("forward list = %v, want [m0 m1 m2]", fwd)
+	}
+
+	here, fwd, err = cl.LocateEx("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !here || fwd != nil {
+		t.Errorf("local key: here=%v fwd=%v, want here and no forward", here, fwd)
+	}
+
+	here, fwd, err = cl.LocateEx("nowhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if here || fwd != nil {
+		t.Errorf("unknown key: here=%v fwd=%v, want neither", here, fwd)
+	}
+}

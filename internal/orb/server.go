@@ -103,6 +103,11 @@ type Server struct {
 	// a fresh copy under mu.
 	servants atomic.Pointer[map[string]corba.Servant]
 
+	// locateFwd, when set, answers Locate probes for keys with no local
+	// servant: a non-empty address list becomes a LocateObjectForward reply.
+	// This is how a group directory redirects clients to live replicas.
+	locateFwd atomic.Pointer[func(key []byte) []string]
+
 	mu      sync.Mutex
 	conns   []*serverConn
 	handles []*core.Handle
@@ -311,6 +316,30 @@ func (s *Server) RegisterServant(key string, sv corba.Servant) {
 	s.servants.Store(&m)
 }
 
+// SetLocateForwarder installs fn, consulted by the Locate path when no local
+// servant matches the probed key: a non-empty return becomes a
+// LocateObjectForward reply carrying those addresses (the forwarding
+// references of §Cluster). fn runs on connection reader threads and must be
+// safe for concurrent use; the key slice is only valid for the call.
+func (s *Server) SetLocateForwarder(fn func(key []byte) []string) {
+	s.locateFwd.Store(&fn)
+}
+
+// locateStatus answers one Locate probe: a local servant is OBJECT_HERE, a
+// forwarder hit is OBJECT_FORWARD with the group's addresses, anything else
+// UNKNOWN_OBJECT.
+func (s *Server) locateStatus(key []byte) (giop.LocateStatus, []string) {
+	if _, ok := s.servant(key); ok {
+		return giop.LocateObjectHere, nil
+	}
+	if p := s.locateFwd.Load(); p != nil {
+		if addrs := (*p)(key); len(addrs) > 0 {
+			return giop.LocateObjectForward, addrs
+		}
+	}
+	return giop.LocateUnknownObject, nil
+}
+
 // servant resolves an object key without copying it to a string on the heap.
 func (s *Server) servant(key []byte) (corba.Servant, bool) {
 	p := s.servants.Load()
@@ -515,14 +544,11 @@ func (s *Server) readLoop(sc *serverConn, toRP *core.OutPort) {
 				sc.conn.Close()
 				return
 			}
-			status := giop.LocateUnknownObject
-			if _, ok := s.servant(req.ObjectKey); ok {
-				status = giop.LocateObjectHere
-			}
+			status, fwd := s.locateStatus(req.ObjectKey)
 			fb.Release() // req.ObjectKey is dead past this point
 			wb := giop.GetBuffer()
 			wb.B = giop.MarshalLocateReply(wb.B, h.Order, &giop.LocateReply{
-				RequestID: req.RequestID, Status: status,
+				RequestID: req.RequestID, Status: status, Forward: fwd,
 			})
 			err = sc.write(wb.B)
 			giop.PutBuffer(wb)

@@ -38,6 +38,12 @@ type stripe struct {
 	cl  *Client
 	idx int
 
+	// addr is the stripe's current dial target. With a single-address client
+	// every stripe targets ClientConfig.Addr; with a replica set (Addrs, or a
+	// Retarget call) stripes spread round-robin across the members, and a
+	// failed dial may move the stripe to a surviving member (replica.go).
+	addr atomic.Pointer[string]
+
 	// cur is the stripe's live connection; nil when disconnected. cmu
 	// serialises redials so a wire fault stranding N callers triggers one
 	// supervised redial on this stripe, not N.
@@ -54,6 +60,17 @@ type stripe struct {
 
 // live reports whether the stripe has a connection up right now.
 func (st *stripe) live() bool { return st.cur.Load() != nil }
+
+// target returns the stripe's current dial address.
+func (st *stripe) target() string {
+	if p := st.addr.Load(); p != nil {
+		return *p
+	}
+	return st.cl.addr
+}
+
+// setTarget moves the stripe's dial address.
+func (st *stripe) setTarget(a string) { st.addr.Store(&a) }
 
 // conn returns the stripe's live connection, redialling under the stripe's
 // single-flight lock when supervision is enabled and the previous
@@ -75,11 +92,23 @@ func (st *stripe) conn() (*muxConn, error) {
 	if cl.closed.Load() {
 		return nil, corba.ErrClosed
 	}
-	conn, err := cl.network.Dial(cl.addr)
+	addr := st.target()
+	conn, err := cl.network.Dial(addr)
+	if err != nil && cl.resolve != nil {
+		// The stripe's member is unreachable: refresh the replica set and try
+		// one surviving member before charging the breaker. This is the
+		// failover hop — a killed replica costs its stripe one resolve and one
+		// extra dial, not an open circuit.
+		if alt, ok := cl.failoverTarget(addr); ok {
+			if conn, err = cl.network.Dial(alt); err == nil {
+				st.setTarget(alt)
+			}
+		}
+	}
 	if err != nil {
 		telemetry.RecordFault("orb.client.redial", err)
 		st.brk.Failure()
-		return nil, fmt.Errorf("orb client redial %q: %w", cl.addr, err)
+		return nil, fmt.Errorf("orb client redial %q: %w", addr, err)
 	}
 	mc := newMuxConn(st, conn)
 	st.cur.Store(mc)

@@ -37,6 +37,11 @@ import (
 // keyPrefix namespaces exported ports in the servant registry.
 const keyPrefix = "port:"
 
+// PortKey returns the servant-registry object key of the exported port named
+// dest ("Component.Port") — the key Locate probes carry and group
+// directories (internal/cluster) index their membership under.
+func PortKey(dest string) string { return keyPrefix + dest }
+
 // ErrNotSerializable reports a message type without binary marshalling,
 // which cannot cross the network.
 var ErrNotSerializable = fmt.Errorf("remote: message type is not binary-(un)marshalable")
