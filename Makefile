@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 bench5 allocguard zerocopy-guard chaos
+.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 bench5 bench6 allocguard zerocopy-guard chaos
 
 all: build
 
@@ -49,8 +49,8 @@ verify: vet build race bench-smoke zerocopy-guard
 # schedule in these tests is seeded, so failures replay.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux|Cluster|Replica' \
-		./internal/fault/ ./internal/orb/ ./internal/core/ ./internal/sched/ ./internal/transport/ ./internal/cluster/ ./internal/deploy/
+		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux|Cluster|Replica|Overload|Brownout|AIMD' \
+		./internal/fault/ ./internal/orb/ ./internal/core/ ./internal/sched/ ./internal/transport/ ./internal/cluster/ ./internal/deploy/ ./internal/overload/
 
 # bench1 regenerates BENCH_1.json, the checked-in snapshot of the Fig. 11
 # grid and the dispatch-path latency/allocation numbers.
@@ -81,3 +81,11 @@ bench4:
 # trips (must be 0), and the re-added member's traffic.
 bench5:
 	$(GO) run ./cmd/benchharness -experiment bench5 -out BENCH_5.json
+
+# bench6 regenerates BENCH_6.json, the overload-control snapshot: a
+# controller-equipped server under a tiered storm (tier-1 + best-effort
+# surging to ~10x nominal while tier-0 holds its rate), recording per-tier
+# goodput/sheds/p99 per phase, the tier-0 p99 ratio vs unloaded (<= 1.5),
+# the best-effort shed fraction (>= 0.9), and clean ladder de-escalation.
+bench6:
+	$(GO) run ./cmd/benchharness -experiment bench6 -out BENCH_6.json

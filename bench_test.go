@@ -25,6 +25,7 @@ import (
 	"repro/internal/giop"
 	"repro/internal/memory"
 	"repro/internal/orb"
+	"repro/internal/overload"
 	"repro/internal/platform"
 	"repro/internal/rtzen"
 	"repro/internal/sched"
@@ -162,19 +163,29 @@ func benchMechanism(b *testing.B, mech core.Mechanism) {
 // directly comparable.
 func BenchmarkSteadyStateRoundTrip(b *testing.B) {
 	for _, variant := range []struct {
-		name string
-		on   bool
-	}{{"TelemetryOn", true}, {"TelemetryOff", false}} {
+		name     string
+		on       bool
+		overload bool
+	}{{"TelemetryOn", true, false}, {"TelemetryOff", false, false}, {"OverloadOn", true, true}} {
 		b.Run(variant.name, func(b *testing.B) {
 			telemetry.Enable(variant.on)
 			defer telemetry.Enable(true)
 			pp, err := experiments.NewPingPong(experiments.PingPongConfig{
-				Synchronous: true, Persistent: true,
+				Synchronous: true, Persistent: true, Fair: variant.overload,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer pp.Close()
+			// The OverloadOn variant runs the round trip exactly the way an
+			// overload-controlled server does: tenant-fair in ports, and the
+			// controller's Admit/Done bracketing every operation (a single
+			// untiered tenant, id 0). The acceptance bar: still 0 allocs/op.
+			var ctrl *overload.Controller
+			if variant.overload {
+				ctrl = overload.NewController(overload.Config{})
+				defer ctrl.Close()
+			}
 			// Warm every pool (envelopes, contexts, dispatch states, route
 			// caches) before measuring.
 			for i := 0; i < 64; i++ {
@@ -185,6 +196,17 @@ func BenchmarkSteadyStateRoundTrip(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				if ctrl != nil {
+					start := telemetry.Now()
+					if d := ctrl.Admit(0, overload.Tier1, sched.NormPriority); !d.OK {
+						b.Fatal("steady-state round trip shed")
+					}
+					if _, err := pp.RoundTrip(int64(i)); err != nil {
+						b.Fatal(err)
+					}
+					ctrl.Done(telemetry.Now() - start)
+					continue
+				}
 				if _, err := pp.RoundTrip(int64(i)); err != nil {
 					b.Fatal(err)
 				}
@@ -202,21 +224,39 @@ func TestSteadyStateRoundTripAllocFree(t *testing.T) {
 		t.Skip("race instrumentation allocates; the guard runs in the non-race suite")
 	}
 	for _, variant := range []struct {
-		name string
-		on   bool
-	}{{"TelemetryOn", true}, {"TelemetryOff", false}} {
+		name     string
+		on       bool
+		overload bool
+	}{{"TelemetryOn", true, false}, {"TelemetryOff", false, false}, {"OverloadOn", true, true}} {
 		t.Run(variant.name, func(t *testing.T) {
 			telemetry.Enable(variant.on)
 			defer telemetry.Enable(true)
 			pp, err := experiments.NewPingPong(experiments.PingPongConfig{
-				Synchronous: true, Persistent: true,
+				Synchronous: true, Persistent: true, Fair: variant.overload,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer pp.Close()
+			var ctrl *overload.Controller
+			if variant.overload {
+				ctrl = overload.NewController(overload.Config{})
+				defer ctrl.Close()
+			}
 			seq := int64(0)
 			roundTrip := func() {
+				if ctrl != nil {
+					start := telemetry.Now()
+					if d := ctrl.Admit(0, overload.Tier1, sched.NormPriority); !d.OK {
+						t.Fatal("steady-state round trip shed")
+					}
+					if _, err := pp.RoundTrip(seq); err != nil {
+						t.Fatal(err)
+					}
+					ctrl.Done(telemetry.Now() - start)
+					seq++
+					return
+				}
 				if _, err := pp.RoundTrip(seq); err != nil {
 					t.Fatal(err)
 				}

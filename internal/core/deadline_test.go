@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -195,5 +196,170 @@ func TestDeadlineMissAsyncDispatch(t *testing.T) {
 	}
 	if late := ms[0].Lateness(); late < int64(10*time.Millisecond) {
 		t.Errorf("lateness = %v, want >= 10ms", time.Duration(late))
+	}
+}
+
+// TestDeadlineShedAtDequeue pins the accounting fix for work shed at
+// dequeue: a ShedExpired port drops a message whose deadline already passed
+// WITHOUT running the handler, counts it as deadline_shed_total (not
+// deadline_miss_total), fires the message's OnShed hook, and never invokes
+// the miss handler — a shed is not a late execution.
+func TestDeadlineShedAtDequeue(t *testing.T) {
+	misses := missCollector(t)
+	app := newTestApp(t, AppConfig{})
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	handled := make(chan int, 4)
+	first := true
+
+	comp, err := app.NewImmortalComponent("ShedDL", func(c *Component) error {
+		smm := c.SMM()
+		if _, err := AddInPort(c, smm, InPortConfig{
+			Name: "in", Type: classedType, Threading: ThreadingDedicated,
+			MinThreads: 1, MaxThreads: 1,
+			ShedExpired: true,
+			Handler: HandlerFunc(func(p *Proc, m Message) error {
+				if first {
+					first = false
+					close(started)
+					<-gate
+				}
+				handled <- m.(*classedMsg).v
+				return nil
+			}),
+		}); err != nil {
+			return err
+		}
+		_, err := AddOutPort(c, smm, OutPortConfig{Name: "out", Type: classedType, Dests: []string{"ShedDL.in"}})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := comp.SMM().GetOutPort("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := comp.SMM().GetInPort("ShedDL.in")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First message pins the worker (no deadline).
+	m1, err := out.GetMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.(*classedMsg).v = 1
+	if err := out.Send(m1, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Second message gets 5ms; the worker stays pinned for 30ms, so it is
+	// already dead when its dispatch finally pops it.
+	shedsBefore := telemetry.DeadlineSheds()
+	missesBefore := telemetry.DeadlineMisses()
+	var onShed atomic.Int32
+	out.SetSendDeadline(5 * time.Millisecond)
+	m2, err := out.GetMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.(*classedMsg).v = 2
+	m2.(*classedMsg).onShed = func() { onShed.Add(1) }
+	if err := out.Send(m2, sched.MaxPriority); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(gate)
+
+	if v := <-handled; v != 1 {
+		t.Fatalf("first handled message = %d, want 1", v)
+	}
+	// The dead message must never reach the handler.
+	select {
+	case v := <-handled:
+		t.Fatalf("expired message %d was executed, want shed at dequeue", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	if got := telemetry.DeadlineSheds(); got != shedsBefore+1 {
+		t.Errorf("deadline_shed_total = %d, want %d", got, shedsBefore+1)
+	}
+	if got := telemetry.DeadlineMisses(); got != missesBefore {
+		t.Errorf("deadline_miss_total moved to %d (was %d): a shed is not a miss", got, missesBefore)
+	}
+	if got := len(misses()); got != 0 {
+		t.Errorf("miss handler invoked %d times for shed work, want 0", got)
+	}
+	if got := onShed.Load(); got != 1 {
+		t.Errorf("OnShed fired %d times, want 1", got)
+	}
+	// Port bookkeeping: the shed counts as dropped+shed, not processed.
+	received, processed, dropped := in.Stats()
+	if received != 2 || processed != 1 || dropped != 1 {
+		t.Errorf("stats = (recv %d, proc %d, drop %d), want (2, 1, 1)", received, processed, dropped)
+	}
+	if in.Shed() != 1 {
+		t.Errorf("port shed = %d, want 1", in.Shed())
+	}
+	// Attribution: the expired shed landed in the victim's band counter.
+	// (MaxPriority band; other tests do not shed expired work there.)
+	app.Stop()
+}
+
+// TestDeadlineMissStillExecutesWithoutShedExpired pins the default: without
+// ShedExpired, a late message is counted as a miss and still processed.
+func TestDeadlineMissStillExecutesWithoutShedExpired(t *testing.T) {
+	misses := missCollector(t)
+	app := newTestApp(t, AppConfig{})
+	handled := make(chan struct{}, 1)
+
+	comp, err := app.NewImmortalComponent("LateDL", func(c *Component) error {
+		smm := c.SMM()
+		if _, err := AddInPort(c, smm, InPortConfig{
+			Name: "in", Type: intType, Threading: ThreadingSynchronous,
+			Handler: HandlerFunc(func(p *Proc, m Message) error {
+				handled <- struct{}{}
+				return nil
+			}),
+		}); err != nil {
+			return err
+		}
+		_, err := AddOutPort(c, smm, OutPortConfig{Name: "out", Type: intType, Dests: []string{"LateDL.in"}})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	out, err := comp.SMM().GetOutPort("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.SetSendDeadline(time.Nanosecond)
+	shedsBefore := telemetry.DeadlineSheds()
+	m, err := out.GetMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send(m, sched.NormPriority); err != nil {
+		t.Fatal(err)
+	}
+	<-handled // late, but executed
+	if got := len(misses()); got != 1 {
+		t.Errorf("miss handler invoked %d times, want 1", got)
+	}
+	if got := telemetry.DeadlineSheds(); got != shedsBefore {
+		t.Errorf("deadline_shed_total moved without ShedExpired")
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -308,5 +309,225 @@ func TestOverflowEndToEndShedLowest(t *testing.T) {
 	in, _ := app.Component("T").SMM().GetInPort("T.in")
 	if in.Shed() == 0 && sendErrs == 0 {
 		t.Error("no shedding recorded despite flooding a 4-slot buffer")
+	}
+}
+
+// newFairOverflowPort builds a bare fair-mode InPort for white-box tests.
+func newFairOverflowPort(capacity int, policy Overflow, weights []int32) *InPort {
+	p := &InPort{
+		qname:    "T.fair",
+		capacity: capacity,
+		overflow: policy,
+		fair:     sched.NewFairQueue(weights),
+		slab:     make([]bufItem, capacity),
+		freeList: make([]uint32, capacity),
+	}
+	for i := range p.freeList {
+		p.freeList[i] = uint32(capacity - 1 - i)
+	}
+	if policy == OverflowBlock {
+		p.notFull = sync.NewCond(&p.mu)
+	}
+	return p
+}
+
+// Every overflow shed is attributed to its policy and the victim's priority
+// band: brown-out control needs to know WHAT it is dropping, not just how
+// much.
+func TestShedCountersPerPolicyAndBand(t *testing.T) {
+	dropOldest7 := shedBandCounter(shedCauseDropOldest, 7).Value()
+	shedLowest5 := shedBandCounter(shedCauseShedLowest, 5).Value()
+	shedLowest9 := shedBandCounter(shedCauseShedLowest, 9).Value()
+
+	// DropOldest eviction: the victim rode band 7.
+	p := newOverflowPort(1, OverflowDropOldest)
+	mustPush(t, p, 1, 7)
+	mustPush(t, p, 2, 12)
+	if got := shedBandCounter(shedCauseDropOldest, 7).Value(); got != dropOldest7+1 {
+		t.Errorf("shed_dropoldest_band_7_total = %d, want %d", got, dropOldest7+1)
+	}
+
+	// ShedLowest eviction: victim band 5. Newcomer rejection: band 9.
+	q := newOverflowPort(1, OverflowShedLowest)
+	mustPush(t, q, 1, 5)
+	mustPush(t, q, 2, 20)
+	if got := shedBandCounter(shedCauseShedLowest, 5).Value(); got != shedLowest5+1 {
+		t.Errorf("shed_shedlowest_band_5_total = %d, want %d (evicted victim)", got, shedLowest5+1)
+	}
+	if _, _, err := q.push(bufItem{msg: &testMsg{v: 3}, prio: 9}); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("err = %v, want ErrBufferFull", err)
+	}
+	if got := shedBandCounter(shedCauseShedLowest, 9).Value(); got != shedLowest9+1 {
+		t.Errorf("shed_shedlowest_band_9_total = %d, want %d (rejected newcomer)", got, shedLowest9+1)
+	}
+
+	// Out-of-range priorities clamp into the band table instead of panicking.
+	if c := shedBandCounter(shedCauseExpired, -3); c != shedBandCounter(shedCauseExpired, 0) {
+		t.Error("negative priority did not clamp to band 0")
+	}
+	if c := shedBandCounter(shedCauseExpired, 99); c != shedBandCounter(shedCauseExpired, sched.MaxPriority) {
+		t.Error("oversized priority did not clamp to the top band")
+	}
+}
+
+// classedMsg is a testMsg carrying a tenant class and a shed observer.
+type classedMsg struct {
+	testMsg
+	class  uint8
+	onShed func()
+}
+
+func (m *classedMsg) TenantClass() uint8 { return m.class }
+func (m *classedMsg) OnShed() {
+	if m.onShed != nil {
+		m.onShed()
+	}
+}
+
+// classedType is the pooled message type for ShedAware end-to-end tests.
+var classedType = MessageType{Name: "ClassedTest", Size: 32, New: func() Message { return &classedMsg{} }}
+
+// A fair-mode port preserves the overflow-policy contracts: Reject refuses
+// newcomers, DropOldest evicts the globally oldest, ShedLowest raids only
+// the lowest band and rejects an un-urgent newcomer.
+func TestFairPortOverflowPolicies(t *testing.T) {
+	p := newFairOverflowPort(2, OverflowReject, nil)
+	mustPush(t, p, 1, 10)
+	mustPush(t, p, 2, 10)
+	if _, _, err := p.push(bufItem{msg: &testMsg{v: 3}, prio: 10}); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("fair Reject err = %v, want ErrBufferFull", err)
+	}
+
+	p = newFairOverflowPort(2, OverflowDropOldest, nil)
+	mustPush(t, p, 1, 20) // oldest, despite the higher band
+	mustPush(t, p, 2, 5)
+	victim, evicted, err := p.push(bufItem{msg: &testMsg{v: 3}, prio: 10})
+	if err != nil || !evicted || victim.msg.(*testMsg).v != 1 {
+		t.Fatalf("fair DropOldest victim = %+v (evicted %v, err %v), want v1", victim.msg, evicted, err)
+	}
+
+	p = newFairOverflowPort(2, OverflowShedLowest, nil)
+	mustPush(t, p, 1, 5)
+	mustPush(t, p, 2, 20)
+	victim, evicted, err = p.push(bufItem{msg: &testMsg{v: 3}, prio: 15})
+	if err != nil || !evicted || victim.prio != 5 {
+		t.Fatalf("fair ShedLowest victim prio = %d (evicted %v, err %v), want 5", victim.prio, evicted, err)
+	}
+	if _, _, err := p.push(bufItem{msg: &testMsg{v: 4}, prio: 15}); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("fair ShedLowest un-urgent newcomer err = %v, want ErrBufferFull", err)
+	}
+	got := popValues(p)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("fair queue after shedding = %v, want [2 3]", got)
+	}
+}
+
+// A fair port divides a contested band across tenant classes while a plain
+// heap port serves pure FIFO within the band — the starvation the fair mode
+// exists to fix.
+func TestFairPortDividesBandAcrossClasses(t *testing.T) {
+	p := newFairOverflowPort(16, OverflowReject, nil)
+	// Tenant A floods 12 messages before tenant B's 4 arrive.
+	for i := 0; i < 12; i++ {
+		mustPush(t, p, 100+i, 10)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := p.push(bufItem{msg: &classedMsg{testMsg: testMsg{v: 200 + i}, class: 1}, prio: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Within the first 8 pops, equal weights must interleave: B gets 4.
+	bSeen := 0
+	for i := 0; i < 8; i++ {
+		it, ok := p.pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		if _, isB := it.msg.(*classedMsg); isB {
+			bSeen++
+		}
+	}
+	if bSeen != 4 {
+		t.Errorf("late tenant got %d of the first 8 pops, want 4 (equal-weight DRR)", bSeen)
+	}
+}
+
+// removeItem retracts the exact delivery on a fair port too.
+func TestFairPortRemoveItemExact(t *testing.T) {
+	p := newFairOverflowPort(4, OverflowReject, nil)
+	envs := [3]*envelope{{}, {}, {}}
+	msgs := [3]*testMsg{{v: 1}, {v: 2}, {v: 3}}
+	prios := [3]sched.Priority{5, 25, 5}
+	for i := range envs {
+		if _, _, err := p.push(bufItem{env: envs[i], msg: msgs[i], prio: prios[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, ok := p.removeItem(envs[2], msgs[2])
+	if !ok || it.msg.(*testMsg).v != 3 {
+		t.Fatalf("removeItem = (%+v, %v), want the exact (env2, v3) delivery", it.msg, ok)
+	}
+	if _, ok := p.removeItem(envs[2], msgs[2]); ok {
+		t.Fatal("removeItem found an already-retracted delivery")
+	}
+	got := popValues(p)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("surviving queue = %v, want [2 1]", got)
+	}
+}
+
+// An eviction victim's OnShed hook fires exactly once, before release, so
+// admission accounting can return the victim's in-flight slot.
+func TestShedAwareOnShedFiresOnEviction(t *testing.T) {
+	app := newTestApp(t, AppConfig{})
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var out *OutPort
+	_, err := app.NewImmortalComponent("SA", func(c *Component) error {
+		smm := c.SMM()
+		var aerr error
+		out, aerr = AddOutPort(c, smm, OutPortConfig{Name: "out", Type: classedType, Dests: []string{"SA.in"}})
+		if aerr != nil {
+			return aerr
+		}
+		_, aerr = AddInPort(c, smm, InPortConfig{
+			Name: "in", Type: classedType, BufferSize: 1,
+			Threading: ThreadingDedicated, MinThreads: 1, MaxThreads: 1,
+			Overflow: OverflowDropOldest,
+			Handler: HandlerFunc(func(p *Proc, m Message) error {
+				started <- struct{}{}
+				<-block
+				return nil
+			}),
+		})
+		return aerr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	defer close(block)
+
+	var shed atomic.Int32
+	send := func() {
+		m, err := out.GetMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.(*classedMsg).onShed = func() { shed.Add(1) }
+		if err := out.Send(m, sched.NormPriority); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	send() // pins the worker
+	<-started
+	send() // waits in the 1-slot buffer
+	send() // evicts the waiter: its OnShed must fire
+	if got := shed.Load(); got != 1 {
+		t.Errorf("OnShed fired %d times after one eviction, want 1", got)
 	}
 }

@@ -84,6 +84,62 @@ func (o Overflow) String() string {
 // exported at /metrics as compadres_shed_total.
 var shedTotal = telemetry.NewCounter("shed_total")
 
+// shedCause classifies why a message was shed, for the per-policy/per-band
+// counters that let an overload controller attribute what it is dropping.
+type shedCause uint8
+
+const (
+	// shedCauseDropOldest: evicted by OverflowDropOldest.
+	shedCauseDropOldest shedCause = iota
+	// shedCauseShedLowest: removed by OverflowShedLowest — the evicted
+	// victim, or the rejected newcomer when nothing queued is less urgent.
+	shedCauseShedLowest
+	// shedCauseExpired: dropped at dequeue because its deadline had passed
+	// (ShedExpired ports).
+	shedCauseExpired
+	numShedCauses
+)
+
+var shedCauseNames = [numShedCauses]string{"dropoldest", "shedlowest", "expired"}
+
+// shedBandCounters caches the per-(cause, priority band) shed counters.
+// Counters are created lazily — shedding is a cold path and most of the
+// 3×31 grid never fires. Racing creations agree: the registry dedups by
+// name, so every racer caches the same *Counter.
+var shedBandCounters [numShedCauses][numShedBands]atomic.Pointer[telemetry.Counter]
+
+// numShedBands covers priorities 0 (unknown) through sched.MaxPriority.
+const numShedBands = int(sched.MaxPriority) + 1
+
+// shedBandCounter returns the counter "shed_<cause>_band_<prio>_total".
+func shedBandCounter(cause shedCause, prio sched.Priority) *telemetry.Counter {
+	b := int(prio)
+	if b < 0 {
+		b = 0
+	}
+	if b >= numShedBands {
+		b = numShedBands - 1
+	}
+	if c := shedBandCounters[cause][b].Load(); c != nil {
+		return c
+	}
+	c := telemetry.NewCounter(fmt.Sprintf("shed_%s_band_%d_total", shedCauseNames[cause], b))
+	shedBandCounters[cause][b].Store(c)
+	return c
+}
+
+// TenantClassed is implemented by messages that carry a tenant fairness
+// class (see sched.MaxTenantClasses); a fair-mode In port queues them in
+// that class's lane. Messages without it ride class 0.
+type TenantClassed interface{ TenantClass() uint8 }
+
+// ShedAware is implemented by messages that must observe being shed — by
+// an overflow eviction or an expired-deadline drop at dequeue — so upstream
+// accounting (admission controllers, in-flight limiters) can release the
+// resources reserved for them. OnShed runs before the message's envelope is
+// released, at most once per delivery.
+type ShedAware interface{ OnShed() }
+
 // InPortConfig parameterises AddInPort. It mirrors the paper's
 // addInPort(name, smm, msgType, bufferSize, strategy, minPool, maxPool,
 // handler).
@@ -102,6 +158,19 @@ type InPortConfig struct {
 	MinThreads, MaxThreads int
 	// Overflow selects the buffer-full policy; zero selects OverflowReject.
 	Overflow Overflow
+	// Fair replaces the port's priority heap with a tenant-fair buffer:
+	// strict priority across bands, deficit-weighted round robin across
+	// tenant classes within a band (messages report their class via
+	// TenantClassed), and earliest-deadline-first ordering inside a class.
+	Fair bool
+	// FairWeights are the per-class DRR weights for a Fair port (see
+	// sched.NewFairQueue); nil shares the band equally.
+	FairWeights []int32
+	// ShedExpired drops a message whose send deadline has already passed at
+	// dequeue instead of executing it late: the drop is counted as
+	// deadline_shed_total (never as a deadline miss or dispatch latency)
+	// and the message's OnShed hook fires if it has one.
+	ShedExpired bool
 	// Handler processes arriving messages. Required.
 	Handler Handler
 }
@@ -155,6 +224,13 @@ type InPort struct {
 	overflow Overflow
 	notFull  *sync.Cond // non-nil only for OverflowBlock ports
 
+	// Fair mode replaces buf: the fair queue orders slab indices, and the
+	// freeList recycles slots. All three are nil/unused on heap ports.
+	fair        *sched.FairQueue
+	slab        []bufItem
+	freeList    []uint32
+	shedExpired bool
+
 	bound      atomic.Pointer[portBinding]
 	pool       *sched.Pool
 	dedicated  bool
@@ -206,15 +282,16 @@ func (p *InPort) QueueMax() int64 { return p.depthMax.Load() }
 // returned with evicted == true; the caller must release its envelope and
 // owner reservation outside the port lock.
 func (p *InPort) push(it bufItem) (victim bufItem, evicted bool, err error) {
+	var cause shedCause
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return bufItem{}, false, fmt.Errorf("%w: %q", ErrStopped, p.qname)
 	}
-	if len(p.buf) == p.capacity {
+	if p.depthLocked() == p.capacity {
 		switch p.overflow {
 		case OverflowBlock:
-			for len(p.buf) == p.capacity && !p.closed {
+			for p.depthLocked() == p.capacity && !p.closed {
 				p.notFull.Wait()
 			}
 			if p.closed {
@@ -222,21 +299,20 @@ func (p *InPort) push(it bufItem) (victim bufItem, evicted bool, err error) {
 				return bufItem{}, false, fmt.Errorf("%w: %q", ErrStopped, p.qname)
 			}
 		case OverflowDropOldest:
-			victim = p.evictLocked(p.oldestLocked())
-			evicted = true
+			victim = p.evictOldestLocked()
+			evicted, cause = true, shedCauseDropOldest
 		case OverflowShedLowest:
-			li := p.lowestLocked()
-			if p.buf[li].prio >= it.prio {
+			if p.lowestPrioLocked() >= it.prio {
 				// Nothing queued is less urgent than the newcomer: shed
 				// the newcomer itself.
 				p.mu.Unlock()
 				p.dropped.Add(1)
-				p.recordShed(it.prio)
+				p.recordShed(it.prio, shedCauseShedLowest)
 				return bufItem{}, false, fmt.Errorf("%w: %q shed priority-%d message (capacity %d)",
 					ErrBufferFull, p.qname, it.prio, p.capacity)
 			}
-			victim = p.evictLocked(li)
-			evicted = true
+			victim = p.evictLowestLocked()
+			evicted, cause = true, shedCauseShedLowest
 		default: // OverflowReject
 			p.mu.Unlock()
 			p.dropped.Add(1)
@@ -245,25 +321,87 @@ func (p *InPort) push(it bufItem) (victim bufItem, evicted bool, err error) {
 	}
 	p.seq++
 	it.seq = p.seq
-	p.buf = append(p.buf, it)
-	p.siftUp(len(p.buf) - 1)
-	if d := int64(len(p.buf)); d > p.depthMax.Load() {
+	if p.fair != nil {
+		var class uint8
+		if tc, ok := it.msg.(TenantClassed); ok {
+			class = tc.TenantClass()
+		}
+		h := p.freeList[len(p.freeList)-1]
+		p.freeList = p.freeList[:len(p.freeList)-1]
+		p.slab[h] = it
+		p.fair.Push(h, class, it.prio, it.deadline)
+	} else {
+		p.buf = append(p.buf, it)
+		p.siftUp(len(p.buf) - 1)
+	}
+	if d := int64(p.depthLocked()); d > p.depthMax.Load() {
 		p.depthMax.Store(d) // still under mu, so load+store cannot regress
 	}
 	p.mu.Unlock()
 	p.received.Add(1)
 	if evicted {
 		p.dropped.Add(1)
-		p.recordShed(victim.prio)
+		p.recordShed(victim.prio, cause)
 	}
 	return victim, evicted, nil
 }
 
-// recordShed accounts one message removed by an overflow policy.
-func (p *InPort) recordShed(prio sched.Priority) {
+// depthLocked returns the buffered message count; called with mu held.
+func (p *InPort) depthLocked() int {
+	if p.fair != nil {
+		return p.fair.Len()
+	}
+	return len(p.buf)
+}
+
+// recordShed accounts one message removed by an overflow policy (or an
+// expired-deadline drop): the port's shed stat, the aggregate shed_total,
+// the per-cause/per-band attribution counter, and an EvShed ring event.
+func (p *InPort) recordShed(prio sched.Priority, cause shedCause) {
 	p.shed.Add(1)
 	shedTotal.Inc()
+	shedBandCounter(cause, prio).Inc()
 	telemetry.Record(telemetry.EvShed, p.label, 0, 0, uint64(prio))
+}
+
+// lowestPrioLocked returns the priority of the least-urgent queued message;
+// called with mu held on a non-empty buffer.
+func (p *InPort) lowestPrioLocked() sched.Priority {
+	if p.fair != nil {
+		prio, _ := p.fair.PeekLowestPrio()
+		return prio
+	}
+	return p.buf[p.lowestLocked()].prio
+}
+
+// evictOldestLocked removes and returns the longest-queued message; called
+// with mu held on a non-empty buffer.
+func (p *InPort) evictOldestLocked() bufItem {
+	if p.fair != nil {
+		h, _ := p.fair.PopOldest()
+		return p.takeSlotLocked(h)
+	}
+	return p.evictLocked(p.oldestLocked())
+}
+
+// evictLowestLocked removes and returns the ShedLowest victim; called with
+// mu held on a non-empty buffer. The heap picks the oldest of the lowest
+// band (most staleness recovered); the fair queue picks the newest (least
+// sunk queue time) — both shed from the least-urgent band only.
+func (p *InPort) evictLowestLocked() bufItem {
+	if p.fair != nil {
+		h, _ := p.fair.PopLowest()
+		return p.takeSlotLocked(h)
+	}
+	return p.evictLocked(p.lowestLocked())
+}
+
+// takeSlotLocked vacates fair-mode slab slot h and returns its item.
+func (p *InPort) takeSlotLocked(h uint32) bufItem {
+	it := p.slab[h]
+	p.slab[h] = bufItem{}
+	p.freeList = append(p.freeList, h)
+	return it
 }
 
 // oldestLocked returns the index of the item with the smallest sequence
@@ -311,6 +449,17 @@ func (p *InPort) evictLocked(i int) bufItem {
 func (p *InPort) pop() (bufItem, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.fair != nil {
+		h, ok := p.fair.Pop()
+		if !ok {
+			return bufItem{}, false
+		}
+		it := p.takeSlotLocked(h)
+		if p.notFull != nil {
+			p.notFull.Signal()
+		}
+		return it, true
+	}
 	if len(p.buf) == 0 {
 		return bufItem{}, false
 	}
@@ -335,6 +484,18 @@ func (p *InPort) pop() (bufItem, bool) {
 func (p *InPort) removeItem(env *envelope, msg Message) (bufItem, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.fair != nil {
+		for h := range p.slab {
+			if p.slab[h].env == env && p.slab[h].msg == msg && p.fair.Remove(uint32(h)) {
+				it := p.takeSlotLocked(uint32(h))
+				if p.notFull != nil {
+					p.notFull.Signal()
+				}
+				return it, true
+			}
+		}
+		return bufItem{}, false
+	}
 	for i := range p.buf {
 		if p.buf[i].env == env && p.buf[i].msg == msg {
 			it := p.evictLocked(i)

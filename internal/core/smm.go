@@ -253,14 +253,26 @@ func (s *SMM) registerIn(c *Component, cfg InPortConfig) (*InPort, error) {
 	}
 
 	p := &InPort{
-		qname:    qname,
-		short:    cfg.Name,
-		typ:      cfg.Type,
-		smm:      s,
-		buf:      make([]bufItem, 0, bufSize),
-		capacity: bufSize,
-		overflow: cfg.Overflow,
-		label:    telemetry.Label(qname),
+		qname:       qname,
+		short:       cfg.Name,
+		typ:         cfg.Type,
+		smm:         s,
+		capacity:    bufSize,
+		overflow:    cfg.Overflow,
+		shedExpired: cfg.ShedExpired,
+		label:       telemetry.Label(qname),
+	}
+	if cfg.Fair {
+		// Tenant-fair buffer: the fair queue orders preallocated slab
+		// slots, so fair-mode pushes allocate nothing at steady state.
+		p.fair = sched.NewFairQueue(cfg.FairWeights)
+		p.slab = make([]bufItem, bufSize)
+		p.freeList = make([]uint32, bufSize)
+		for i := range p.freeList {
+			p.freeList[i] = uint32(bufSize - 1 - i)
+		}
+	} else {
+		p.buf = make([]bufItem, 0, bufSize)
 	}
 	if cfg.Overflow == OverflowBlock {
 		p.notFull = sync.NewCond(&p.mu)
@@ -904,6 +916,9 @@ func (s *SMM) deliverAsync(p *OutPort, r *route, env *envelope, msg Message, pri
 		// release the victim's reservations outside the port lock. The
 		// dispatch already submitted for the victim will pop a different
 		// (newer) item or nothing — both are fine.
+		if sa, ok := victim.msg.(ShedAware); ok {
+			sa.OnShed()
+		}
 		victim.owner.donePending()
 		victim.owner.maybeQuiesce()
 		victim.env.done()
@@ -959,9 +974,24 @@ func (s *SMM) dispatch(in *InPort, prio sched.Priority) {
 	owner.waitStarted()
 	telemetry.RecordVerbose(telemetry.EvDispatch, in.label, 0, 0, uint64(prio))
 	// Deadline check: the handler is about to start; if the deadline already
-	// passed, the message is late no matter how fast processing is.
+	// passed, the message is late no matter how fast processing is. A
+	// ShedExpired port drops the dead message here instead of executing it —
+	// counted as a deadline shed, never as a miss or a dispatch latency,
+	// because the handler never ran.
 	if it.deadline > 0 {
 		if now := telemetry.Now(); now > it.deadline {
+			if in.shedExpired {
+				telemetry.ReportDeadlineShed(in.label, it.deadline, now, 0, int(it.prio))
+				in.dropped.Add(1)
+				in.recordShed(it.prio, shedCauseExpired)
+				if sa, ok := it.msg.(ShedAware); ok {
+					sa.OnShed()
+				}
+				it.env.done()
+				owner.donePending()
+				owner.maybeQuiesce()
+				return
+			}
 			telemetry.ReportDeadlineMiss(in.label, it.deadline, now, 0, int(prio))
 		}
 	}

@@ -89,6 +89,11 @@ type PingPongConfig struct {
 	// Mechanism overrides the cross-scope mechanism; zero keeps the
 	// default shared object.
 	Mechanism core.Mechanism
+	// Fair runs every in port in tenant-fair mode (DRR across tenant
+	// classes, EDF within a class — the queue an overload-controlled ORB
+	// server uses), so the steady-state benches can pin that the fair
+	// dispatch path costs no allocations either.
+	Fair bool
 }
 
 // NewPingPong builds the Fig. 6 application.
@@ -111,6 +116,7 @@ func NewPingPong(cfg PingPongConfig) (*PingPong, error) {
 		return core.InPortConfig{
 			Type: pingType, BufferSize: buf, Threading: threading,
 			MinThreads: 1, MaxThreads: 5, Handler: h,
+			Fair: cfg.Fair,
 		}
 	}
 

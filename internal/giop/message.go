@@ -90,6 +90,17 @@ const TraceContextID uint32 = 0x54524143
 // traceContextLen is the trace context's fixed data length.
 const traceContextLen = 16
 
+// TenantContextID tags the tenant-classification service context ("TENT" in
+// ASCII). Its data is exactly 9 octets — the tenant id (8 bytes in the
+// message's byte order) followed by one QoS-tier octet — so the server's
+// admission control can classify a request without demarshalling it.
+// Requests from an untenanted client (tenant id zero) omit the context
+// entirely: their wire form is byte-identical to a tenant-unaware peer's.
+const TenantContextID uint32 = 0x54454E54
+
+// tenantContextLen is the tenant context's fixed data length.
+const tenantContextLen = 9
+
 // Header framing errors.
 var (
 	// ErrBadMagic reports a frame that does not start with "GIOP".
@@ -165,6 +176,11 @@ type Request struct {
 	// (TraceContextID). Zero TraceID means untraced: the context is omitted
 	// from the wire form entirely.
 	TraceID, SpanID uint64
+	// TenantID and TenantTier classify the request for server-side admission
+	// control in a service context (TenantContextID). Zero TenantID means
+	// untenanted: the context is omitted from the wire form entirely.
+	TenantID   uint64
+	TenantTier uint8
 	// Payload is the operation's marshalled in-parameters.
 	Payload []byte
 }
@@ -208,6 +224,43 @@ func readTraceContext(order ByteOrder, id uint32, data []byte) (trace, span uint
 	return order.order().Uint64(data[0:8]), order.order().Uint64(data[8:16])
 }
 
+// writeRequestContexts emits a request's service-context sequence: the trace
+// slot when traced, the tenant slot when tenanted, the empty sequence when
+// neither. Context data is written as raw bytes in the stream's byte order
+// (see writeTraceContext); the 9-byte tenant data is safe because every
+// later field re-aligns relative to the stream origin.
+func writeRequestContexts(e *Encoder, order ByteOrder, req *Request) {
+	n := uint32(0)
+	if req.TraceID != 0 {
+		n++
+	}
+	if req.TenantID != 0 {
+		n++
+	}
+	e.WriteULong(n)
+	if req.TraceID != 0 {
+		e.WriteULong(TraceContextID)
+		e.WriteULong(traceContextLen) // octet-seq length
+		e.buf = order.order().AppendUint64(e.buf, req.TraceID)
+		e.buf = order.order().AppendUint64(e.buf, req.SpanID)
+	}
+	if req.TenantID != 0 {
+		e.WriteULong(TenantContextID)
+		e.WriteULong(tenantContextLen) // octet-seq length
+		e.buf = order.order().AppendUint64(e.buf, req.TenantID)
+		e.buf = append(e.buf, req.TenantTier)
+	}
+}
+
+// readTenantContext extracts tenant id/tier from a service-context entry;
+// non-tenant entries and malformed data yield zeros.
+func readTenantContext(order ByteOrder, id uint32, data []byte) (tenant uint64, tier uint8) {
+	if id != TenantContextID || len(data) != tenantContextLen {
+		return 0, 0
+	}
+	return order.order().Uint64(data[0:8]), data[8]
+}
+
 // patchSize back-fills the Size field of the header that starts at offset
 // start, once the body length is known.
 func patchSize(buf []byte, start int, order ByteOrder) {
@@ -223,7 +276,7 @@ func MarshalRequest(buf []byte, order ByteOrder, req *Request) []byte {
 	buf = AppendHeader(buf, Header{Type: MsgRequest, Order: order})
 	var e Encoder
 	e.Reset(order, buf)
-	writeTraceContext(&e, order, req.TraceID, req.SpanID)
+	writeRequestContexts(&e, order, req)
 	e.WriteULong(req.RequestID)
 	e.WriteBool(req.ResponseExpected)
 	e.WriteOctetSeq(req.ObjectKey)
@@ -245,6 +298,7 @@ func DecodeRequest(order ByteOrder, body []byte, req *Request) error {
 		return err
 	}
 	req.TraceID, req.SpanID = 0, 0
+	req.TenantID, req.TenantTier = 0, 0
 	for i := uint32(0); i < nctx; i++ {
 		id, err := d.ReadULong() // context id
 		if err != nil {
@@ -256,6 +310,9 @@ func DecodeRequest(order ByteOrder, body []byte, req *Request) error {
 		}
 		if trace, span := readTraceContext(order, id, data); trace != 0 {
 			req.TraceID, req.SpanID = trace, span
+		}
+		if tenant, tier := readTenantContext(order, id, data); tenant != 0 {
+			req.TenantID, req.TenantTier = tenant, tier
 		}
 	}
 	if req.RequestID, err = d.ReadULong(); err != nil {
@@ -337,6 +394,76 @@ func PeekRequestPriority(order ByteOrder, body []byte) (byte, bool) {
 		return PriorityUnparsed, false
 	}
 	return p, true
+}
+
+// RequestInfo is the pre-dispatch view of an encoded request body: every
+// field admission control needs before the full demarshal runs inside the
+// RequestProcessing scope. Extracted without materialising strings or
+// copying, like PeekRequestPriority.
+type RequestInfo struct {
+	// RequestID correlates an admission-rejection reply with the request.
+	RequestID uint32
+	// ResponseExpected is false for oneway operations (no rejection reply).
+	ResponseExpected bool
+	// Priority is the propagated RT-CORBA priority octet (PriorityUnparsed
+	// when the body is malformed).
+	Priority byte
+	// TenantID and TenantTier are the tenant service context's
+	// classification; zeros when the request carries none.
+	TenantID   uint64
+	TenantTier uint8
+}
+
+// PeekRequestInfo extracts a RequestInfo from an encoded request body with
+// one alloc-free walk. The same hostile-input discipline as
+// PeekRequestPriority applies: a malformed or truncated body returns
+// (partial info with Priority == PriorityUnparsed, false) and never guesses
+// defaults.
+func PeekRequestInfo(order ByteOrder, body []byte) (RequestInfo, bool) {
+	info := RequestInfo{Priority: PriorityUnparsed}
+	d := Decoder{order: order, buf: body}
+	nctx, err := d.ReadULong()
+	if err != nil {
+		return info, false
+	}
+	// See PeekRequestPriority: bound hostile context counts before walking.
+	if uint64(nctx)*8 > uint64(d.Remaining()) {
+		return info, false
+	}
+	for i := uint32(0); i < nctx; i++ {
+		id, err := d.ReadULong() // context id
+		if err != nil {
+			return info, false
+		}
+		data, err := d.ReadOctetSeq() // context data (aliases body)
+		if err != nil {
+			return info, false
+		}
+		if tenant, tier := readTenantContext(order, id, data); tenant != 0 {
+			info.TenantID, info.TenantTier = tenant, tier
+		}
+	}
+	if info.RequestID, err = d.ReadULong(); err != nil {
+		return info, false
+	}
+	if info.ResponseExpected, err = d.ReadBool(); err != nil {
+		return info, false
+	}
+	if err := d.skipOctetSeq(); err != nil { // object key
+		return info, false
+	}
+	if err := d.skipString(); err != nil { // operation
+		return info, false
+	}
+	if err := d.skipOctetSeq(); err != nil { // principal
+		return info, false
+	}
+	p, err := d.ReadOctet()
+	if err != nil {
+		return info, false
+	}
+	info.Priority = p
+	return info, true
 }
 
 // UnmarshalRequest decodes a request body into a fresh Request. Prefer

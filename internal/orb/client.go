@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/giop"
 	"repro/internal/memory"
+	"repro/internal/overload"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -87,6 +88,13 @@ type ClientConfig struct {
 	// Zero or one keeps a single shard; AutoShards sizes to GOMAXPROCS;
 	// values clamp to the same bound as ServerConfig.Shards.
 	ReactorShards int
+	// Tenant classifies this client's traffic for server-side overload
+	// control: every request carries the id and QoS tier in a GIOP service
+	// context (giop.TenantContextID), which a controller-equipped server
+	// uses for weighted fair admission and brown-out decisions. The zero
+	// Tenant stamps nothing — the wire stays byte-identical to an
+	// overload-unaware client.
+	Tenant overload.Tenant
 }
 
 // DefaultMaxMessage is the default bound on message bodies.
@@ -110,6 +118,7 @@ type Client struct {
 	nextID   atomic.Uint32
 	maxMsg   int
 	order    giop.ByteOrder
+	tenant   overload.Tenant
 	closed   atomic.Bool
 	network  transport.Network
 	addr     string
@@ -221,6 +230,7 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 		reqPool: reqPool,
 		maxMsg:  maxMsg,
 		order:   cfg.Order,
+		tenant:  cfg.Tenant,
 		network: cfg.Network,
 		addr:    addrs[0],
 		resolve: cfg.Resolve,
@@ -490,6 +500,8 @@ func (cl *Client) submit(ctx *memory.Context, in *invokeMsg) error {
 		Priority:         byte(in.prio),
 		TraceID:          in.trace,
 		SpanID:           in.span,
+		TenantID:         cl.tenant.ID,
+		TenantTier:       uint8(cl.tenant.Tier),
 		Payload:          in.payload,
 	})
 

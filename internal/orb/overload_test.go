@@ -1,0 +1,278 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corba"
+	"repro/internal/fault"
+	"repro/internal/overload"
+	"repro/internal/rtzen"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// sleepServant holds every invocation for a fixed service time, then echoes.
+type sleepServant struct{ d time.Duration }
+
+func (s sleepServant) Invoke(op string, in []byte) ([]byte, error) {
+	time.Sleep(s.d)
+	out := make([]byte, len(in))
+	copy(out, in)
+	return out, nil
+}
+
+// TestOverloadTenantRoundTrip: a controller-equipped server serves tenanted
+// and untenanted clients alike at light load — admission is invisible when
+// there is headroom — and the controller's in-flight accounting drains to
+// zero when the traffic stops.
+func TestOverloadTenantRoundTrip(t *testing.T) {
+	ctrl := overload.NewController(overload.Config{})
+	defer ctrl.Close()
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{Overload: ctrl})
+
+	tenanted := dial(t, net, srv.Addr(), ClientConfig{
+		Tenant: overload.Tenant{ID: 42, Tier: overload.Tier0},
+	})
+	plain := dial(t, net, srv.Addr(), ClientConfig{})
+
+	for i := 0; i < 20; i++ {
+		payload := []byte(fmt.Sprintf("req-%d", i))
+		for _, cl := range []*Client{tenanted, plain} {
+			out, err := cl.Invoke("echo", "echo", payload, sched.NormPriority)
+			if err != nil || string(out) != string(payload) {
+				t.Fatalf("invoke %d = (%q, %v)", i, out, err)
+			}
+		}
+	}
+	// Done fires after the reply write, racing the client's receive: poll.
+	pollInflightZero(t, ctrl)
+	if lim := ctrl.Limit(); lim < 4 {
+		t.Errorf("limit collapsed to %d under light load", lim)
+	}
+}
+
+// TestOverloadRTZenClientCarriesTenant: the hand-coded baseline client stamps
+// the same tenant service context, and a controller-equipped Compadres server
+// classifies and serves it — the wire dialect is shared end to end.
+func TestOverloadRTZenClientCarriesTenant(t *testing.T) {
+	ctrl := overload.NewController(overload.Config{})
+	defer ctrl.Close()
+	net := transport.NewInproc()
+	srv := startEchoServer(t, net, "", ServerConfig{Overload: ctrl})
+
+	cl, err := rtzen.DialClient(rtzen.ClientConfig{
+		Network: net, Addr: srv.Addr(),
+		TenantID: 7, TenantTier: uint8(overload.TierBestEffort),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	out, err := cl.Invoke("echo", "echo", []byte("cross-orb"), sched.NormPriority)
+	if err != nil || string(out) != "cross-orb" {
+		t.Fatalf("rtzen invoke via controlled server = (%q, %v)", out, err)
+	}
+	pollInflightZero(t, ctrl)
+}
+
+// TestOverloadShedsAboveHardCap pins the reject path end to end: with the
+// limit pinned to 1, one request occupies the only slot (the servant is
+// parked) and every concurrent arrival is shed at admission — a fast
+// system-exception reply, not a dropped connection — while the admitted
+// request still completes once released.
+func TestOverloadShedsAboveHardCap(t *testing.T) {
+	ctrl := overload.NewController(overload.Config{MinLimit: 1, MaxLimit: 1})
+	defer ctrl.Close()
+	net := transport.NewInproc()
+	release := make(chan struct{})
+	srv := startEchoServer(t, net, "", ServerConfig{Overload: ctrl})
+	srv.RegisterServant("block", blockServant{release: release})
+	cl := dial(t, net, srv.Addr(), ClientConfig{
+		Tenant: overload.Tenant{ID: 9, Tier: overload.Tier1},
+	})
+
+	const callers = 8
+	var shed, okCount atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte{byte(i)}
+			out, err := cl.Invoke("block", "echo", payload, sched.NormPriority)
+			switch {
+			case err == nil && len(out) == 1 && out[0] == byte(i):
+				okCount.Add(1)
+			case errors.Is(err, corba.ErrSystemException):
+				shed.Add(1)
+			default:
+				t.Errorf("caller %d: unexpected result (%q, %v)", i, out, err)
+			}
+		}(i)
+	}
+	// The shed replies come back while the admitted request is still parked;
+	// wait for all but one caller to fail, then release the survivor.
+	deadline := time.Now().Add(5 * time.Second)
+	for shed.Load() < callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d callers shed; rejects are not flowing", shed.Load(), callers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := okCount.Load(); got != 1 {
+		t.Errorf("admitted completions = %d, want exactly 1 (limit pinned to 1)", got)
+	}
+	if got := shed.Load(); got != callers-1 {
+		t.Errorf("shed callers = %d, want %d", got, callers-1)
+	}
+	// Every slot came back: the admitted one via Done, the shed ones never
+	// held one.
+	pollInflightZero(t, ctrl)
+
+	// The connection survived the rejections: a fresh invoke still works.
+	out, err := cl.Invoke("echo", "echo", []byte("after"), sched.NormPriority)
+	if err != nil || string(out) != "after" {
+		t.Fatalf("post-shed invoke = (%q, %v); connection did not survive shedding", out, err)
+	}
+}
+
+// pollInflightZero waits briefly for the controller's in-flight count to
+// drain (Done fires after the reply write, which races the client's receive).
+func pollInflightZero(t *testing.T, ctrl *overload.Controller) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for ctrl.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("controller inflight = %d never drained to 0", ctrl.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOverloadSoakTieredLoad is the overload acceptance soak: three tenants
+// at three QoS tiers hammer a slow servant through a jittering fault network
+// at far more concurrency than the server can carry. Under the AIMD limit
+// and the brown-out ladder the guaranteed tier must come out ahead of
+// best-effort, every request must get SOME answer (completion or shed reply —
+// nothing hangs), and the controller must drain clean.
+func TestOverloadSoakTieredLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	ctrl := overload.NewController(overload.Config{
+		TargetP99: 2 * time.Millisecond,
+		Window:    5 * time.Millisecond,
+		MinLimit:  2,
+		MaxLimit:  32,
+	})
+	defer ctrl.Close()
+
+	base := transport.NewInproc()
+	jitter := fault.New(base, fault.Config{
+		Seed:       0xBADCAB,
+		LatencyMin: 20 * time.Microsecond,
+		LatencyMax: 300 * time.Microsecond,
+	})
+
+	srv, err := NewServer(ServerConfig{
+		Network: base, Addr: "overload-soak",
+		Overload:        ctrl,
+		RequestDeadline: 50 * time.Millisecond,
+		Concurrency:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterServant("work", sleepServant{d: time.Millisecond})
+	srv.RegisterServant("echo", corba.EchoServant{})
+	srv.ServeBackground()
+
+	tiers := []struct {
+		name   string
+		tenant overload.Tenant
+		prio   sched.Priority
+	}{
+		{"tier0", overload.Tenant{ID: 1, Tier: overload.Tier0}, 24},
+		{"tier1", overload.Tenant{ID: 2, Tier: overload.Tier1}, sched.NormPriority},
+		{"best-effort", overload.Tenant{ID: 3, Tier: overload.TierBestEffort}, 4},
+	}
+	const workers = 16
+	const perWorker = 25
+	shedBefore := overload.AdmissionSheds()
+
+	ok := make([]atomic.Int64, len(tiers))
+	shed := make([]atomic.Int64, len(tiers))
+	var wg sync.WaitGroup
+	for ti, tier := range tiers {
+		cl, err := DialClient(ClientConfig{
+			Network: jitter, Addr: "overload-soak", Tenant: tier.tenant,
+			PipelineDepth: workers * 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ti int, cl *Client, prio sched.Priority) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					_, err := cl.Invoke("work", "echo", []byte("payload"), prio)
+					switch {
+					case err == nil:
+						ok[ti].Add(1)
+					case errors.Is(err, corba.ErrSystemException):
+						shed[ti].Add(1)
+					}
+					// Client-side backpressure (ErrBufferFull) counts as
+					// neither: the request never reached the server.
+				}
+			}(ti, cl, tier.prio)
+		}
+	}
+	wg.Wait()
+
+	for ti, tier := range tiers {
+		t.Logf("%-11s ok=%3d shed=%3d", tier.name, ok[ti].Load(), shed[ti].Load())
+	}
+	t.Logf("limit=%d level=%d sheds+=%d", ctrl.Limit(), ctrl.Level(),
+		overload.AdmissionSheds()-shedBefore)
+
+	if ok[0].Load() == 0 {
+		t.Error("tier-0 tenant got zero completions under overload")
+	}
+	if ok[0].Load() < ok[2].Load() {
+		t.Errorf("tier-0 completions (%d) fell below best-effort's (%d) under overload",
+			ok[0].Load(), ok[2].Load())
+	}
+	if overload.AdmissionSheds() == shedBefore && ctrl.Limit() == 32 {
+		t.Error("soak shed nothing and never cut the limit; the overload was not an overload")
+	}
+	pollInflightZero(t, ctrl)
+
+	// The server is still healthy after the storm: the guaranteed tenant's
+	// next request round-trips (tier-0 passes every brown-out level).
+	cl, err := DialClient(ClientConfig{
+		Network: base, Addr: "overload-soak",
+		Tenant: overload.Tenant{ID: 1, Tier: overload.Tier0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	out, err := cl.Invoke("echo", "echo", []byte("alive"), 24)
+	if err != nil || string(out) != "alive" {
+		t.Fatalf("post-soak tier-0 invoke = (%q, %v)", out, err)
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/corba"
 	"repro/internal/core"
 	"repro/internal/giop"
 	"repro/internal/memory"
+	"repro/internal/overload"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -56,6 +58,19 @@ type ServerConfig struct {
 	// (the pre-shard behaviour); AutoShards sizes the pool to GOMAXPROCS;
 	// explicit positive values are honoured as given (tests pin 1/2/8).
 	Shards int
+	// Overload opts the server into closed-loop overload control (see
+	// internal/overload): every request is classified by its tenant service
+	// context and admitted, credited, or shed before demarshalling; admitted
+	// requests queue on a tenant-fair port (DRR across tenant classes within
+	// each priority band, EDF within a class) and their completion latency
+	// drives the AIMD in-flight limit and the brown-out ladder. Nil (the
+	// default) keeps the uncontrolled dispatch path bit-for-bit.
+	Overload *overload.Controller
+	// RequestDeadline, with Overload set, stamps every admitted request with
+	// a relative queueing deadline: work still queued past it is shed at
+	// dequeue (counted as deadline_shed_total, answered with a shed reply)
+	// instead of executing late. Zero stamps no deadline.
+	RequestDeadline time.Duration
 }
 
 // AutoShards selects a GOMAXPROCS-bounded shard count for
@@ -121,6 +136,11 @@ type Server struct {
 	repPool     *memory.ScopePool
 	concurrency int
 	coalesce    *CoalesceConfig // nil unless ServerConfig.Coalesce was set
+
+	// ctrl is the overload controller (nil = uncontrolled); reqDeadline the
+	// queueing deadline stamped on admitted requests when ctrl is set.
+	ctrl        *overload.Controller
+	reqDeadline time.Duration
 
 	// shards is the dispatch pool (empty = inline dispatch on the reader);
 	// shardWg tracks its goroutines and gauges their telemetry handles.
@@ -234,6 +254,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		rpSize:      rpSize,
 		repPool:     repPool,
 		concurrency: concurrency,
+		ctrl:        cfg.Overload,
+		reqDeadline: cfg.RequestDeadline,
 	}
 	if cfg.Synchronous {
 		srv.threading = core.ThreadingSynchronous
@@ -454,6 +476,11 @@ func (s *Server) transportSetup(sc *serverConn) func(*core.Component) error {
 		if err != nil {
 			return err
 		}
+		if s.ctrl != nil && s.reqDeadline > 0 {
+			// Stamp every admitted request's queueing deadline; the fair
+			// port's ShedExpired sheds what outlives it at dequeue.
+			toRP.SetSendDeadline(s.reqDeadline)
+		}
 		if err := tc.DefineChild(core.ChildDef{
 			Name:       "RequestProcessing",
 			MemorySize: s.rpSize,
@@ -468,12 +495,18 @@ func (s *Server) transportSetup(sc *serverConn) func(*core.Component) error {
 				// the socket — wire-level backpressure instead of a dropped
 				// connection when a pipelined client runs ahead of the
 				// servants.
+				// With overload control the queue turns tenant-fair: DRR
+				// across tenant classes within each priority band, EDF
+				// within a class, and already-dead work shed at dequeue
+				// instead of executed.
 				_, err := core.AddInPort(rp, tSMM, core.InPortConfig{
 					Name: "request", Type: requestType, Threading: s.threading,
 					MinThreads: 1, MaxThreads: s.concurrency,
-					BufferSize: 2 * s.concurrency,
-					Overflow:   core.OverflowBlock,
-					Handler:    core.HandlerFunc(s.processRequest),
+					BufferSize:  2 * s.concurrency,
+					Overflow:    core.OverflowBlock,
+					Fair:        s.ctrl != nil,
+					ShedExpired: s.ctrl != nil,
+					Handler:     core.HandlerFunc(s.processRequest),
 				})
 				return err
 			},
@@ -605,6 +638,9 @@ func (s *Server) shardLoop(sh *dispatchShard) {
 // pool exhaustion is answered with disconnection, the hard-real-time stance
 // on overload.
 func (s *Server) dispatch(sc *serverConn, toRP *core.OutPort, h giop.Header, fb *giop.FrameBuf) bool {
+	if s.ctrl != nil {
+		return s.dispatchAdmitted(sc, toRP, h, fb)
+	}
 	msg, err := toRP.GetMessage()
 	if err != nil {
 		fb.Release()
@@ -625,6 +661,66 @@ func (s *Server) dispatch(sc *serverConn, toRP *core.OutPort, h giop.Header, fb 
 	// On a send error the enqueue path has already recycled the message
 	// (envelope completion runs Reset), releasing the frame reference with it.
 	return toRP.Send(msg, prio) == nil
+}
+
+// dispatchAdmitted is the overload-controlled dispatch path: one alloc-free
+// peek classifies the request (tenant id, tier, priority, response
+// expectation) before anything is demarshalled or pooled, and the controller
+// decides its fate. A rejection answers expecting callers with a shed reply
+// and keeps the connection — overload is a load condition, not a protocol
+// error. An admission hands the request to the pooled message armed with the
+// controller slot: done, OnShed, or Reset releases it exactly once.
+func (s *Server) dispatchAdmitted(sc *serverConn, toRP *core.OutPort, h giop.Header, fb *giop.FrameBuf) bool {
+	info, peeked := giop.PeekRequestInfo(h.Order, fb.Body())
+	prio := sched.NormPriority
+	if peeked {
+		if cand := sched.Priority(info.Priority); cand.Valid() {
+			prio = cand
+		}
+	}
+	admitAt := telemetry.Now()
+	d := s.ctrl.Admit(info.TenantID, overload.Tier(info.TenantTier), prio)
+	if !d.OK {
+		if peeked && info.ResponseExpected {
+			writeShedReply(sc, h.Order, info.RequestID)
+		}
+		fb.Release()
+		return true
+	}
+	msg, err := toRP.GetMessage()
+	if err != nil {
+		s.ctrl.Dropped()
+		fb.Release()
+		return false
+	}
+	m := msg.(*requestMsg)
+	m.setFrame(fb, h.Order)
+	m.conn = sc
+	m.ctrl = s.ctrl
+	m.admitAt = admitAt
+	m.class = d.Class
+	// On a send error the enqueue path has already recycled the message
+	// (Reset), releasing the frame reference and the controller slot with it.
+	return toRP.Send(msg, prio) == nil
+}
+
+// shedReplyPayload is the body of the system exception answering a shed
+// request.
+var shedReplyPayload = []byte("orb: overload: request shed")
+
+// writeShedReply answers one shed request with a system-exception reply so
+// the caller fails fast instead of hanging until its invoke timeout. Best
+// effort: a write failure means the connection is dying, and its reader loop
+// owns that diagnosis.
+func writeShedReply(sc *serverConn, order giop.ByteOrder, requestID uint32) {
+	wb := giop.GetBuffer()
+	wb.B = giop.MarshalReply(wb.B, order, &giop.Reply{
+		RequestID: requestID,
+		Status:    giop.ReplySystemException,
+		Payload:   shedReplyPayload,
+	})
+	_ = sc.write(wb.B)
+	giop.PutBuffer(wb)
 }
 
 // processRequest runs in the RequestProcessing component's scope: it
@@ -670,6 +766,9 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 		}
 	}
 	if !req.ResponseExpected {
+		// The servant ran: record the completion (admit→finish) with the
+		// overload controller even though no reply goes out.
+		m.done()
 		return nil
 	}
 
@@ -677,7 +776,7 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 	if err != nil {
 		return fmt.Errorf("orb server: reply scope: %w", err)
 	}
-	return p.Context().Enter(area, func(ctx *memory.Context) error {
+	if err := p.Context().Enter(area, func(ctx *memory.Context) error {
 		wireCap := giop.HeaderSize + 48 + len(payload)
 		ref, err := ctx.Alloc(wireCap)
 		if err != nil {
@@ -698,7 +797,15 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 			return fmt.Errorf("orb server: write reply: %w", wireErr("write", s.ln.Addr(), err))
 		}
 		return nil
-	})
+	}); err != nil {
+		// The unwind recycles the message; Reset releases the controller
+		// slot as a drop (a failed reply write is not a latency sample).
+		return err
+	}
+	// Full service time — admission to reply-on-the-wire — is the latency
+	// signal driving the AIMD limit.
+	m.done()
+	return nil
 }
 
 // invokeServant dispatches to the priority-aware interface when the servant

@@ -1,0 +1,619 @@
+// Package overload is the server's closed-loop overload-control subsystem:
+// tenant-aware weighted fair admission, an AIMD limit on in-flight dispatch
+// driven by a windowed p99 latency signal, and a graceful brown-out ladder
+// for sustained overload.
+//
+// The control loop is inline: every completion (Done/Dropped) checks whether
+// the current control window has elapsed and, if so, runs one control step
+// on the completing goroutine — no background ticker, no lifecycle to leak.
+// The admission fast path is allocation-free: three atomic operations for an
+// untiered tenant under the limit.
+//
+// The pieces compose as follows under load:
+//
+//   - Under the AIMD limit, every request is admitted (uncongested).
+//   - Over the limit, admission spends per-tenant credit refilled each
+//     window in proportion to the tenant's tier weight — deficit-style
+//     weighted fair sharing of the contested headroom, so a best-effort
+//     tenant exhausts its share long before a tier-0 tenant feels pressure.
+//   - Sustained overload (p99 breach, deadline-miss bursts, or shedding
+//     outpacing completions) escalates the brown-out ladder:
+//     ShedLowest → reject-best-effort-tenant → reject-by-tier, and
+//     de-escalates with hysteresis once the signal clears.
+package overload
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// Tier is a tenant's QoS class. Lower is better: Tier0 is guaranteed
+// traffic, TierBestEffort is the first to shed.
+type Tier uint8
+
+// The three tenant tiers. They ride the wire as one octet in the GIOP
+// tenant service context.
+const (
+	// Tier0 is guaranteed traffic: shed only when nothing else remains.
+	Tier0 Tier = 0
+	// Tier1 is standard traffic.
+	Tier1 Tier = 1
+	// TierBestEffort is scavenger traffic: first shed under pressure,
+	// rejected outright at brown-out level 2+.
+	TierBestEffort Tier = 2
+
+	// NumTiers is the number of QoS tiers.
+	NumTiers = 3
+)
+
+// Clamp maps arbitrary wire octets into the valid tier range; unknown tiers
+// degrade to best effort rather than impersonating guaranteed traffic.
+func (t Tier) Clamp() Tier {
+	if t >= NumTiers {
+		return TierBestEffort
+	}
+	return t
+}
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case Tier0:
+		return "tier0"
+	case Tier1:
+		return "tier1"
+	default:
+		return "best-effort"
+	}
+}
+
+// Tenant identifies one traffic source: an opaque id plus its QoS tier.
+// The zero Tenant means unclassified traffic (no service context on the
+// wire), which the controller treats as a single Tier1 tenant.
+type Tenant struct {
+	ID   uint64
+	Tier Tier
+}
+
+// Brown-out ladder levels, escalated under sustained overload and
+// de-escalated with hysteresis. Each transition is an EvState ring event on
+// the "overload.brownout" label with the new level as the argument.
+const (
+	// LevelNormal: weighted fair admission only.
+	LevelNormal int32 = 0
+	// LevelShedLowest: while congested, best-effort traffic loses its
+	// over-limit credit grace and sub-threshold-priority work from any
+	// non-guaranteed tenant is shed.
+	LevelShedLowest int32 = 1
+	// LevelRejectBestEffort: best-effort tenants are rejected outright.
+	LevelRejectBestEffort int32 = 2
+	// LevelRejectByTier: only Tier0 traffic is served.
+	LevelRejectByTier int32 = 3
+
+	maxLevel = LevelRejectByTier
+)
+
+// Config parameterises a Controller. The zero value selects workable
+// defaults for every field.
+type Config struct {
+	// TargetP99 is the control target: while the windowed p99 completion
+	// latency stays at or below it the limit rises additively; a breach cuts
+	// it multiplicatively. Zero selects 5ms.
+	TargetP99 time.Duration
+	// Window is the control-loop period. Zero selects 20ms.
+	Window time.Duration
+	// MinLimit/MaxLimit bound the AIMD in-flight limit. Zeros select 4 and
+	// 1024. The limit starts at MaxLimit (optimistic, like gradient
+	// limiters) and converges down under load.
+	MinLimit, MaxLimit int
+	// Step is the additive raise per healthy window. Zero selects 4.
+	Step int
+	// Backoff is the multiplicative cut on breach, in percent of the current
+	// limit that survives (e.g. 75 keeps three quarters). Zero selects 75.
+	BackoffPct int
+	// MinSamples is the minimum completions in a window for its p99 to move
+	// the limit either way. Zero selects 16.
+	MinSamples int
+	// MissBurst is the deadline-miss (or dequeue-shed) count within one
+	// window treated as a breach regardless of p99. Zero selects 8.
+	MissBurst int
+	// EscalateAfter is how many consecutive overloaded windows raise the
+	// brown-out ladder one level. Zero selects 3.
+	EscalateAfter int
+	// DeescalateAfter is how many consecutive healthy windows lower it one
+	// level — deliberately larger than EscalateAfter for hysteresis. Zero
+	// selects 8.
+	DeescalateAfter int
+	// TierWeights are the fair-share weights per tier. Zeros select
+	// {16, 4, 1}: a tier-0 tenant gets 16× a best-effort tenant's share of
+	// the contested headroom.
+	TierWeights [NumTiers]int
+	// ShedPrioBelow is the LevelShedLowest priority threshold: while at that
+	// level and congested, non-Tier0 requests below this priority are shed.
+	// Zero selects the lower half of the band (sched.NormPriority / 2).
+	ShedPrioBelow sched.Priority
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetP99 <= 0 {
+		c.TargetP99 = 5 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 20 * time.Millisecond
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 4
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 1024
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = c.MinLimit
+	}
+	if c.Step <= 0 {
+		c.Step = 4
+	}
+	if c.BackoffPct <= 0 || c.BackoffPct >= 100 {
+		c.BackoffPct = 75
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 16
+	}
+	if c.MissBurst <= 0 {
+		c.MissBurst = 8
+	}
+	if c.EscalateAfter <= 0 {
+		c.EscalateAfter = 3
+	}
+	if c.DeescalateAfter <= 0 {
+		c.DeescalateAfter = 8
+	}
+	for i := range c.TierWeights {
+		if c.TierWeights[i] <= 0 {
+			c.TierWeights[i] = [NumTiers]int{16, 4, 1}[i]
+		}
+	}
+	if c.ShedPrioBelow <= 0 {
+		c.ShedPrioBelow = sched.NormPriority / 2
+	}
+	return c
+}
+
+// Shed counters, exported at /metrics with the compadres_ prefix. The
+// per-tier counters flatten the {tier} label into the name.
+var (
+	admissionShedTotal = telemetry.NewCounter("admission_shed_total")
+	admissionShedTier  = [NumTiers]*telemetry.Counter{
+		telemetry.NewCounter("admission_shed_tier0_total"),
+		telemetry.NewCounter("admission_shed_tier1_total"),
+		telemetry.NewCounter("admission_shed_tier2_total"),
+	}
+	brownoutTransitions = telemetry.NewCounter("brownout_transition_total")
+)
+
+// brownoutLabel marks ladder transitions in the flight recorder.
+var brownoutLabel = telemetry.Label("overload.brownout")
+
+// AdmissionSheds returns the process-wide admission_shed_total count —
+// requests rejected at the door across every controller.
+func AdmissionSheds() int64 { return admissionShedTotal.Value() }
+
+// tenantState is one tenant's admission accounting. credit is the tenant's
+// remaining over-limit admissions this window, reset each control step to
+// the tenant's weighted share of the contested headroom.
+type tenantState struct {
+	id     uint64
+	tier   Tier
+	class  uint8
+	credit atomic.Int64
+}
+
+// Decision is an Admit verdict.
+type Decision struct {
+	// OK reports whether the request was admitted. A false decision has
+	// already been counted (admission_shed_total and the tier counter).
+	OK bool
+	// Class is the fair-queue tenant class for the admitted request (see
+	// sched.FairQueue); 0 for unclassified traffic.
+	Class uint8
+}
+
+// Controller is the overload-control state machine. All methods are safe
+// for concurrent use; Admit, Done, and Dropped are allocation-free.
+type Controller struct {
+	cfg Config
+
+	limit    atomic.Int64
+	inflight atomic.Int64
+	level    atomic.Int32
+
+	// win is the two-phase latency histogram behind the p99 control signal.
+	win latencyWindow
+
+	// Window accumulators, swapped out by each control step.
+	doneCount atomic.Int64
+	shedCount atomic.Int64
+	dropCount atomic.Int64
+
+	// windowEnd is the telemetry timestamp at which the next inline control
+	// step fires; stepMu serialises the step itself.
+	windowEnd atomic.Int64
+	stepMu    sync.Mutex
+
+	// Control-loop state, guarded by stepMu.
+	overloadRun int
+	healthyRun  int
+	lastMisses  int64
+	lastSheds   int64
+
+	// def is the implicit state for unclassified traffic (tenant id 0);
+	// tenants maps explicit tenant ids copy-on-write, with mu guarding
+	// inserts. classSeq hands out fair-queue classes round-robin.
+	def      tenantState
+	tenants  atomic.Pointer[map[uint64]*tenantState]
+	mu       sync.Mutex
+	classSeq atomic.Uint32
+
+	gauges *telemetry.GaugeHandle
+}
+
+// NewController builds a controller and registers its gauges
+// (limit_current, brownout_level, overload_inflight). Call Close to
+// unregister them.
+func NewController(cfg Config) *Controller {
+	c := &Controller{cfg: cfg.withDefaults()}
+	c.limit.Store(int64(c.cfg.MaxLimit))
+	c.def = tenantState{tier: Tier1}
+	c.def.credit.Store(int64(c.cfg.MaxLimit))
+	// Baseline the process-wide deadline counters: only misses from this
+	// controller's lifetime count toward its burst signal.
+	c.lastMisses = telemetry.DeadlineMisses()
+	c.lastSheds = telemetry.DeadlineSheds()
+	c.windowEnd.Store(telemetry.Now() + int64(c.cfg.Window))
+	c.gauges = telemetry.Default.RegisterGauges("overload", map[string]func() int64{
+		"limit_current":     c.limit.Load,
+		"brownout_level":    func() int64 { return int64(c.level.Load()) },
+		"overload_inflight": c.inflight.Load,
+	})
+	return c
+}
+
+// Close unregisters the controller's gauges. The controller owns no
+// goroutines; in-flight accounting keeps working after Close.
+func (c *Controller) Close() {
+	if c.gauges != nil {
+		c.gauges.Unregister()
+		c.gauges = nil
+	}
+}
+
+// Limit returns the current AIMD in-flight limit.
+func (c *Controller) Limit() int { return int(c.limit.Load()) }
+
+// Inflight returns the admitted-but-not-completed count.
+func (c *Controller) Inflight() int64 { return c.inflight.Load() }
+
+// Level returns the current brown-out ladder level (0..3).
+func (c *Controller) Level() int { return int(c.level.Load()) }
+
+// state resolves a tenant's accounting, registering unseen tenants on a
+// copy-on-write map (cold path). Tenant id 0 is the implicit default.
+func (c *Controller) state(id uint64, tier Tier) *tenantState {
+	if id == 0 {
+		return &c.def
+	}
+	if m := c.tenants.Load(); m != nil {
+		if ts, ok := (*m)[id]; ok {
+			return ts
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var old map[uint64]*tenantState
+	if m := c.tenants.Load(); m != nil {
+		if ts, ok := (*m)[id]; ok {
+			return ts
+		}
+		old = *m
+	}
+	ts := &tenantState{id: id, tier: tier}
+	// Classes 1..MaxTenantClasses-1 are dealt round-robin to explicit
+	// tenants (class 0 is the unclassified default); colliding tenants
+	// share a fair-queue lane, which degrades fairness between them but
+	// never against other lanes.
+	ts.class = uint8(1 + c.classSeq.Add(1)%uint32(sched.MaxTenantClasses-1))
+	ts.credit.Store(int64(c.cfg.MaxLimit))
+	m := make(map[uint64]*tenantState, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[id] = ts
+	c.tenants.Store(&m)
+	return ts
+}
+
+// congested reports whether in-flight work has reached three quarters of
+// the limit — the LevelShedLowest trigger for priority- and tier-based
+// shedding ahead of the hard limit.
+func (c *Controller) congested() bool {
+	return c.inflight.Load()*4 >= c.limit.Load()*3
+}
+
+// Admit decides one request's fate before any demarshalling or queueing.
+// The fast path — unclassified tenant, ladder at LevelNormal, under the
+// limit — is three atomic operations and no allocation. A false decision is
+// already fully accounted; the caller just rejects the request.
+func (c *Controller) Admit(id uint64, tier Tier, prio sched.Priority) Decision {
+	tier = tier.Clamp()
+	if lvl := c.level.Load(); lvl != LevelNormal {
+		switch {
+		case lvl >= LevelRejectByTier && tier != Tier0:
+			return c.shed(id, tier)
+		case lvl >= LevelRejectBestEffort && tier == TierBestEffort:
+			return c.shed(id, tier)
+		case lvl >= LevelShedLowest && c.congested():
+			if tier == TierBestEffort || (tier != Tier0 && prio < c.cfg.ShedPrioBelow) {
+				return c.shed(id, tier)
+			}
+		}
+	}
+	n := c.inflight.Add(1)
+	lim := c.limit.Load()
+	if n <= lim {
+		if id == 0 {
+			return Decision{OK: true}
+		}
+		return Decision{OK: true, Class: c.state(id, tier).class}
+	}
+	// Over the limit: the headroom is contested. A hard cap bounds how far
+	// in-flight work may overshoot; inside it, admission spends the
+	// tenant's weighted credit for this window.
+	if n > lim+lim/4 {
+		c.inflight.Add(-1)
+		return c.shed(id, tier)
+	}
+	ts := c.state(id, tier)
+	if ts.credit.Add(-1) >= 0 {
+		return Decision{OK: true, Class: ts.class}
+	}
+	c.inflight.Add(-1)
+	return c.shed(id, tier)
+}
+
+// shed accounts one rejected request.
+func (c *Controller) shed(id uint64, tier Tier) Decision {
+	admissionShedTotal.Inc()
+	admissionShedTier[tier].Inc()
+	c.shedCount.Add(1)
+	return Decision{}
+}
+
+// Done records one admitted request's completion latency (admit to finish,
+// in nanoseconds) — the control signal for the AIMD limit — and releases
+// its in-flight slot. It also drives the inline control loop.
+func (c *Controller) Done(latency int64) {
+	c.inflight.Add(-1)
+	c.win.record(latency)
+	c.doneCount.Add(1)
+	c.maybeStep()
+}
+
+// Dropped releases an admitted request's in-flight slot without recording a
+// latency sample: work that was rejected downstream, shed at dequeue, or
+// failed by a breaker is not a latency signal, and feeding it to the
+// controller would drive the limit to its floor on rejection bursts.
+func (c *Controller) Dropped() {
+	c.inflight.Add(-1)
+	c.dropCount.Add(1)
+	c.maybeStep()
+}
+
+// maybeStep runs a control step when the window has elapsed. The CAS on
+// windowEnd elects one completing goroutine; everyone else proceeds.
+func (c *Controller) maybeStep() {
+	now := telemetry.Now()
+	end := c.windowEnd.Load()
+	if now < end {
+		return
+	}
+	if !c.windowEnd.CompareAndSwap(end, now+int64(c.cfg.Window)) {
+		return
+	}
+	c.step()
+}
+
+// Tick forces a control step immediately, regardless of the window clock.
+// Tests and callers that want an external cadence (a ticker goroutine) use
+// it; production servers rely on the inline stepping alone.
+func (c *Controller) Tick() {
+	c.windowEnd.Store(telemetry.Now() + int64(c.cfg.Window))
+	c.step()
+}
+
+// step is one control-loop iteration: read the window's signals, move the
+// AIMD limit, walk the brown-out ladder, refill tenant credits.
+func (c *Controller) step() {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+
+	p99, samples := c.win.swap()
+	done := c.doneCount.Swap(0)
+	shed := c.shedCount.Swap(0)
+	c.dropCount.Store(0)
+
+	// Deadline misses and dequeue sheds this window, from the process-wide
+	// counters (the dispatch path reports there; the controller only needs
+	// the delta).
+	misses := telemetry.DeadlineMisses()
+	sheds := telemetry.DeadlineSheds()
+	missDelta := (misses - c.lastMisses) + (sheds - c.lastSheds)
+	c.lastMisses, c.lastSheds = misses, sheds
+
+	// AIMD: additive raise while the window's p99 holds the target,
+	// multiplicative cut on breach or a deadline-miss burst. Windows with
+	// too few samples move nothing — a rejection burst with no completions
+	// is not a latency signal.
+	breach := false
+	if samples >= int64(c.cfg.MinSamples) && p99 > int64(c.cfg.TargetP99) {
+		breach = true
+	}
+	if missDelta >= int64(c.cfg.MissBurst) {
+		breach = true
+	}
+	lim := c.limit.Load()
+	switch {
+	case breach:
+		lim = lim * int64(c.cfg.BackoffPct) / 100
+		if lim < int64(c.cfg.MinLimit) {
+			lim = int64(c.cfg.MinLimit)
+		}
+		c.limit.Store(lim)
+	case samples >= int64(c.cfg.MinSamples):
+		lim += int64(c.cfg.Step)
+		if lim > int64(c.cfg.MaxLimit) {
+			lim = int64(c.cfg.MaxLimit)
+		}
+		c.limit.Store(lim)
+	}
+
+	// Brown-out ladder: overloaded when the latency signal breached, or when
+	// shedding kept pace with completions WHILE the limiter was actually
+	// congested. The congestion gate matters for de-escalation: at an
+	// elevated level the ladder itself rejects whole tiers, and those
+	// rejections show up as sheds — without the gate, rejected tenants that
+	// keep retrying would hold `shed >= done` forever and the ladder would
+	// never walk back down. Rejections with ample in-flight headroom are
+	// policy, not pressure. Escalation needs EscalateAfter consecutive
+	// overloaded windows, de-escalation DeescalateAfter healthy ones — the
+	// asymmetry is the hysteresis.
+	overloaded := breach || (shed > 0 && shed >= done && c.congested())
+	if overloaded {
+		c.healthyRun = 0
+		c.overloadRun++
+		if c.overloadRun >= c.cfg.EscalateAfter {
+			c.overloadRun = 0
+			c.setLevel(c.level.Load() + 1)
+		}
+	} else {
+		c.overloadRun = 0
+		c.healthyRun++
+		if c.healthyRun >= c.cfg.DeescalateAfter {
+			c.healthyRun = 0
+			c.setLevel(c.level.Load() - 1)
+		}
+	}
+
+	// Refill credits: the contested headroom refills to (at least) one
+	// limit's worth of over-limit admissions per window, dealt to tenants
+	// in proportion to their tier weights.
+	refill := done
+	if refill < lim {
+		refill = lim
+	}
+	total := int64(c.cfg.TierWeights[c.def.tier])
+	m := c.tenants.Load()
+	if m != nil {
+		for _, ts := range *m {
+			total += int64(c.cfg.TierWeights[ts.tier])
+		}
+	}
+	c.def.credit.Store(int64(c.cfg.TierWeights[c.def.tier]) * refill / total)
+	if m != nil {
+		for _, ts := range *m {
+			ts.credit.Store(int64(c.cfg.TierWeights[ts.tier]) * refill / total)
+		}
+	}
+}
+
+// setLevel clamps and applies a ladder transition, recording it.
+func (c *Controller) setLevel(lvl int32) {
+	if lvl < LevelNormal {
+		lvl = LevelNormal
+	}
+	if lvl > maxLevel {
+		lvl = maxLevel
+	}
+	old := c.level.Swap(lvl)
+	if old == lvl {
+		return
+	}
+	brownoutTransitions.Inc()
+	telemetry.Record(telemetry.EvState, brownoutLabel, 0, 0, uint64(lvl))
+}
+
+// latencyWindow is a two-phase log-linear histogram: completions record into
+// the active half, and each control step swaps halves and reads the frozen
+// one. Four sub-buckets per octave give ~25% quantile resolution — plenty
+// for a control signal. Records racing a swap may land in either half; the
+// smear is at most one window and biases nothing.
+type latencyWindow struct {
+	active  atomic.Uint32
+	buckets [2][winBuckets]atomic.Int64
+}
+
+// winBuckets covers 1ns..2^63ns at 4 sub-buckets per power of two.
+const winBuckets = 64 * 4
+
+// winIndex maps a non-negative latency to its bucket.
+func winIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	u := uint64(v)
+	exp := bits.Len64(u) - 1
+	var sub uint64
+	if exp >= 2 {
+		sub = (u >> (exp - 2)) & 3
+	}
+	return exp*4 + int(sub)
+}
+
+// winLow returns the smallest value mapping to bucket i.
+func winLow(i int) int64 {
+	exp := i / 4
+	sub := int64(i % 4)
+	if exp < 2 {
+		return int64(i)
+	}
+	if exp >= 62 {
+		return 1 << 62
+	}
+	return (1 << exp) | (sub << (exp - 2))
+}
+
+// record adds one sample to the active half.
+func (w *latencyWindow) record(v int64) {
+	w.buckets[w.active.Load()&1][winIndex(v)].Add(1)
+}
+
+// swap freezes the active half, zeroing and returning its p99 upper bound
+// and sample count, and makes the other half active.
+func (w *latencyWindow) swap() (p99 int64, samples int64) {
+	old := w.active.Load() & 1
+	w.active.Store(1 - old)
+	var counts [winBuckets]int64
+	for i := range w.buckets[old] {
+		counts[i] = w.buckets[old][i].Swap(0)
+		samples += counts[i]
+	}
+	if samples == 0 {
+		return 0, 0
+	}
+	// The covering rank: the smallest count whose cumulative share strictly
+	// exceeds 99%. For a control signal the tail must register — with 100
+	// samples, one slow outlier IS the p99.
+	rank := samples*99/100 + 1
+	var seen int64
+	for i := range counts {
+		seen += counts[i]
+		if seen >= rank {
+			return winLow(i + 1), samples
+		}
+	}
+	return winLow(winBuckets - 1), samples
+}

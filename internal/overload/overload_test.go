@@ -1,0 +1,486 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// testConfig returns a config whose inline window never fires on its own
+// (Window = 1h), so tests drive every control step explicitly with Tick.
+func testConfig() Config {
+	return Config{
+		TargetP99:       time.Millisecond,
+		Window:          time.Hour,
+		MinLimit:        4,
+		MaxLimit:        128,
+		Step:            4,
+		BackoffPct:      50,
+		MinSamples:      8,
+		MissBurst:       8,
+		EscalateAfter:   2,
+		DeescalateAfter: 3,
+	}
+}
+
+// admitN admits and completes n requests at the given latency, a
+// full-window workload for AIMD tests. It runs as tier 0 so the traffic
+// passes every brown-out level — the tests here steer the ladder by window
+// signal, not by admission outcome.
+func admitN(t *testing.T, c *Controller, n int, latency time.Duration) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if d := c.Admit(0, Tier0, sched.NormPriority); !d.OK {
+			t.Fatalf("admit %d/%d rejected (limit %d, inflight %d)", i, n, c.Limit(), c.Inflight())
+		}
+		c.Done(int64(latency))
+	}
+}
+
+// The AIMD loop raises additively on healthy windows, cuts multiplicatively
+// on a p99 breach, and ignores windows with too few samples.
+func TestAIMDRaiseAndCut(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxLimit = 128
+	c := NewController(cfg)
+	defer c.Close()
+	c.limit.Store(64) // start mid-range so both directions are visible
+
+	admitN(t, c, 16, 100*time.Microsecond) // well under the 1ms target
+	c.Tick()
+	if got := c.Limit(); got != 68 {
+		t.Errorf("healthy window: limit = %d, want 64+4", got)
+	}
+
+	admitN(t, c, 16, 10*time.Millisecond) // 10× the target
+	c.Tick()
+	if got := c.Limit(); got != 34 {
+		t.Errorf("breach window: limit = %d, want 68/2", got)
+	}
+
+	admitN(t, c, 3, 10*time.Millisecond) // breach latency, but < MinSamples
+	c.Tick()
+	if got := c.Limit(); got != 34 {
+		t.Errorf("thin window moved the limit to %d, want unchanged 34", got)
+	}
+}
+
+// The limit never leaves [MinLimit, MaxLimit].
+func TestAIMDBounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinLimit, cfg.MaxLimit = 4, 16
+	c := NewController(cfg)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		admitN(t, c, 8, 10*time.Millisecond)
+		c.Tick()
+	}
+	if got := c.Limit(); got != 4 {
+		t.Errorf("after sustained breach: limit = %d, want floor 4", got)
+	}
+	for i := 0; i < 20; i++ {
+		admitN(t, c, 8, 10*time.Microsecond)
+		c.Tick()
+	}
+	if got := c.Limit(); got != 16 {
+		t.Errorf("after sustained health: limit = %d, want ceiling 16", got)
+	}
+}
+
+// Satellite: rejections are not a latency signal. A burst of downstream
+// failures — circuit-breaker opens (orb.ErrCircuitOpen), shed-at-dequeue
+// drops, admission rejections — reaches the controller as Dropped calls and
+// must leave the AIMD limit alone. Only completion latency and deadline
+// misses may cut it. Table-driven over signal mixes.
+func TestRejectionsAreNotLatencySignal(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		fast      int // completions at 100µs
+		slow      int // completions at 10ms
+		dropped   int // breaker/shed rejections
+		wantLimit func(start int) int
+	}{
+		{name: "pure drop burst", dropped: 500,
+			wantLimit: func(s int) int { return s }},
+		{name: "drops with thin fast traffic", fast: 4, dropped: 200,
+			wantLimit: func(s int) int { return s }},
+		{name: "drops beside healthy traffic", fast: 16, dropped: 200,
+			wantLimit: func(s int) int { return s + 4 }},
+		{name: "genuine breach still cuts", slow: 16, dropped: 50,
+			wantLimit: func(s int) int { return s / 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewController(testConfig())
+			defer c.Close()
+			c.limit.Store(64)
+			for i := 0; i < tc.fast; i++ {
+				c.Admit(0, Tier1, sched.NormPriority)
+				c.Done(int64(100 * time.Microsecond))
+			}
+			for i := 0; i < tc.slow; i++ {
+				c.Admit(0, Tier1, sched.NormPriority)
+				c.Done(int64(10 * time.Millisecond))
+			}
+			for i := 0; i < tc.dropped; i++ {
+				c.Admit(0, Tier1, sched.NormPriority)
+				c.Dropped()
+			}
+			c.Tick()
+			if got, want := c.Limit(), tc.wantLimit(64); got != want {
+				t.Errorf("limit = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// A deadline-shed storm (counted via telemetry.ReportDeadlineShed) IS a
+// breach signal: work is dying in queue even if the completions that do run
+// look fast.
+func TestDeadlineShedBurstCutsLimit(t *testing.T) {
+	c := NewController(testConfig())
+	defer c.Close()
+	c.limit.Store(64)
+	admitN(t, c, 16, 100*time.Microsecond)
+	for i := 0; i < 10; i++ {
+		telemetry.ReportDeadlineShed(telemetry.Label("test.port"), 0, 1, 0, 15)
+	}
+	c.Tick()
+	if got := c.Limit(); got != 32 {
+		t.Errorf("limit = %d after deadline-shed burst, want 64/2", got)
+	}
+}
+
+// Over the limit, admission spends per-tenant credit refilled in proportion
+// to tier weight: a best-effort flood exhausts its share while a tier-0
+// tenant keeps getting through.
+func TestWeightedCreditSharing(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinLimit, cfg.MaxLimit = 4, 8
+	cfg.TierWeights = [NumTiers]int{12, 3, 1}
+	c := NewController(cfg)
+	defer c.Close()
+	c.limit.Store(8)
+
+	// Register both tenants, then Tick to deal window credits:
+	// refill = max(done, limit) = 8 over weights {12 (t0), 1 (be), 4 (def t1)}.
+	if d := c.Admit(1, Tier0, 24); !d.OK {
+		t.Fatal("tier-0 registration admit rejected")
+	}
+	c.Done(1000)
+	if d := c.Admit(2, TierBestEffort, 8); !d.OK {
+		t.Fatal("best-effort registration admit rejected")
+	}
+	c.Done(1000)
+	c.Tick()
+
+	// Saturate the limit with neutral in-flight work.
+	for i := 0; i < 8; i++ {
+		if d := c.Admit(0, Tier1, sched.NormPriority); !d.OK {
+			t.Fatalf("fill admit %d rejected", i)
+		}
+	}
+	// Contested now. Best effort (weight 1 of 17, credit 0) is shed at
+	// once; tier 0 (weight 12, credit 5) keeps landing.
+	beOK, t0OK := 0, 0
+	for i := 0; i < 4; i++ {
+		if c.Admit(2, TierBestEffort, 8).OK {
+			beOK++
+			c.Done(1000)
+		}
+		if c.Admit(1, Tier0, 24).OK {
+			t0OK++
+			c.Done(1000)
+		}
+	}
+	if beOK != 0 {
+		t.Errorf("best-effort admitted %d over-limit requests, want 0 (credit exhausted)", beOK)
+	}
+	if t0OK != 4 {
+		t.Errorf("tier-0 admitted %d/4 over-limit requests, want all (weighted credit)", t0OK)
+	}
+}
+
+// The hard cap bounds overshoot even for credit-rich tenants.
+func TestHardCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinLimit, cfg.MaxLimit = 8, 8
+	c := NewController(cfg)
+	defer c.Close()
+	c.Tick() // deal credits at limit 8
+	admitted := 0
+	for i := 0; i < 64; i++ {
+		if c.Admit(1, Tier0, 24).OK {
+			admitted++
+		}
+	}
+	// limit + limit/4 = 10.
+	if admitted > 10 {
+		t.Errorf("admitted %d in-flight, hard cap is 10", admitted)
+	}
+	if got := c.Inflight(); got != int64(admitted) {
+		t.Errorf("inflight = %d after %d admissions, rejects leaked a slot", got, admitted)
+	}
+}
+
+// The brown-out ladder escalates after EscalateAfter consecutive overloaded
+// windows, de-escalates after DeescalateAfter healthy ones, and each level
+// rejects what it promises.
+func TestBrownoutLadder(t *testing.T) {
+	cfg := testConfig()
+	cfg.EscalateAfter, cfg.DeescalateAfter = 2, 3
+	c := NewController(cfg)
+	defer c.Close()
+	c.limit.Store(64)
+
+	overloadWindow := func() { admitN(t, c, 16, 10*time.Millisecond); c.Tick() }
+	healthyWindow := func() { admitN(t, c, 16, 10*time.Microsecond); c.Tick() }
+
+	overloadWindow()
+	if got := c.Level(); got != int(LevelNormal) {
+		t.Fatalf("one overloaded window escalated to %d; hysteresis requires 2", got)
+	}
+	overloadWindow()
+	if got := c.Level(); got != int(LevelShedLowest) {
+		t.Fatalf("level = %d after 2 overloaded windows, want ShedLowest", got)
+	}
+	overloadWindow()
+	overloadWindow()
+	if got := c.Level(); got != int(LevelRejectBestEffort) {
+		t.Fatalf("level = %d after 4 overloaded windows, want RejectBestEffort", got)
+	}
+	// At level 2, best effort is rejected outright regardless of congestion.
+	if c.Admit(9, TierBestEffort, 24).OK {
+		t.Error("RejectBestEffort admitted a best-effort request")
+	}
+	if !c.Admit(8, Tier1, sched.NormPriority).OK {
+		t.Error("RejectBestEffort rejected a tier-1 request")
+	}
+	c.Dropped()
+
+	overloadWindow()
+	overloadWindow()
+	if got := c.Level(); got != int(LevelRejectByTier) {
+		t.Fatalf("level = %d, want RejectByTier", got)
+	}
+	if c.Admit(8, Tier1, sched.MaxPriority).OK {
+		t.Error("RejectByTier admitted a tier-1 request")
+	}
+	if !c.Admit(7, Tier0, sched.MinPriority).OK {
+		t.Error("RejectByTier rejected a tier-0 request")
+	}
+	c.Dropped()
+
+	// De-escalation: one level per DeescalateAfter healthy windows.
+	healthyWindow()
+	healthyWindow()
+	if got := c.Level(); got != int(LevelRejectByTier) {
+		t.Fatalf("level dropped to %d after 2 healthy windows; hysteresis requires 3", got)
+	}
+	healthyWindow()
+	if got := c.Level(); got != int(LevelRejectBestEffort) {
+		t.Fatalf("level = %d after 3 healthy windows, want RejectBestEffort", got)
+	}
+	for i := 0; i < 6; i++ {
+		healthyWindow()
+	}
+	if got := c.Level(); got != int(LevelNormal) {
+		t.Errorf("level = %d after recovery, want Normal", got)
+	}
+}
+
+// LevelShedLowest sheds only when congested, and only sub-threshold or
+// best-effort traffic; tier-0 always passes.
+func TestShedLowestSelectivity(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinLimit, cfg.MaxLimit = 16, 16
+	cfg.ShedPrioBelow = 10
+	c := NewController(cfg)
+	defer c.Close()
+	c.setLevel(LevelShedLowest)
+
+	// Uncongested: everything passes.
+	if !c.Admit(2, TierBestEffort, 5).OK {
+		t.Error("uncongested ShedLowest rejected best effort")
+	}
+	// Congest: 12 in-flight of 16 hits the 3/4 threshold (1 already held).
+	for i := 0; i < 11; i++ {
+		if !c.Admit(0, Tier1, 20).OK {
+			t.Fatalf("congestion fill %d rejected", i)
+		}
+	}
+	if c.Admit(2, TierBestEffort, 30).OK {
+		t.Error("congested ShedLowest admitted best effort")
+	}
+	if c.Admit(0, Tier1, 5).OK {
+		t.Error("congested ShedLowest admitted tier-1 below the priority threshold")
+	}
+	if !c.Admit(0, Tier1, 15).OK {
+		t.Error("congested ShedLowest rejected tier-1 above the priority threshold")
+	}
+	c.Dropped()
+	if !c.Admit(1, Tier0, 2).OK {
+		t.Error("congested ShedLowest rejected tier-0")
+	}
+	c.Dropped()
+}
+
+// Unknown wire tiers clamp to best effort — a hostile client cannot mint a
+// privileged class.
+func TestTierClamp(t *testing.T) {
+	c := NewController(testConfig())
+	defer c.Close()
+	c.setLevel(LevelRejectBestEffort)
+	if c.Admit(3, Tier(200), 24).OK {
+		t.Error("out-of-range tier admitted at RejectBestEffort; must clamp to best effort")
+	}
+}
+
+// Explicit tenants get distinct fair-queue classes; class 0 stays reserved
+// for unclassified traffic.
+func TestTenantClassAssignment(t *testing.T) {
+	c := NewController(testConfig())
+	defer c.Close()
+	if d := c.Admit(0, Tier1, 15); !d.OK || d.Class != 0 {
+		t.Errorf("unclassified admit class = %d, want 0", d.Class)
+	}
+	c.Dropped()
+	seen := map[uint8]bool{}
+	for id := uint64(1); id <= 4; id++ {
+		d := c.Admit(id, Tier1, 15)
+		if !d.OK {
+			t.Fatalf("tenant %d rejected", id)
+		}
+		if d.Class == 0 {
+			t.Errorf("tenant %d assigned the reserved class 0", id)
+		}
+		if seen[d.Class] {
+			t.Errorf("tenant %d shares class %d with an earlier tenant (only %d tenants)", id, d.Class, id-1)
+		}
+		seen[d.Class] = true
+		c.Dropped()
+	}
+}
+
+// The admission fast path and the completion path must not allocate: they
+// run per request on the dispatch path.
+func TestAdmitDoneAllocFree(t *testing.T) {
+	c := NewController(testConfig())
+	defer c.Close()
+	c.Admit(7, Tier0, 20) // pre-register the explicit tenant (cold path)
+	c.Done(1000)
+	allocs := testing.AllocsPerRun(200, func() {
+		if !c.Admit(0, Tier1, sched.NormPriority).OK {
+			t.Fatal("rejected")
+		}
+		c.Done(int64(50 * time.Microsecond))
+	})
+	if allocs != 0 {
+		t.Errorf("untiered Admit+Done allocates %.1f objects/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if !c.Admit(7, Tier0, 20).OK {
+			t.Fatal("rejected")
+		}
+		c.Done(int64(50 * time.Microsecond))
+	})
+	if allocs != 0 {
+		t.Errorf("registered-tenant Admit+Done allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// The windowed histogram's p99 lands within one log-linear bucket of the
+// true quantile.
+func TestLatencyWindowP99(t *testing.T) {
+	var w latencyWindow
+	for i := 0; i < 99; i++ {
+		w.record(int64(time.Millisecond))
+	}
+	w.record(int64(100 * time.Millisecond))
+	p99, n := w.swap()
+	if n != 100 {
+		t.Fatalf("samples = %d, want 100", n)
+	}
+	if p99 < int64(100*time.Millisecond) || p99 > int64(150*time.Millisecond) {
+		t.Errorf("p99 = %v, want within a bucket above 100ms", time.Duration(p99))
+	}
+	// The swap zeroed the half: a second swap sees an empty window.
+	if _, n := w.swap(); n != 0 {
+		t.Errorf("second swap saw %d samples, want 0", n)
+	}
+}
+
+// Storm: concurrent admits/completions/drops from many goroutines with
+// inline window stepping, checked for slot-accounting leaks. Run with
+// -race.
+func TestControllerStorm(t *testing.T) {
+	cfg := testConfig()
+	cfg.Window = time.Millisecond // let inline stepping fire for real
+	cfg.MinLimit, cfg.MaxLimit = 4, 64
+	c := NewController(cfg)
+	defer c.Close()
+
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := uint64(w % 5) // mix unclassified and 4 explicit tenants
+			tier := Tier(w % 3)
+			for i := 0; i < perWorker; i++ {
+				d := c.Admit(id, tier, sched.Priority(1+(i%31)))
+				if !d.OK {
+					continue
+				}
+				switch i % 3 {
+				case 0:
+					c.Done(int64(i%1000) * 1000)
+				case 1:
+					c.Done(int64(time.Millisecond))
+				default:
+					c.Dropped() // breaker-style rejection after admit
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Inflight(); got != 0 {
+		t.Errorf("inflight = %d after storm, want 0 (slot leak)", got)
+	}
+	if got := c.Limit(); got < cfg.MinLimit || got > cfg.MaxLimit {
+		t.Errorf("limit = %d escaped [%d, %d]", got, cfg.MinLimit, cfg.MaxLimit)
+	}
+}
+
+// A rejection storm against an uncongested limiter must not hold the ladder
+// up. At an elevated level the ladder's own rejections are counted as sheds,
+// and a rejected tenant that retries after every reject keeps `shed >= done`
+// true indefinitely — without the congestion gate the brown-out would be
+// self-sustaining and never de-escalate after the real pressure is gone.
+func TestBrownoutDeescalatesThroughRejectionStorm(t *testing.T) {
+	cfg := testConfig()
+	cfg.EscalateAfter, cfg.DeescalateAfter = 2, 2
+	c := NewController(cfg)
+	defer c.Close()
+	c.limit.Store(64)
+	c.setLevel(LevelRejectByTier)
+
+	for w := 0; w < 10 && c.Level() != int(LevelNormal); w++ {
+		// A trickle of healthy completions (tier 0 passes every level)...
+		admitN(t, c, 4, 10*time.Microsecond)
+		// ...while a shed tenant retries hard: many rejections, no inflight.
+		for i := 0; i < 100; i++ {
+			if c.Admit(5, TierBestEffort, 4).OK {
+				c.Dropped()
+			}
+		}
+		c.Tick()
+	}
+	if got := c.Level(); got != int(LevelNormal) {
+		t.Errorf("level = %d after rejection-storm recovery, want Normal", got)
+	}
+}

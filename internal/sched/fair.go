@@ -1,0 +1,298 @@
+package sched
+
+import "math/bits"
+
+// MaxTenantClasses is the number of tenant fairness lanes a FairQueue
+// maintains inside each priority band. Class 0 is conventionally the
+// unclassified default; an admission controller deals the remaining lanes
+// to explicit tenants.
+const MaxTenantClasses = 8
+
+// fairEntry is one queued handle with its EDF key. deadline 0 means "no
+// deadline" and sorts after every real deadline; ties break FIFO by seq.
+type fairEntry struct {
+	handle   uint32
+	deadline int64
+	seq      uint64
+}
+
+// entryLess is the EDF ordering inside a class: earliest deadline first
+// (about-to-miss work runs ahead of relaxed work), no-deadline last, FIFO
+// within a deadline.
+func entryLess(a, b fairEntry) bool {
+	ad, bd := a.deadline, b.deadline
+	if ad == 0 {
+		ad = 1<<63 - 1
+	}
+	if bd == 0 {
+		bd = 1<<63 - 1
+	}
+	if ad != bd {
+		return ad < bd
+	}
+	return a.seq < b.seq
+}
+
+// fairBand is one priority level's queue: an EDF min-heap per tenant class
+// plus deficit-round-robin state arbitrating between the classes.
+type fairBand struct {
+	classes [MaxTenantClasses][]fairEntry
+	occ     uint32 // bitmask of non-empty classes
+	deficit [MaxTenantClasses]int32
+	cursor  int
+}
+
+// FairQueue is a two-level real-time queue: strict priority across the 31
+// RTSJ bands (identical to the Pool's pending queue), and within a band,
+// deficit-weighted round robin across up to MaxTenantClasses tenant classes
+// with earliest-deadline-first ordering inside each class. It is the
+// buffer discipline behind tenant-fair In ports: a flooding tenant can fill
+// its own lane but cannot starve a same-priority neighbour, and within any
+// lane the message closest to its deadline runs first.
+//
+// The queue stores opaque uint32 handles supplied by the caller (slab
+// indices, typically), so it imposes no boxing and its steady state
+// allocates nothing. It is not safe for concurrent use; callers hold their
+// own lock (InPort already serialises its buffer).
+type FairQueue struct {
+	weights [MaxTenantClasses]int32
+	bands   [numPriorities]*fairBand
+	mask    uint32 // bit i set = band i non-empty
+	size    int
+	seq     uint64
+}
+
+// NewFairQueue builds a queue with the given per-class DRR weights (pops
+// granted per round while contested). Missing or non-positive entries
+// default to 1; nil weights mean equal sharing.
+func NewFairQueue(weights []int32) *FairQueue {
+	q := &FairQueue{}
+	for i := range q.weights {
+		q.weights[i] = 1
+		if i < len(weights) && weights[i] > 0 {
+			q.weights[i] = weights[i]
+		}
+	}
+	return q
+}
+
+// Len returns the number of queued handles.
+func (q *FairQueue) Len() int { return q.size }
+
+// bandIndex clamps a priority into the band array.
+func bandIndex(prio Priority) int {
+	if prio < MinPriority {
+		prio = MinPriority
+	}
+	if prio > MaxPriority {
+		prio = MaxPriority
+	}
+	return int(prio - MinPriority)
+}
+
+// Push enqueues a handle at the given priority, tenant class, and deadline
+// (a telemetry timestamp; 0 = none). Classes at or past MaxTenantClasses
+// fold into the last lane.
+func (q *FairQueue) Push(handle uint32, class uint8, prio Priority, deadline int64) {
+	if class >= MaxTenantClasses {
+		class = MaxTenantClasses - 1
+	}
+	bi := bandIndex(prio)
+	b := q.bands[bi]
+	if b == nil {
+		b = &fairBand{}
+		q.bands[bi] = b
+	}
+	q.seq++
+	h := &b.classes[class]
+	*h = append(*h, fairEntry{handle: handle, deadline: deadline, seq: q.seq})
+	entrySiftUp(*h, len(*h)-1)
+	b.occ |= 1 << class
+	q.mask |= 1 << uint(bi)
+	q.size++
+}
+
+// Pop dequeues the next handle: highest non-empty band; within it, the DRR
+// winner's earliest-deadline entry.
+func (q *FairQueue) Pop() (uint32, bool) {
+	if q.mask == 0 {
+		return 0, false
+	}
+	bi := bits.Len32(q.mask) - 1
+	b := q.bands[bi]
+	e := b.popDRR(&q.weights)
+	if b.occ == 0 {
+		q.mask &^= 1 << uint(bi)
+	}
+	q.size--
+	return e.handle, true
+}
+
+// popDRR runs the deficit round robin over the band's occupied classes.
+// Each pop costs one unit of the winning class's deficit; when no occupied
+// class has deficit left, every occupied class refills to its weight and
+// the round restarts. Called on a non-empty band.
+func (b *fairBand) popDRR(weights *[MaxTenantClasses]int32) fairEntry {
+	for {
+		for i := 0; i < MaxTenantClasses; i++ {
+			c := (b.cursor + i) % MaxTenantClasses
+			if b.occ&(1<<c) == 0 || b.deficit[c] <= 0 {
+				continue
+			}
+			b.cursor = c
+			e := entryPop(&b.classes[c])
+			b.deficit[c]--
+			if len(b.classes[c]) == 0 {
+				b.occ &^= 1 << c
+				b.deficit[c] = 0 // an emptied class forfeits its round
+			}
+			if b.deficit[c] <= 0 {
+				b.cursor = (c + 1) % MaxTenantClasses
+			}
+			return e
+		}
+		for c := 0; c < MaxTenantClasses; c++ {
+			if b.occ&(1<<c) != 0 {
+				b.deficit[c] = weights[c]
+			}
+		}
+	}
+}
+
+// PeekLowestPrio returns the priority of the least-urgent queued handle —
+// the band that ShedLowest eviction would raid — without removing it.
+func (q *FairQueue) PeekLowestPrio() (Priority, bool) {
+	if q.mask == 0 {
+		return 0, false
+	}
+	return Priority(bits.TrailingZeros32(q.mask)) + MinPriority, true
+}
+
+// PopLowest removes and returns the newest handle from the lowest band —
+// the ShedLowest victim: least urgent priority, least sunk queue time.
+// O(band size); eviction is a cold path.
+func (q *FairQueue) PopLowest() (uint32, bool) {
+	if q.mask == 0 {
+		return 0, false
+	}
+	bi := bits.TrailingZeros32(q.mask)
+	b := q.bands[bi]
+	bestC, bestI := -1, -1
+	var bestSeq uint64
+	for c := 0; c < MaxTenantClasses; c++ {
+		for i, e := range b.classes[c] {
+			if bestC < 0 || e.seq > bestSeq {
+				bestC, bestI, bestSeq = c, i, e.seq
+			}
+		}
+	}
+	return q.removeAt(bi, bestC, bestI), true
+}
+
+// PopOldest removes and returns the handle queued longest, across all
+// bands — the DropOldest victim. O(n); eviction is a cold path.
+func (q *FairQueue) PopOldest() (uint32, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	bestB, bestC, bestI := -1, -1, -1
+	var bestSeq uint64
+	for bi := range q.bands {
+		if q.mask&(1<<uint(bi)) == 0 {
+			continue
+		}
+		for c := 0; c < MaxTenantClasses; c++ {
+			for i, e := range q.bands[bi].classes[c] {
+				if bestB < 0 || e.seq < bestSeq {
+					bestB, bestC, bestI, bestSeq = bi, c, i, e.seq
+				}
+			}
+		}
+	}
+	return q.removeAt(bestB, bestC, bestI), true
+}
+
+// Remove deletes a specific handle wherever it is queued, reporting whether
+// it was found. O(n); retraction is a cold path.
+func (q *FairQueue) Remove(handle uint32) bool {
+	for bi := range q.bands {
+		if q.mask&(1<<uint(bi)) == 0 {
+			continue
+		}
+		for c := 0; c < MaxTenantClasses; c++ {
+			for i, e := range q.bands[bi].classes[c] {
+				if e.handle == handle {
+					q.removeAt(bi, c, i)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// removeAt deletes heap position i of class c in band bi, restoring heap
+// order and the occupancy masks, and returns the removed handle.
+func (q *FairQueue) removeAt(bi, c, i int) uint32 {
+	b := q.bands[bi]
+	h := &b.classes[c]
+	e := (*h)[i]
+	last := len(*h) - 1
+	(*h)[i] = (*h)[last]
+	(*h)[last] = fairEntry{}
+	*h = (*h)[:last]
+	if i < last {
+		entrySiftDown(*h, i)
+		entrySiftUp(*h, i)
+	}
+	if len(*h) == 0 {
+		b.occ &^= 1 << c
+		b.deficit[c] = 0
+		if b.occ == 0 {
+			q.mask &^= 1 << uint(bi)
+		}
+	}
+	q.size--
+	return e.handle
+}
+
+func entryPop(h *[]fairEntry) fairEntry {
+	e := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	(*h)[last] = fairEntry{}
+	*h = (*h)[:last]
+	if last > 0 {
+		entrySiftDown(*h, 0)
+	}
+	return e
+}
+
+func entrySiftUp(h []fairEntry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func entrySiftDown(h []fairEntry, i int) {
+	n := len(h)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && entryLess(h[l], h[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && entryLess(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"testing"
+)
+
+// Strict priority across bands is preserved: the fair queue never lets a
+// lower band run while a higher band has work, exactly like the Pool rings.
+func TestFairQueueStrictPriority(t *testing.T) {
+	q := NewFairQueue(nil)
+	q.Push(1, 0, 5, 0)
+	q.Push(2, 0, 30, 0)
+	q.Push(3, 0, 15, 0)
+	q.Push(4, 0, 30, 0)
+	want := []uint32{2, 4, 3, 1}
+	for i, w := range want {
+		h, ok := q.Pop()
+		if !ok || h != w {
+			t.Fatalf("pop %d = (%d, %v), want %d", i, h, ok, w)
+		}
+	}
+	if _, ok := q.Pop(); ok || q.Len() != 0 {
+		t.Error("queue not empty after draining")
+	}
+}
+
+// Within a band, contested pops divide by DRR weight: class 0 at weight 3
+// gets three pops per round to class 1's one.
+func TestFairQueueDRRWeights(t *testing.T) {
+	q := NewFairQueue([]int32{3, 1})
+	// 12 messages each, same band, interleaved arrival.
+	for i := uint32(0); i < 12; i++ {
+		q.Push(100+i, 0, 10, 0)
+		q.Push(200+i, 1, 10, 0)
+	}
+	// Over the first 8 pops (two full rounds), class 0 should win 6.
+	c0 := 0
+	for i := 0; i < 8; i++ {
+		h, ok := q.Pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		if h < 200 {
+			c0++
+		}
+	}
+	if c0 != 6 {
+		t.Errorf("class 0 won %d of 8 contested pops, want 6 (weight 3:1)", c0)
+	}
+	// Once class 0 drains, class 1 gets every pop regardless of weight.
+	for q.Len() > 0 {
+		q.Pop()
+	}
+}
+
+// A flooding class cannot starve a same-band neighbour: the neighbour's
+// lone message pops within one DRR round of its arrival.
+func TestFairQueueNoStarvation(t *testing.T) {
+	q := NewFairQueue([]int32{1, 1})
+	for i := uint32(0); i < 64; i++ {
+		q.Push(i, 0, 10, 0)
+	}
+	q.Push(999, 1, 10, 0)
+	for i := 0; i < 3; i++ { // weight 1 each: the victim pops by turn 2
+		if h, _ := q.Pop(); h == 999 {
+			return
+		}
+	}
+	t.Error("flooded class starved the neighbour past a full DRR round")
+}
+
+// Within a class, EDF: the message nearest its deadline pops first,
+// no-deadline messages pop last, FIFO among equals.
+func TestFairQueueEDFWithinClass(t *testing.T) {
+	q := NewFairQueue(nil)
+	q.Push(1, 0, 10, 0)    // no deadline
+	q.Push(2, 0, 10, 5000) // latest real deadline
+	q.Push(3, 0, 10, 1000) // most urgent
+	q.Push(4, 0, 10, 0)    // no deadline, after 1
+	want := []uint32{3, 2, 1, 4}
+	for i, w := range want {
+		if h, _ := q.Pop(); h != w {
+			t.Fatalf("pop %d = %d, want %d (EDF then FIFO)", i, h, w)
+		}
+	}
+}
+
+// PopLowest takes the newest handle from the lowest band; PopOldest the
+// globally oldest; Remove deletes an exact handle.
+func TestFairQueueEviction(t *testing.T) {
+	q := NewFairQueue(nil)
+	q.Push(1, 0, 20, 0) // oldest overall
+	q.Push(2, 0, 5, 0)
+	q.Push(3, 1, 5, 0) // newest in the lowest band
+	q.Push(4, 0, 20, 0)
+
+	if p, ok := q.PeekLowestPrio(); !ok || p != 5 {
+		t.Fatalf("PeekLowestPrio = (%d, %v), want 5", p, ok)
+	}
+	if h, ok := q.PopLowest(); !ok || h != 3 {
+		t.Fatalf("PopLowest = (%d, %v), want 3 (newest of band 5)", h, ok)
+	}
+	if h, ok := q.PopOldest(); !ok || h != 1 {
+		t.Fatalf("PopOldest = (%d, %v), want 1", h, ok)
+	}
+	if !q.Remove(4) {
+		t.Fatal("Remove(4) did not find the handle")
+	}
+	if q.Remove(4) {
+		t.Fatal("Remove(4) found an already-removed handle")
+	}
+	if h, ok := q.Pop(); !ok || h != 2 {
+		t.Fatalf("final pop = (%d, %v), want 2", h, ok)
+	}
+	if q.Len() != 0 {
+		t.Errorf("len = %d after draining, want 0", q.Len())
+	}
+}
+
+// Out-of-range classes fold into the last lane and out-of-range priorities
+// clamp into the band, rather than corrupting the masks.
+func TestFairQueueClamping(t *testing.T) {
+	q := NewFairQueue(nil)
+	q.Push(1, 200, 10, 0)            // class clamps to MaxTenantClasses-1
+	q.Push(2, 0, MaxPriority+9, 0)   // prio clamps to MaxPriority
+	q.Push(3, 0, MinPriority-100, 0) // prio clamps to MinPriority
+	if h, _ := q.Pop(); h != 2 {
+		t.Errorf("first pop = %d, want the clamped-high 2", h)
+	}
+	if h, _ := q.Pop(); h != 1 {
+		t.Errorf("second pop = %d, want 1", h)
+	}
+	if h, _ := q.Pop(); h != 3 {
+		t.Errorf("third pop = %d, want the clamped-low 3", h)
+	}
+}
+
+// Steady-state push/pop must not allocate: the fair queue sits on the
+// dispatch path of fair-mode In ports.
+func TestFairQueueAllocFree(t *testing.T) {
+	q := NewFairQueue(nil)
+	// Warm the band and its class heap.
+	for i := uint32(0); i < 8; i++ {
+		q.Push(i, uint8(i%2), 10, int64(i))
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := uint32(0); i < 8; i++ {
+			q.Push(i, uint8(i%2), 10, int64(i))
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state push/pop allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -31,6 +31,12 @@ var missHandler atomic.Pointer[MissHandler]
 // deadlineMisses is the global miss counter ("deadline_miss_total").
 var deadlineMisses = NewCounter("deadline_miss_total")
 
+// deadlineSheds counts messages dropped at dequeue because the deadline had
+// already passed ("deadline_shed_total"). A shed is NOT a miss: the work
+// never ran, so it must not contribute a dispatch-latency sample or a miss
+// event — conflating the two made shed storms read as latency regressions.
+var deadlineSheds = NewCounter("deadline_shed_total")
+
 // SetDeadlineMissHandler installs the process-wide miss handler; nil
 // removes it.
 func SetDeadlineMissHandler(fn MissHandler) {
@@ -43,6 +49,26 @@ func SetDeadlineMissHandler(fn MissHandler) {
 
 // DeadlineMisses returns the total number of misses reported so far.
 func DeadlineMisses() int64 { return deadlineMisses.Value() }
+
+// DeadlineSheds returns the total number of already-dead messages shed at
+// dequeue so far.
+func DeadlineSheds() int64 { return deadlineSheds.Value() }
+
+// ReportDeadlineShed counts a message dropped at dequeue because its
+// deadline had already passed, and records an EvDeadlineShed event. The
+// registered miss handler is NOT invoked and no dispatch latency is
+// recorded: the message was never executed, so there is no handler run to
+// observe and no latency sample to take.
+func ReportDeadlineShed(label LabelID, deadline, detected int64, trace uint64, prio int) {
+	deadlineSheds.Inc()
+	lateness := detected - deadline
+	if lateness < 0 {
+		lateness = 0
+	}
+	if enabled.Load() {
+		Default.ring.Record(EvDeadlineShed, label, trace, 0, uint64(lateness))
+	}
+}
 
 // ReportDeadlineMiss counts a miss, records an EvDeadlineMiss event, and
 // invokes the registered miss handler. The dispatch path calls this instead

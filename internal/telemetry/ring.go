@@ -36,6 +36,10 @@ const (
 	// EvShed is a message dropped by an overloaded port's overflow policy
 	// (arg = the shed message's priority).
 	EvShed
+	// EvDeadlineShed is a message dropped at dequeue because its deadline
+	// had already passed — never executed, unlike EvDeadlineMiss
+	// (arg = lateness in nanoseconds).
+	EvDeadlineShed
 )
 
 // String returns the event kind name.
@@ -65,6 +69,8 @@ func (k EventKind) String() string {
 		return "state"
 	case EvShed:
 		return "shed"
+	case EvDeadlineShed:
+		return "deadline_shed"
 	default:
 		return "unknown"
 	}
