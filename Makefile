@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 bench5 bench6 allocguard zerocopy-guard chaos
+.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 bench5 bench6 bench7 allocguard zerocopy-guard chaos
 
 all: build
 
@@ -43,13 +43,15 @@ verify: vet build race bench-smoke zerocopy-guard
 # network, circuit breaker, reconnect/retry, deadline teardown, overload
 # shedding, transport error-chain parity, the demux-reactor edge cases
 # (stale replies, out-of-order completion, mid-flight connection death, the
-# 64-invoker storm), and the cluster failover soak (kill one of three
-# replicas under load: >=99% success, zero breaker trips, the re-added
-# member takes traffic again) — under the race detector. Every fault
-# schedule in these tests is seeded, so failures replay.
+# 64-invoker storm), the cluster failover soak (kill one of three replicas
+# under load: >=99% success, zero breaker trips, the re-added member takes
+# traffic again), and the live-reconfiguration soaks (hot-swap under load,
+# route-rebuild storm, rolling upgrades back and forth under traffic) —
+# under the race detector. Every fault schedule in these tests is seeded,
+# so failures replay.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux|Cluster|Replica|Overload|Brownout|AIMD' \
+		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux|Cluster|Replica|Overload|Brownout|AIMD|Swap|Rolling|Reconfig|RouteGen|Drain' \
 		./internal/fault/ ./internal/orb/ ./internal/core/ ./internal/sched/ ./internal/transport/ ./internal/cluster/ ./internal/deploy/ ./internal/overload/
 
 # bench1 regenerates BENCH_1.json, the checked-in snapshot of the Fig. 11
@@ -89,3 +91,10 @@ bench5:
 # the best-effort shed fraction (>= 0.9), and clean ladder de-escalation.
 bench6:
 	$(GO) run ./cmd/benchharness -experiment bench6 -out BENCH_6.json
+
+# bench7 regenerates BENCH_7.json, the live-reconfiguration snapshot: the
+# hot-swap pause distribution under sustained traffic (dropped must be 0)
+# and a rolling upgrade of a 3-replica group (surfaced errors and breaker
+# trips must both be 0, every member drained).
+bench7:
+	$(GO) run ./cmd/benchharness -experiment bench7 -out BENCH_7.json

@@ -11,6 +11,7 @@
 //	benchharness -experiment bench4      # BENCH_4.json snapshot (zero-copy path + shard sweep)
 //	benchharness -experiment bench5      # BENCH_5.json snapshot (cluster failover under load)
 //	benchharness -experiment bench6      # BENCH_6.json snapshot (tiered overload control)
+//	benchharness -experiment bench7      # BENCH_7.json snapshot (live reconfiguration)
 //	benchharness -experiment chaos       # resilient invocation under seeded fault injection
 //	benchharness -experiment all
 //
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | bench2 | bench3 | bench4 | bench5 | bench6 | chaos | all")
+		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | bench2 | bench3 | bench4 | bench5 | bench6 | bench7 | chaos | all")
 		obs        = flag.Int("observations", metrics.DefaultObservations, "steady-state observations per configuration")
 		warmup     = flag.Int("warmup", metrics.DefaultWarmup, "warm-up iterations discarded before measuring")
 		out        = flag.String("out", "", "output path for the bench1/bench2/bench3 snapshot (default BENCH_<n>.json)")
@@ -113,6 +114,11 @@ func run(experiment string, warmup, obs int, out string, seed uint64) error {
 			out = "BENCH_6.json"
 		}
 		return runBench6(warmup, obs, out)
+	case "bench7":
+		if out == "" {
+			out = "BENCH_7.json"
+		}
+		return runBench7(warmup, obs, out)
 	case "chaos":
 		return runChaos(warmup, obs, seed)
 	case "all":

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/memory"
 )
@@ -69,6 +70,10 @@ type App struct {
 	stopped  bool
 	errCount int64
 	lastErr  error
+
+	// phase is the mission-style lifecycle state (see Phase); Start, Drain,
+	// Terminate, and Stop drive it.
+	phase atomic.Int32
 
 	// ctxPool recycles no-heap memory contexts across Exec calls, so the
 	// steady-state dispatch path does not allocate a context (and its scope
@@ -200,6 +205,7 @@ func (a *App) Start() error {
 	top := make([]*Component, len(a.top))
 	copy(top, a.top)
 	a.mu.Unlock()
+	a.phase.Store(int32(PhaseRunning))
 
 	for _, c := range top {
 		if err := c.runStart(); err != nil {
@@ -222,6 +228,7 @@ func (a *App) Stop() {
 	top := make([]*Component, len(a.top))
 	copy(top, a.top)
 	a.mu.Unlock()
+	a.phase.Store(int32(PhaseTerminated))
 
 	for _, c := range top {
 		c.shutdown()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/memory"
 	"repro/internal/sched"
@@ -83,6 +84,10 @@ type Component struct {
 	liveChildren int // instantiated, not-yet-disposed children
 	autoDispose  bool
 	disposed     bool
+	// retired marks an instance swapped out by SMM.Swap: it must be
+	// reclaimed at quiescence like any disconnect, but its shell must never
+	// be stashed for revival — the blueprint it came from has been replaced.
+	retired bool
 }
 
 // Name returns the component's instance name.
@@ -320,9 +325,10 @@ func (c *Component) maybeQuiesce() {
 		return
 	}
 	c.disposed = true
+	retired := c.retired
 	c.liveMu.Unlock()
 
-	if c.def != nil && c.def.Reusable {
+	if c.def != nil && c.def.Reusable && !retired {
 		// Keep the port bindings: the same shell comes back on revival, so a
 		// binding that still names it is merely dormant — addPending rejects
 		// deliveries while the shell is disposed, and the resolveIn fallback
@@ -339,6 +345,44 @@ func (c *Component) maybeQuiesce() {
 		p.childGone()
 		p.maybeQuiesce()
 	}
+}
+
+// retire marks the instance for reclamation at quiescence (like an explicit
+// Disconnect) and bars its shell from being stashed for revival: a
+// swapped-out version must never come back under the new blueprint.
+func (c *Component) retire() {
+	c.liveMu.Lock()
+	c.autoDispose = true
+	c.retired = true
+	c.liveMu.Unlock()
+}
+
+// awaitDisposed waits — bounded by timeout — for the instance to be
+// reclaimed, reporting whether it was. The 50µs poll keeps the reconfig
+// pause measurement fine-grained without touching the per-message paths.
+func (c *Component) awaitDisposed(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for !c.Disposed() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return true
+}
+
+// busy reports in-flight work anywhere in the component's subtree: pending
+// deliveries on this instance, queued messages on its SMM's In ports, or a
+// busy child.
+func (c *Component) busy() bool {
+	c.liveMu.Lock()
+	pending := c.pending
+	c.liveMu.Unlock()
+	if pending > 0 {
+		return true
+	}
+	smm := c.currentSMM()
+	return smm != nil && smm.busy()
 }
 
 // forceDispose reclaims the instance regardless of quiescence (Stop path;

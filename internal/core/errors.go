@@ -43,4 +43,8 @@ var (
 	// a component execution context (handoff requires the sender's scope
 	// stack).
 	ErrNeedsCallerContext = errors.New("core: handoff mechanism requires the sender's context")
+
+	// ErrDrainTimeout reports a Drain, Terminate, or Swap whose bounded
+	// wait for quiescence expired with work still in flight.
+	ErrDrainTimeout = errors.New("core: drain timed out")
 )

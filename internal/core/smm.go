@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/memory"
 	"repro/internal/sched"
@@ -76,7 +77,11 @@ type SMM struct {
 
 	mechanism atomic.Int32
 	stopped   atomic.Bool
-	routeGen  atomic.Uint64 // bumped on registerIn/registerOut
+	routeGen  atomic.Uint64 // bumped under mu on registerIn/registerOut/Rewire/Swap
+
+	// genGauge exports routeGen once this SMM has been live-reconfigured;
+	// registered lazily (under mu) so steady assemblies pay nothing.
+	genGauge *telemetry.GaugeHandle
 }
 
 func newSMM(owner *Component) *SMM {
@@ -367,8 +372,13 @@ func (s *SMM) registerOut(c *Component, cfg OutPortConfig) (*OutPort, error) {
 		dests := make([]string, len(cfg.Dests))
 		copy(dests, cfg.Dests)
 		existing.setDests(dests)
-		s.mu.Unlock()
+		// The bump must land inside the same critical section as setDests:
+		// buildRoutes snapshots (generation, dests, In table) under mu, so a
+		// bump outside the lock would let a racing builder resurrect the
+		// just-invalidated cache under the still-current generation and route
+		// sends to the old destinations until the bump finally lands.
 		s.routeGen.Add(1)
+		s.mu.Unlock()
 		return existing, nil
 	}
 	s.mu.Unlock()
@@ -727,7 +737,15 @@ func (s *SMM) resolveIn(qname string) (*InPort, *Component, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q is not a qualified name", ErrUnknownPort, qname)
 	}
-	for attempt := 0; attempt < 3; attempt++ {
+	// Losing the binding race means a concurrent quiesce, swap, or revival
+	// won it between materialize and addPending — always transient progress
+	// elsewhere, never a terminal state — so the retry is bounded by time,
+	// not by attempts: back-to-back swaps can legitimately beat a descheduled
+	// sender several times in a row, and a send must not be dropped because
+	// reconfiguration was busy. A stopping app exits via materialize's
+	// ErrStopped.
+	deadline := time.Now().Add(resolveRetryBound)
+	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
 		p := s.in[qname]
 		s.mu.Unlock()
@@ -747,9 +765,19 @@ func (s *SMM) resolveIn(qname string) (*InPort, *Component, error) {
 		if _, err := s.materialize(compName); err != nil {
 			return nil, nil, fmt.Errorf("deliver to %q: %w", qname, err)
 		}
+		if attempt >= 2 {
+			if time.Now().After(deadline) {
+				return nil, nil, fmt.Errorf("core: deliver to %q: owner kept quiescing", qname)
+			}
+			time.Sleep(20 * time.Microsecond) // let the winning swap/quiesce settle
+		}
 	}
-	return nil, nil, fmt.Errorf("core: deliver to %q: owner kept quiescing", qname)
 }
+
+// resolveRetryBound caps resolveIn's retry loop. Each lost race is caused by
+// a reconfiguration that committed in the window, so sustained loss for this
+// long means something is wedged and the send error is the honest report.
+const resolveRetryBound = 10 * time.Second
 
 // routeSet is one OutPort's cached resolution of destination names to In
 // ports; it stays valid while gen matches the SMM's routeGen.
@@ -776,21 +804,39 @@ func (s *SMM) routesFor(p *OutPort) *routeSet {
 	if rs := p.routes.Load(); rs != nil && rs.gen == gen {
 		return rs
 	}
-	return s.buildRoutes(p, gen)
+	return s.buildRoutes(p)
 }
 
-// buildRoutes resolves p's destination names against the In-port table.
-// Racing builders produce equivalent sets; the last store wins.
-func (s *SMM) buildRoutes(p *OutPort, gen uint64) *routeSet {
+// buildRoutes resolves p's destination names against the In-port table. The
+// generation, the destination list, and the table are snapshotted in one mu
+// critical section — every route-flipping writer commits its change and its
+// bump inside that same lock, so a built set is always consistent with the
+// generation it carries. The publish is a CAS that never replaces a
+// newer-generation set: a builder descheduled across a route flip would
+// otherwise clobber the fresh cache with a stale one, un-invalidating it for
+// every sender until the next flip.
+func (s *SMM) buildRoutes(p *OutPort) *routeSet {
+	s.mu.Lock()
+	gen := s.routeGen.Load()
 	dests := p.Dests()
 	rs := &routeSet{gen: gen, routes: make([]route, len(dests))}
-	s.mu.Lock()
 	for i, d := range dests {
 		rs.routes[i] = route{in: s.in[d], dest: d}
 	}
 	s.mu.Unlock()
-	p.routes.Store(rs)
-	return rs
+	for {
+		cur := p.routes.Load()
+		if cur != nil && cur.gen > rs.gen {
+			// A racing builder published a newer resolution; keep it. The
+			// stale set is still internally consistent, so this dispatch may
+			// use it — its sends land on ports that were current when the
+			// snapshot was taken, exactly as if the send had happened then.
+			return rs
+		}
+		if p.routes.CompareAndSwap(cur, rs) {
+			return rs
+		}
+	}
 }
 
 // send routes one message per the SMM's configured mechanism.
@@ -1119,6 +1165,10 @@ func (s *SMM) shutdown() {
 	}
 	for _, mp := range s.msgPools {
 		mp.gauges.Unregister()
+	}
+	if s.genGauge != nil {
+		s.genGauge.Unregister()
+		s.genGauge = nil
 	}
 	s.mu.Unlock()
 	for _, c := range children {

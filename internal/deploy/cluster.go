@@ -120,10 +120,17 @@ func (d *ClusterDeployment) DirectoryAddr() string { return d.DirServer.Addr() }
 func (d *ClusterDeployment) StartReplica(node string) (*Replica, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.startReplicaLocked(node, d.plan, d.reg)
+}
+
+// startReplicaLocked starts one process of the node's sub-plan from an
+// explicit plan/registry (RollingUpgrade surges the new version this way
+// while d.plan still names the old one). Caller holds d.mu.
+func (d *ClusterDeployment) startReplicaLocked(node string, plan *compiler.Plan, reg *compiler.Registry) (*Replica, error) {
 	if d.closed {
 		return nil, fmt.Errorf("%w: cluster closed", ErrDeploy)
 	}
-	sub, err := d.plan.SubPlan(node)
+	sub, err := plan.SubPlan(node)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +140,7 @@ func (d *ClusterDeployment) StartReplica(node string) (*Replica, error) {
 	if d.cfg.NodeAddr != nil {
 		addr = d.cfg.NodeAddr(node, idx)
 	}
-	dep, err := Run(sub, d.reg, Config{
+	dep, err := Run(sub, reg, Config{
 		Network: d.cfg.Network, ListenAddr: addr, ScopePoolCount: d.cfg.ScopePoolCount,
 	}, d.opts...)
 	if err != nil {

@@ -14,6 +14,7 @@ package deploy
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
@@ -46,6 +47,12 @@ type Deployment struct {
 	Server *orb.Server
 
 	clients map[string]*orb.Client
+
+	// plan and reg remember what this process is running, so Apply can
+	// validate and install live deltas against it.
+	mu   sync.Mutex
+	plan *compiler.Plan
+	reg  *compiler.Registry
 }
 
 // Run assembles the plan, starts the application, publishes its exported
@@ -61,7 +68,7 @@ func Run(plan *compiler.Plan, reg *compiler.Registry, cfg Config, opts ...compil
 	if err != nil {
 		return nil, err
 	}
-	d := &Deployment{App: app, clients: make(map[string]*orb.Client)}
+	d := &Deployment{App: app, clients: make(map[string]*orb.Client), plan: plan, reg: reg}
 	fail := func(err error) (*Deployment, error) {
 		d.Close()
 		return nil, err

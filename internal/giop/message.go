@@ -101,6 +101,18 @@ const TenantContextID uint32 = 0x54454E54
 // tenantContextLen is the tenant context's fixed data length.
 const tenantContextLen = 9
 
+// RetryAfterContextID tags the retry-after service context ("RTRY" in
+// ASCII) carried on system-exception replies written by an overloaded
+// server. Its data is exactly 8 octets — the suggested back-off in
+// nanoseconds, in the message's byte order — so a shed client can pace its
+// retry to the server's brown-out horizon instead of guessing. Replies with
+// a zero hint omit the context entirely: their wire form stays
+// byte-identical to a hint-unaware peer's.
+const RetryAfterContextID uint32 = 0x52545259
+
+// retryAfterContextLen is the retry-after context's fixed data length.
+const retryAfterContextLen = 8
+
 // Header framing errors.
 var (
 	// ErrBadMagic reports a frame that does not start with "GIOP".
@@ -194,25 +206,12 @@ type Reply struct {
 	// TraceID and SpanID propagate the telemetry trace back to the caller;
 	// see Request.TraceID.
 	TraceID, SpanID uint64
+	// RetryAfterNs is the server's suggested back-off in nanoseconds,
+	// carried in a service context (RetryAfterContextID) on shed replies.
+	// Zero means no hint: the context is omitted from the wire form.
+	RetryAfterNs int64
 	// Payload is the marshalled result (or exception data).
 	Payload []byte
-}
-
-// writeTraceContext emits the service-context sequence: the single trace
-// slot when traced, the empty sequence otherwise. The context data is
-// written as raw bytes in the stream's byte order — Encoder.WriteULongLong
-// would 8-align relative to the stream origin and corrupt the octet-seq
-// length.
-func writeTraceContext(e *Encoder, order ByteOrder, trace, span uint64) {
-	if trace == 0 {
-		e.WriteULong(0) // service context: empty sequence
-		return
-	}
-	e.WriteULong(1) // service context: one entry
-	e.WriteULong(TraceContextID)
-	e.WriteULong(traceContextLen) // octet-seq length
-	e.buf = order.order().AppendUint64(e.buf, trace)
-	e.buf = order.order().AppendUint64(e.buf, span)
 }
 
 // readTraceContext extracts trace/span from a service-context entry, given
@@ -226,8 +225,9 @@ func readTraceContext(order ByteOrder, id uint32, data []byte) (trace, span uint
 
 // writeRequestContexts emits a request's service-context sequence: the trace
 // slot when traced, the tenant slot when tenanted, the empty sequence when
-// neither. Context data is written as raw bytes in the stream's byte order
-// (see writeTraceContext); the 9-byte tenant data is safe because every
+// neither. Context data is written as raw bytes in the stream's byte order —
+// Encoder.WriteULongLong would 8-align relative to the stream origin and
+// corrupt the octet-seq length; the 9-byte tenant data is safe because every
 // later field re-aligns relative to the stream origin.
 func writeRequestContexts(e *Encoder, order ByteOrder, req *Request) {
 	n := uint32(0)
@@ -250,6 +250,46 @@ func writeRequestContexts(e *Encoder, order ByteOrder, req *Request) {
 		e.buf = order.order().AppendUint64(e.buf, req.TenantID)
 		e.buf = append(e.buf, req.TenantTier)
 	}
+}
+
+// writeReplyContexts emits a reply's service-context sequence: the trace
+// slot when traced, the retry-after slot when the server suggests a
+// back-off, the empty sequence when neither. Context data is written as raw
+// bytes in the stream's byte order (see writeRequestContexts).
+func writeReplyContexts(e *Encoder, order ByteOrder, rep *Reply) {
+	n := uint32(0)
+	if rep.TraceID != 0 {
+		n++
+	}
+	if rep.RetryAfterNs > 0 {
+		n++
+	}
+	e.WriteULong(n)
+	if rep.TraceID != 0 {
+		e.WriteULong(TraceContextID)
+		e.WriteULong(traceContextLen) // octet-seq length
+		e.buf = order.order().AppendUint64(e.buf, rep.TraceID)
+		e.buf = order.order().AppendUint64(e.buf, rep.SpanID)
+	}
+	if rep.RetryAfterNs > 0 {
+		e.WriteULong(RetryAfterContextID)
+		e.WriteULong(retryAfterContextLen) // octet-seq length
+		e.buf = order.order().AppendUint64(e.buf, uint64(rep.RetryAfterNs))
+	}
+}
+
+// readRetryAfterContext extracts the back-off hint from a service-context
+// entry; non-retry entries, malformed data, and non-positive hints yield
+// zero.
+func readRetryAfterContext(order ByteOrder, id uint32, data []byte) int64 {
+	if id != RetryAfterContextID || len(data) != retryAfterContextLen {
+		return 0
+	}
+	ns := int64(order.order().Uint64(data))
+	if ns < 0 {
+		return 0
+	}
+	return ns
 }
 
 // readTenantContext extracts tenant id/tier from a service-context entry;
@@ -483,7 +523,7 @@ func MarshalReply(buf []byte, order ByteOrder, rep *Reply) []byte {
 	buf = AppendHeader(buf, Header{Type: MsgReply, Order: order})
 	var e Encoder
 	e.Reset(order, buf)
-	writeTraceContext(&e, order, rep.TraceID, rep.SpanID)
+	writeReplyContexts(&e, order, rep)
 	e.WriteULong(rep.RequestID)
 	e.WriteULong(uint32(rep.Status))
 	e.align(8)
@@ -501,6 +541,7 @@ func DecodeReply(order ByteOrder, body []byte, rep *Reply) error {
 		return err
 	}
 	rep.TraceID, rep.SpanID = 0, 0
+	rep.RetryAfterNs = 0
 	for i := uint32(0); i < nctx; i++ {
 		id, err := d.ReadULong()
 		if err != nil {
@@ -512,6 +553,9 @@ func DecodeReply(order ByteOrder, body []byte, rep *Reply) error {
 		}
 		if trace, span := readTraceContext(order, id, data); trace != 0 {
 			rep.TraceID, rep.SpanID = trace, span
+		}
+		if ns := readRetryAfterContext(order, id, data); ns != 0 {
+			rep.RetryAfterNs = ns
 		}
 	}
 	if rep.RequestID, err = d.ReadULong(); err != nil {

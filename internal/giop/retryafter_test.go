@@ -1,0 +1,108 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterRoundTrip checks the retry-after service context survives a
+// reply marshal/decode round trip in both byte orders, alone and alongside
+// the trace context.
+func TestRetryAfterRoundTrip(t *testing.T) {
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		for _, trace := range []uint64{0, 0xfeed} {
+			rep := &Reply{
+				RequestID:    7,
+				Status:       ReplySystemException,
+				TraceID:      trace,
+				SpanID:       trace,
+				RetryAfterNs: int64(80 * time.Millisecond),
+				Payload:      []byte("shed"),
+			}
+			wire := MarshalReply(nil, order, rep)
+			h, err := ParseHeader(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got Reply
+			if err := DecodeReply(h.Order, wire[HeaderSize:], &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.RetryAfterNs != rep.RetryAfterNs {
+				t.Fatalf("order %v trace %#x: RetryAfterNs = %d, want %d",
+					order, trace, got.RetryAfterNs, rep.RetryAfterNs)
+			}
+			if got.TraceID != trace || got.RequestID != 7 || got.Status != ReplySystemException {
+				t.Fatalf("order %v: decoded %+v", order, got)
+			}
+			if !bytes.Equal(got.Payload, rep.Payload) {
+				t.Fatalf("payload %q", got.Payload)
+			}
+		}
+	}
+}
+
+// TestRetryAfterZeroOmitted checks a hintless reply is byte-identical to
+// the pre-hint wire form: no context entry appears.
+func TestRetryAfterZeroOmitted(t *testing.T) {
+	rep := &Reply{RequestID: 3, Status: ReplyNoException, Payload: []byte("ok")}
+	wire := MarshalReply(nil, BigEndian, rep)
+	hinted := *rep
+	hinted.RetryAfterNs = 0
+	if again := MarshalReply(nil, BigEndian, &hinted); !bytes.Equal(wire, again) {
+		t.Fatal("zero-hint reply changed wire form")
+	}
+	// The untraced, unhinted reply carries an empty service-context sequence.
+	var got Reply
+	h, _ := ParseHeader(wire)
+	if err := DecodeReply(h.Order, wire[HeaderSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.RetryAfterNs != 0 {
+		t.Fatalf("phantom hint %d", got.RetryAfterNs)
+	}
+}
+
+// TestRetryAfterMalformedIgnored checks malformed or negative hint contexts
+// decode to zero instead of poisoning the reply.
+func TestRetryAfterMalformedIgnored(t *testing.T) {
+	mk := func(datalen int, fill byte) []byte {
+		var e Encoder
+		e.Reset(BigEndian, AppendHeader(nil, Header{Type: MsgReply, Order: BigEndian}))
+		e.WriteULong(1) // one service context
+		e.WriteULong(RetryAfterContextID)
+		e.WriteULong(uint32(datalen))
+		for i := 0; i < datalen; i++ {
+			e.buf = append(e.buf, fill)
+		}
+		e.WriteULong(9) // request id
+		e.WriteULong(uint32(ReplyNoException))
+		wire := e.buf
+		patchSize(wire, 0, BigEndian)
+		return wire
+	}
+	for _, tc := range []struct {
+		name string
+		wire []byte
+	}{
+		{"short data", mk(4, 0x01)},
+		{"long data", mk(12, 0x01)},
+		{"negative hint", mk(8, 0xFF)},
+	} {
+		h, err := ParseHeader(tc.wire)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var got Reply
+		if err := DecodeReply(h.Order, tc.wire[HeaderSize:], &got); err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if got.RetryAfterNs != 0 {
+			t.Fatalf("%s: hint %d, want 0", tc.name, got.RetryAfterNs)
+		}
+		if got.RequestID != 9 {
+			t.Fatalf("%s: request id %d", tc.name, got.RequestID)
+		}
+	}
+}

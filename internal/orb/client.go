@@ -872,7 +872,15 @@ func (cl *Client) withRetry(op func() ([]byte, error)) ([]byte, error) {
 			return nil, err
 		}
 		retryTotal.Inc()
-		time.Sleep(r.nextDelay())
+		delay := r.nextDelay()
+		// A shed reply carries the server's back-off hint: honour it when it
+		// exceeds the local backoff, so retry pressure scales down with the
+		// server's brown-out level instead of hammering a recovering peer.
+		var shed *ShedError
+		if errors.As(err, &shed) && shed.RetryAfter > delay {
+			delay = shed.RetryAfter
+		}
+		time.Sleep(delay)
 	}
 }
 

@@ -1,6 +1,8 @@
 package orb
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/giop"
 	"repro/internal/overload"
@@ -129,6 +131,11 @@ type requestMsg struct {
 	ctrl    *overload.Controller
 	admitAt int64
 	class   uint8
+
+	// inflight is the server-wide dispatched-request counter (Server.Drain's
+	// quiescence signal), incremented when dispatch hands the request to the
+	// port and decremented exactly once when the message recycles.
+	inflight *atomic.Int64
 }
 
 // Reset implements core.Message; it releases the message's frame reference.
@@ -136,6 +143,10 @@ type requestMsg struct {
 // done or OnShed (a failed Send recycles through here): release the slot as
 // a drop, never as a latency sample.
 func (m *requestMsg) Reset() {
+	if m.inflight != nil {
+		m.inflight.Add(-1)
+		m.inflight = nil
+	}
 	if m.ctrl != nil {
 		m.ctrl.Dropped()
 		m.ctrl = nil
@@ -175,13 +186,14 @@ func (m *requestMsg) OnShed() {
 	if m.ctrl == nil {
 		return
 	}
-	m.ctrl.Dropped()
+	ctrl := m.ctrl
+	ctrl.Dropped()
 	m.ctrl = nil
 	if m.conn == nil {
 		return
 	}
 	if info, ok := giop.PeekRequestInfo(m.order, m.raw); ok && info.ResponseExpected {
-		writeShedReply(m.conn, m.order, info.RequestID)
+		writeShedReply(m.conn, m.order, info.RequestID, int64(ctrl.RetryAfter()))
 	}
 }
 

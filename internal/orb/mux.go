@@ -586,7 +586,14 @@ func replyResult(rep *giop.Reply, fb *giop.FrameBuf) invokeResult {
 		fb.Release()
 		return invokeResult{err: err}
 	default:
-		err := fmt.Errorf("%w: %s", corba.ErrSystemException, rep.Payload)
+		var err error
+		if rep.RetryAfterNs > 0 {
+			// A retry-after hint marks the exception as a shed: surface it as
+			// a ShedError so the retry loop can pace to the server's horizon.
+			err = &ShedError{RetryAfter: time.Duration(rep.RetryAfterNs), Detail: string(rep.Payload)}
+		} else {
+			err = fmt.Errorf("%w: %s", corba.ErrSystemException, rep.Payload)
+		}
 		fb.Release()
 		return invokeResult{err: err}
 	}

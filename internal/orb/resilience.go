@@ -2,6 +2,7 @@ package orb
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"os"
@@ -28,7 +29,33 @@ var (
 	// it eventually arrives — so one slow invocation no longer forces a
 	// teardown on everyone sharing the pipeline.
 	ErrDeadlineExceeded = errors.New("orb client: invoke deadline exceeded")
+	// ErrShed marks a reply reporting the server shed the request — overload
+	// brown-out or a draining replica — rather than executing it. Shed
+	// errors usually arrive as a *ShedError carrying the server's suggested
+	// back-off; match with errors.Is(err, ErrShed).
+	ErrShed = errors.New("orb client: request shed by server")
 )
+
+// ShedError is a shed reply surfaced to the caller, carrying the server's
+// retry-after hint from the GIOP service context. It matches both ErrShed
+// and corba.ErrSystemException under errors.Is — a shed is a system
+// exception, so callers that only screen for exceptions keep working.
+type ShedError struct {
+	// RetryAfter is the server's suggested back-off before retrying.
+	RetryAfter time.Duration
+	// Detail is the exception payload text.
+	Detail string
+}
+
+// Error formats the shed with its hint.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v): %s", ErrShed, e.RetryAfter, e.Detail)
+}
+
+// Is matches ErrShed and corba.ErrSystemException.
+func (e *ShedError) Is(target error) bool {
+	return target == ErrShed || target == corba.ErrSystemException
+}
 
 // Resilience counters, exported at /metrics with the compadres_ prefix.
 var (
@@ -242,6 +269,11 @@ func retriable(err error) bool {
 	var op *transport.OpError
 	switch {
 	case errors.As(err, &op):
+		return true
+	case errors.Is(err, ErrShed):
+		// A shed never executed on the servant — the server said so
+		// explicitly — so retrying is safe; withRetry honours the reply's
+		// retry-after hint when pacing the attempt.
 		return true
 	case errors.Is(err, ErrCircuitOpen), errors.Is(err, ErrDeadlineExceeded):
 		return true

@@ -123,6 +123,16 @@ type Server struct {
 	// This is how a group directory redirects clients to live replicas.
 	locateFwd atomic.Pointer[func(key []byte) []string]
 
+	// retiring is the copy-on-write set of object keys whose servants were
+	// unregistered by a drain: stragglers addressing them get a shed reply
+	// with a retry-after hint (pointing them at their directory's surviving
+	// replicas) instead of the terminal ErrNoServant.
+	retiring atomic.Pointer[map[string]struct{}]
+
+	// inflight counts dispatched-but-not-recycled requests across every
+	// connection; Drain polls it to zero.
+	inflight atomic.Int64
+
 	mu      sync.Mutex
 	conns   []*serverConn
 	handles []*core.Handle
@@ -336,6 +346,89 @@ func (s *Server) RegisterServant(key string, sv corba.Servant) {
 	}
 	m[key] = sv
 	s.servants.Store(&m)
+	s.setRetiringLocked(key, false)
+}
+
+// UnregisterServant unbinds a servant and marks its key retiring: requests
+// already queued (or racing the unbind) are answered with a retry-after
+// shed reply instead of ErrNoServant, so a draining replica's stragglers
+// re-route through their directory rather than surfacing errors. Pair with
+// Drain to wait out the in-flight tail.
+func (s *Server) UnregisterServant(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.servants.Load()
+	if old == nil {
+		s.setRetiringLocked(key, true)
+		return
+	}
+	if _, ok := (*old)[key]; !ok {
+		s.setRetiringLocked(key, true)
+		return
+	}
+	m := make(map[string]corba.Servant, len(*old)-1)
+	for k, v := range *old {
+		if k != key {
+			m[k] = v
+		}
+	}
+	s.servants.Store(&m)
+	s.setRetiringLocked(key, true)
+}
+
+// setRetiringLocked adds or removes key on the copy-on-write retiring set.
+// Called with s.mu held.
+func (s *Server) setRetiringLocked(key string, retiring bool) {
+	var old map[string]struct{}
+	if p := s.retiring.Load(); p != nil {
+		old = *p
+	}
+	if _, ok := old[key]; ok == retiring {
+		return
+	}
+	m := make(map[string]struct{}, len(old)+1)
+	for k := range old {
+		m[k] = struct{}{}
+	}
+	if retiring {
+		m[key] = struct{}{}
+	} else {
+		delete(m, key)
+	}
+	s.retiring.Store(&m)
+}
+
+// isRetiring reports whether key was unregistered by a drain.
+func (s *Server) isRetiring(key []byte) bool {
+	p := s.retiring.Load()
+	if p == nil {
+		return false
+	}
+	_, ok := (*p)[string(key)]
+	return ok
+}
+
+// Inflight returns the dispatched-but-not-completed request count.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// Drain waits — bounded by timeout, zero selecting one second — for every
+// dispatched request to complete: queued, in-servant, and writing-reply
+// work all count. It does not stop the listener or refuse new requests;
+// the caller removes the server from its directory (and unregisters
+// retiring servants) first, so the tail it waits on is finite.
+func (s *Server) Drain(timeout time.Duration) error {
+	if timeout == 0 {
+		timeout = time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for s.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("orb server: drain: %d requests still in flight after %v",
+				s.inflight.Load(), timeout)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil
 }
 
 // SetLocateForwarder installs fn, consulted by the Locate path when no local
@@ -649,6 +742,8 @@ func (s *Server) dispatch(sc *serverConn, toRP *core.OutPort, h giop.Header, fb 
 	m := msg.(*requestMsg)
 	m.setFrame(fb, h.Order)
 	m.conn = sc
+	m.inflight = &s.inflight
+	s.inflight.Add(1)
 	// Dispatch at the priority the client stamped on the request, so a
 	// high-priority invocation overtakes queued lower ones instead of
 	// waiting behind the arrival order.
@@ -682,7 +777,9 @@ func (s *Server) dispatchAdmitted(sc *serverConn, toRP *core.OutPort, h giop.Hea
 	d := s.ctrl.Admit(info.TenantID, overload.Tier(info.TenantTier), prio)
 	if !d.OK {
 		if peeked && info.ResponseExpected {
-			writeShedReply(sc, h.Order, info.RequestID)
+			// The brown-out shed carries the controller's back-off hint, so
+			// the client paces its retry to the server's recovery horizon.
+			writeShedReply(sc, h.Order, info.RequestID, int64(s.ctrl.RetryAfter()))
 		}
 		fb.Release()
 		return true
@@ -699,6 +796,8 @@ func (s *Server) dispatchAdmitted(sc *serverConn, toRP *core.OutPort, h giop.Hea
 	m.ctrl = s.ctrl
 	m.admitAt = admitAt
 	m.class = d.Class
+	m.inflight = &s.inflight
+	s.inflight.Add(1)
 	// On a send error the enqueue path has already recycled the message
 	// (Reset), releasing the frame reference and the controller slot with it.
 	return toRP.Send(msg, prio) == nil
@@ -709,18 +808,36 @@ func (s *Server) dispatchAdmitted(sc *serverConn, toRP *core.OutPort, h giop.Hea
 var shedReplyPayload = []byte("orb: overload: request shed")
 
 // writeShedReply answers one shed request with a system-exception reply so
-// the caller fails fast instead of hanging until its invoke timeout. Best
-// effort: a write failure means the connection is dying, and its reader loop
-// owns that diagnosis.
-func writeShedReply(sc *serverConn, order giop.ByteOrder, requestID uint32) {
+// the caller fails fast instead of hanging until its invoke timeout. A
+// positive retryAfterNs rides along in the retry-after service context as
+// the suggested back-off. Best effort: a write failure means the connection
+// is dying, and its reader loop owns that diagnosis.
+func writeShedReply(sc *serverConn, order giop.ByteOrder, requestID uint32, retryAfterNs int64) {
 	wb := giop.GetBuffer()
 	wb.B = giop.MarshalReply(wb.B, order, &giop.Reply{
-		RequestID: requestID,
-		Status:    giop.ReplySystemException,
-		Payload:   shedReplyPayload,
+		RequestID:    requestID,
+		Status:       giop.ReplySystemException,
+		RetryAfterNs: retryAfterNs,
+		Payload:      shedReplyPayload,
 	})
 	_ = sc.write(wb.B)
 	giop.PutBuffer(wb)
+}
+
+// retireRetryAfterNs is the back-off hinted to stragglers addressing a
+// retiring servant on a server without an overload controller: long enough
+// for a rolling upgrade's directory update to land, short enough not to
+// stall the caller.
+const retireRetryAfterNs = int64(20 * time.Millisecond)
+
+// retryAfterNs is the back-off hint stamped on shed replies: the overload
+// controller's level-scaled window when one is running, the retirement
+// default otherwise.
+func (s *Server) retryAfterNs() int64 {
+	if s.ctrl != nil {
+		return int64(s.ctrl.RetryAfter())
+	}
+	return retireRetryAfterNs
 }
 
 // processRequest runs in the RequestProcessing component's scope: it
@@ -754,6 +871,16 @@ func (s *Server) processRequest(p *core.Proc, msg core.Message) error {
 	)
 	sv, ok := s.servant(req.ObjectKey)
 	if !ok {
+		if s.isRetiring(req.ObjectKey) {
+			// A drain unbound this servant; the request raced the unbind or
+			// was already queued. Shed it with a back-off hint — the caller's
+			// directory re-routes the retry to a surviving replica — and let
+			// the recycle release any controller slot as a drop.
+			if req.ResponseExpected {
+				writeShedReply(m.conn, m.order, req.RequestID, s.retryAfterNs())
+			}
+			return nil
+		}
 		status = giop.ReplySystemException
 		payload = []byte(corba.ErrNoServant.Error())
 	} else {

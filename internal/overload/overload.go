@@ -301,6 +301,14 @@ func (c *Controller) Inflight() int64 { return c.inflight.Load() }
 // Level returns the current brown-out ladder level (0..3).
 func (c *Controller) Level() int { return int(c.level.Load()) }
 
+// RetryAfter suggests how long a shed client should back off before
+// retrying: one control window at level 0, doubling per brown-out level, so
+// the hint scales with how far the server is into the ladder. Carried to
+// the client in the GIOP retry-after service context.
+func (c *Controller) RetryAfter() time.Duration {
+	return c.cfg.Window << c.level.Load()
+}
+
 // state resolves a tenant's accounting, registering unseen tenants on a
 // copy-on-write map (cold path). Tenant id 0 is the implicit default.
 func (c *Controller) state(id uint64, tier Tier) *tenantState {

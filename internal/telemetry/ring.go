@@ -40,6 +40,16 @@ const (
 	// had already passed — never executed, unlike EvDeadlineMiss
 	// (arg = lateness in nanoseconds).
 	EvDeadlineShed
+	// EvSwap is a live component swap: the blueprint was replaced, the old
+	// instance drained, and the route-cache generation flipped
+	// (arg = reconfiguration pause in nanoseconds).
+	EvSwap
+	// EvRewire is a live destination-list replacement on an Out port
+	// (arg = the new destination count).
+	EvRewire
+	// EvDrain is an assembly drain reaching quiescence
+	// (arg = drain duration in nanoseconds).
+	EvDrain
 )
 
 // String returns the event kind name.
@@ -71,6 +81,12 @@ func (k EventKind) String() string {
 		return "shed"
 	case EvDeadlineShed:
 		return "deadline_shed"
+	case EvSwap:
+		return "swap"
+	case EvRewire:
+		return "rewire"
+	case EvDrain:
+		return "drain"
 	default:
 		return "unknown"
 	}
