@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 bench5 bench6 bench7 allocguard zerocopy-guard chaos
+.PHONY: all build vet test race bench-smoke verify bench1 bench2 bench3 bench4 bench5 bench6 bench7 bench8 allocguard zerocopy-guard chaos
 
 all: build
 
@@ -20,7 +20,9 @@ race: build vet
 	$(GO) test -race ./...
 
 # allocguard compares the steady-state round trip's allocation profile with
-# telemetry recording on and off; both must be 0 allocs/op.
+# telemetry recording on and off, plus the collocated ORB invocation
+# variant; every variant must be 0 allocs/op (and the collocated one 0
+# counted payload copies).
 allocguard:
 	$(GO) test -run TestSteadyStateRoundTripAllocFree .
 	$(GO) test -run='^$$' -bench=BenchmarkSteadyStateRoundTrip -benchtime=20000x .
@@ -37,7 +39,7 @@ zerocopy-guard:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=10x .
 
-verify: vet build race bench-smoke zerocopy-guard
+verify: vet build race bench-smoke zerocopy-guard allocguard
 
 # chaos is the resilience gate: the fault-injection suite — seeded fault
 # network, circuit breaker, reconnect/retry, deadline teardown, overload
@@ -46,12 +48,14 @@ verify: vet build race bench-smoke zerocopy-guard
 # 64-invoker storm), the cluster failover soak (kill one of three replicas
 # under load: >=99% success, zero breaker trips, the re-added member takes
 # traffic again), and the live-reconfiguration soaks (hot-swap under load,
-# route-rebuild storm, rolling upgrades back and forth under traffic) —
+# route-rebuild storm, rolling upgrades back and forth under traffic), and
+# the collocated swap-under-traffic soak (closing the collocated member
+# under full load: every invocation falls back to the wire, zero drops) —
 # under the race detector. Every fault schedule in these tests is seeded,
 # so failures replay.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux|Cluster|Replica|Overload|Brownout|AIMD|Swap|Rolling|Reconfig|RouteGen|Drain' \
+		-run 'Fault|Chaos|Breaker|Restart|Deadline|CrossTalk|Backoff|RetryBudget|Overflow|RemoveItem|OpError|ListenerCloseRace|Mux|Cluster|Replica|Overload|Brownout|AIMD|Swap|Rolling|Reconfig|RouteGen|Drain|Collocated' \
 		./internal/fault/ ./internal/orb/ ./internal/core/ ./internal/sched/ ./internal/transport/ ./internal/cluster/ ./internal/deploy/ ./internal/overload/
 
 # bench1 regenerates BENCH_1.json, the checked-in snapshot of the Fig. 11
@@ -98,3 +102,10 @@ bench6:
 # trips must both be 0, every member drained).
 bench7:
 	$(GO) run ./cmd/benchharness -experiment bench7 -out BENCH_7.json
+
+# bench8 regenerates BENCH_8.json, the collocation + multi-core snapshot:
+# the collocated direct path against real loopback TCP at equal concurrency
+# (>=5x), the matched-shards sweep at GOMAXPROCS 1 and NumCPU (>=2x at 16
+# in flight on a multi-core host), and the Fig. 11 256B cell re-run.
+bench8:
+	$(GO) run ./cmd/benchharness -experiment bench8 -out BENCH_8.json

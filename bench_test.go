@@ -213,6 +213,60 @@ func BenchmarkSteadyStateRoundTrip(b *testing.B) {
 			}
 		})
 	}
+	// The Collocated variant is the collocation acceptance pin: a full ORB
+	// invocation through the collocated fast path — admission gate, tenant
+	// classification, in-flight gauges and latency sample all live — must
+	// cost zero allocations and zero counted payload copies per operation,
+	// like the wire fast path it bypasses.
+	b.Run("Collocated", func(b *testing.B) {
+		cl, srv, ctrl := newCollocatedPair(b)
+		defer cl.Close()
+		defer srv.Close()
+		defer ctrl.Close()
+		payload := make([]byte, 256)
+		for i := 0; i < 64; i++ {
+			if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
+				b.Fatal(err)
+			}
+		}
+		copiesBefore := telemetry.NewCounter("payload_copy_total").Value()
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if d := telemetry.NewCounter("payload_copy_total").Value() - copiesBefore; d != 0 {
+			b.Fatalf("collocated round trip charged %d payload copies, want 0", d)
+		}
+	})
+}
+
+// newCollocatedPair stands up an overload-gated ORB server and a
+// collocation-enabled client to it in this process. The echo servant
+// returns its input slice unchanged — the zero-copy collocation contract —
+// so the round trip has no reason to touch the allocator.
+func newCollocatedPair(tb testing.TB) (*orb.Client, *orb.Server, *overload.Controller) {
+	tb.Helper()
+	ctrl := overload.NewController(overload.Config{})
+	net := transport.NewInproc()
+	srv, err := orb.NewServer(orb.ServerConfig{Network: net, Overload: ctrl})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv.RegisterServant("echo", corba.ServantFunc(func(op string, in []byte) ([]byte, error) {
+		return in, nil
+	}))
+	srv.ServeBackground()
+	cl, err := orb.DialClient(orb.ClientConfig{Network: net, Addr: srv.Addr(), Collocate: true})
+	if err != nil {
+		srv.Close()
+		tb.Fatal(err)
+	}
+	return cl, srv, ctrl
 }
 
 // TestSteadyStateRoundTripAllocFree is the benchmark guard: the warm round
@@ -270,6 +324,28 @@ func TestSteadyStateRoundTripAllocFree(t *testing.T) {
 			}
 		})
 	}
+	t.Run("Collocated", func(t *testing.T) {
+		cl, srv, ctrl := newCollocatedPair(t)
+		defer cl.Close()
+		defer srv.Close()
+		defer ctrl.Close()
+		payload := make([]byte, 256)
+		invoke := func() {
+			if _, err := cl.Invoke("echo", "echo", payload, sched.NormPriority); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			invoke()
+		}
+		copiesBefore := telemetry.NewCounter("payload_copy_total").Value()
+		if allocs := testing.AllocsPerRun(200, invoke); allocs != 0 {
+			t.Errorf("collocated round trip allocates %.1f objects/op, want 0", allocs)
+		}
+		if d := telemetry.NewCounter("payload_copy_total").Value() - copiesBefore; d != 0 {
+			t.Errorf("collocated round trip charged %d payload copies, want 0", d)
+		}
+	})
 }
 
 func BenchmarkAblationCrossScope_SharedObject(b *testing.B) {

@@ -12,6 +12,7 @@
 //	benchharness -experiment bench5      # BENCH_5.json snapshot (cluster failover under load)
 //	benchharness -experiment bench6      # BENCH_6.json snapshot (tiered overload control)
 //	benchharness -experiment bench7      # BENCH_7.json snapshot (live reconfiguration)
+//	benchharness -experiment bench8      # BENCH_8.json snapshot (collocated fast path + multi-core dispatch)
 //	benchharness -experiment chaos       # resilient invocation under seeded fault injection
 //	benchharness -experiment all
 //
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | bench2 | bench3 | bench4 | bench5 | bench6 | bench7 | chaos | all")
+		experiment = flag.String("experiment", "all", "table2 | fig9 | fig11 | ablations | bench1 | bench2 | bench3 | bench4 | bench5 | bench6 | bench7 | bench8 | chaos | all")
 		obs        = flag.Int("observations", metrics.DefaultObservations, "steady-state observations per configuration")
 		warmup     = flag.Int("warmup", metrics.DefaultWarmup, "warm-up iterations discarded before measuring")
 		out        = flag.String("out", "", "output path for the bench1/bench2/bench3 snapshot (default BENCH_<n>.json)")
@@ -119,6 +120,11 @@ func run(experiment string, warmup, obs int, out string, seed uint64) error {
 			out = "BENCH_7.json"
 		}
 		return runBench7(warmup, obs, out)
+	case "bench8":
+		if out == "" {
+			out = "BENCH_8.json"
+		}
+		return runBench8(warmup, obs, out)
 	case "chaos":
 		return runChaos(warmup, obs, seed)
 	case "all":

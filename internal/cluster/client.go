@@ -39,6 +39,13 @@ type ClientConfig struct {
 	// Coalesce and ReactorShards pass through to the underlying orb client.
 	Coalesce      *orb.CoalesceConfig
 	ReactorShards int
+	// Collocate opts the client into the collocated fast path (see
+	// orb.ClientConfig.Collocate): when a resolved group member is an
+	// orb.Server in this process on this Network, invocations dispatch the
+	// servant directly. The decision is re-detected after every retarget —
+	// refresher-driven, failover-driven, or explicit — so replica moves and
+	// rolling upgrades fall back to the wire path, never a stale pointer.
+	Collocate bool
 }
 
 // Client is an orb.Client bound to a replica group instead of one server:
@@ -85,6 +92,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		MaxMessage:    cfg.MaxMessage,
 		Coalesce:      cfg.Coalesce,
 		ReactorShards: cfg.ReactorShards,
+		Collocate:     cfg.Collocate,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial group %q: %w", cfg.Group, err)

@@ -125,6 +125,31 @@ func (m *Model) LiveScopedAreas() int64 {
 	return m.scoped
 }
 
+// Scoped-area lifecycle state is packed into one atomic word so the
+// steady-state enter/exit crossing is a single CAS instead of a mutex
+// round trip:
+//
+//	bits 0..15   entrant count
+//	bits 16..23  wedge count
+//	bits 24..63  reuse generation
+//
+// The generation lives in the same word as the holder counts on purpose: a
+// CAS that succeeds against an observed state proves no reclamation (and
+// therefore no re-parenting — the parent pointer only changes on the first
+// hold after a reclaim) happened between the observation and the update,
+// which is what makes the lock-free paths ABA-safe.
+const (
+	entrantBits  = 16
+	wedgeBits    = 8
+	wedgeShift   = entrantBits
+	genShift     = entrantBits + wedgeBits
+	entrantMask  = 1<<entrantBits - 1
+	wedgeMask    = (1<<wedgeBits - 1) << wedgeShift
+	holderMask   = entrantMask | wedgeMask
+	entrantDelta = 1
+	wedgeDelta   = 1 << wedgeShift
+)
+
 // Area is one memory region. The zero value is not usable; create areas
 // through a Model.
 type Area struct {
@@ -135,12 +160,16 @@ type Area struct {
 	capacity int64
 	linear   bool
 
+	// state packs generation|wedges|entrants (see the bit layout above). It
+	// is the sole source of truth for all three; fast enter/exit paths CAS
+	// it without taking mu.
+	state atomic.Uint64
+	// parent is written only by first-hold and reclaim paths (both under
+	// mu), and read lock-free by the enter fast path and CheckAccess.
+	parent atomic.Pointer[Area]
+
 	mu         sync.Mutex
-	parent     *Area
 	level      int
-	entrants   int
-	wedges     int
-	gen        uint64
 	used       int64
 	allocs     int64
 	buf        []byte
@@ -157,6 +186,12 @@ func (a *Area) Kind() Kind { return a.kind }
 
 // Capacity returns the area's byte budget; zero means unbounded (heap).
 func (a *Area) Capacity() int64 { return a.capacity }
+
+// genNow returns the current reuse generation (lock-free).
+func (a *Area) genNow() uint64 { return a.state.Load() >> genShift }
+
+// holders returns entrants+wedges (lock-free).
+func (a *Area) holders() uint64 { return a.state.Load() & holderMask }
 
 // Used returns the bytes currently allocated in the area.
 func (a *Area) Used() int64 {
@@ -195,9 +230,7 @@ func (a *Area) Level() int {
 // Parent returns the current parent of an active scoped area, or nil for
 // primordial and inactive areas.
 func (a *Area) Parent() *Area {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.parent
+	return a.parent.Load()
 }
 
 // Active reports whether the area may be allocated from: heap and immortal
@@ -207,17 +240,13 @@ func (a *Area) Active() bool {
 	if a.kind != KindScoped {
 		return true
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.entrants+a.wedges > 0
+	return a.holders() > 0
 }
 
 // Generation returns the area's reuse generation. It increments every time
 // a scoped area is reclaimed, invalidating outstanding Refs.
 func (a *Area) Generation() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.gen
+	return a.genNow()
 }
 
 // AddFinalizer registers fn to run (LIFO) when the area is next reclaimed.
@@ -233,54 +262,145 @@ func (a *Area) AddFinalizer(fn func()) {
 
 // String summarises the area for diagnostics.
 func (a *Area) String() string {
+	s := a.state.Load()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return fmt.Sprintf("%s(%s, %d/%d bytes, level %d, entrants %d, wedges %d)",
-		a.name, a.kind, a.used, a.capacity, a.level, a.entrants, a.wedges)
+		a.name, a.kind, a.used, a.capacity, a.level, s&entrantMask, (s&wedgeMask)>>wedgeShift)
 }
 
 // enter records a context entering the area from the given current area,
 // enforcing the single-parent rule for scoped areas.
+//
+// Fast path: while the area is held open (entrants+wedges > 0) its parent
+// is fixed, so re-entry from the same parent is one CAS bumping the entrant
+// count. The parent read races reclamation, but the CAS revalidates it:
+// success requires the whole state word — generation included — to be
+// unchanged since the load, and the parent can only change through a
+// reclaim that bumps the generation.
 func (a *Area) enter(from *Area) error {
 	if a.kind != KindScoped {
 		return nil
 	}
+	for {
+		s := a.state.Load()
+		if s&holderMask == 0 || s&entrantMask == entrantMask {
+			break // first holder (or counter saturated): take the lock
+		}
+		if a.parent.Load() != from {
+			break // mismatch or racing reclaim: settle it under the lock
+		}
+		if a.state.CompareAndSwap(s, s+entrantDelta) {
+			return nil
+		}
+	}
+	return a.enterSlow(from)
+}
+
+// enterCached re-enters an area previously validated at generation gen: a
+// single guarded CAS. It succeeds only while the generation is unchanged
+// and the area is still held open — which together imply the area has kept
+// the parent it was validated with, so no parent check is needed.
+func (a *Area) enterCached(gen uint64) bool {
+	for {
+		s := a.state.Load()
+		if s>>genShift != gen || s&holderMask == 0 || s&entrantMask == entrantMask {
+			return false
+		}
+		if a.state.CompareAndSwap(s, s+entrantDelta) {
+			return true
+		}
+	}
+}
+
+// enterSlow is the mutex path: first entrant fixes the parent (RTSJ binds
+// the scope's parent at first entry and clears it on reclamation); re-entry
+// of an active area enforces the single-parent rule.
+func (a *Area) enterSlow(from *Area) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.entrants+a.wedges == 0 {
-		// First entrant fixes the parent (RTSJ binds the scope's parent at
-		// first entry and clears it on reclamation).
-		a.parent = from
-		a.level = from.scopeLevel() + 1
-	} else if a.parent != from {
-		return fmt.Errorf("%w: %q is already parented under %q, cannot enter from %q",
-			ErrScopedCycle, a.name, a.parent.Name(), from.Name())
+	for {
+		s := a.state.Load()
+		if s&entrantMask == entrantMask {
+			return fmt.Errorf("memory: %q: entrant count saturated", a.name)
+		}
+		if s&holderMask == 0 {
+			// Sole prospective holder. No fast-path CAS can interleave here
+			// (fast enter/exit both require holders > 0) and slow paths
+			// serialise on mu, so a plain store of parent/level before the
+			// count bump is safe.
+			a.parent.Store(from)
+			a.level = from.scopeLevel() + 1
+			a.state.Store(s + entrantDelta)
+			return nil
+		}
+		if p := a.parent.Load(); p != from {
+			return fmt.Errorf("%w: %q is already parented under %q, cannot enter from %q",
+				ErrScopedCycle, a.name, p.Name(), from.Name())
+		}
+		if a.state.CompareAndSwap(s, s+entrantDelta) {
+			return nil
+		}
 	}
-	a.entrants++
-	return nil
 }
 
 // exit records a context leaving the area, reclaiming it if it was the last
-// holder.
+// holder. The fast path handles the not-last-holder case with one CAS; only
+// the final exit (entrants==1, wedges==0) takes the mutex to reclaim.
 func (a *Area) exit() {
 	if a.kind != KindScoped {
 		return
 	}
+	for {
+		s := a.state.Load()
+		if s&holderMask == entrantDelta {
+			break // sole holder: reclaim under the lock
+		}
+		if a.state.CompareAndSwap(s, s-entrantDelta) {
+			return
+		}
+	}
+	a.dropSlow(entrantDelta)
+}
+
+// dropSlow releases one holder (an entrant or a wedge) under the mutex,
+// reclaiming the area if it was the last. A concurrent cached/fast enter
+// can race the count back up between the caller's check and the lock
+// acquisition, so the decision is re-taken in a CAS loop.
+func (a *Area) dropSlow(delta uint64) {
 	a.mu.Lock()
-	a.entrants--
-	reclaim := a.entrants+a.wedges == 0
 	var fins []func()
-	if reclaim {
-		fins = a.reclaimLocked()
+	reclaimed := false
+	for {
+		s := a.state.Load()
+		if s&holderMask != delta {
+			// Not the last holder after all.
+			if a.state.CompareAndSwap(s, s-delta) {
+				a.mu.Unlock()
+				return
+			}
+			continue
+		}
+		// Dropping to zero holders. Once this CAS lands no lock-free enter
+		// can succeed (they require holders > 0) and slow enters are blocked
+		// on mu, so reclaimLocked runs with the area quiescent.
+		if a.state.CompareAndSwap(s, s-delta) {
+			fins = a.reclaimLocked()
+			reclaimed = true
+			break
+		}
 	}
 	a.mu.Unlock()
 	runFinalizers(fins)
-	if reclaim && a.pool != nil {
+	if reclaimed && a.pool != nil {
 		a.pool.put(a)
 	}
 }
 
 // scopeLevel returns the level used for a child parented under this area.
+// Called while the receiver is held open by the caller's context, which
+// ordered the level write (first hold) before the state bump that made the
+// area visible as active.
 func (a *Area) scopeLevel() int {
 	if a.kind != KindScoped {
 		return 0
@@ -290,15 +410,18 @@ func (a *Area) scopeLevel() int {
 
 // reclaimLocked resets the area for reuse and returns the finalizers to run
 // (callers must run them after releasing the lock, LIFO order preserved by
-// runFinalizers).
+// runFinalizers). Callers guarantee holders == 0 and hold mu. The
+// generation bump is published first so lock-free Ref checks go stale
+// before the arena is rezeroed.
 func (a *Area) reclaimLocked() []func() {
+	s := a.state.Load()
+	a.state.Store((s>>genShift + 1) << genShift)
+	a.parent.Store(nil)
 	fins := a.finalizers
 	a.finalizers = nil
 	used := a.used
 	a.used = 0
 	a.allocs = 0
-	a.gen++
-	a.parent = nil
 	a.level = 0
 	a.portal = Ref{}
 	if a.linear {
@@ -325,7 +448,7 @@ func (a *Area) alloc(n int) (Ref, error) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.kind == KindScoped && a.entrants+a.wedges == 0 {
+	if a.kind == KindScoped && a.holders() == 0 {
 		return Ref{}, fmt.Errorf("%w: allocation in %q", ErrInactive, a.name)
 	}
 	if a.kind == KindHeap {
@@ -333,7 +456,7 @@ func (a *Area) alloc(n int) (Ref, error) {
 		// its own slice so the Go GC reclaims it naturally.
 		a.used += int64(n)
 		a.allocs++
-		return Ref{area: a, gen: a.gen, data: make([]byte, n)}, nil
+		return Ref{area: a, gen: a.genNow(), data: make([]byte, n)}, nil
 	}
 	if a.used+int64(n) > a.capacity {
 		return Ref{}, fmt.Errorf("%w: %q needs %d bytes, %d free",
@@ -347,7 +470,7 @@ func (a *Area) alloc(n int) (Ref, error) {
 		// VT areas zero lazily at allocation time.
 		zero(data)
 	}
-	return Ref{area: a, gen: a.gen, data: data}, nil
+	return Ref{area: a, gen: a.genNow(), data: data}, nil
 }
 
 func zero(b []byte) {

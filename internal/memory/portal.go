@@ -23,10 +23,10 @@ func (a *Area) SetPortal(ref Ref) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.entrants+a.wedges == 0 {
+	if a.holders() == 0 {
 		return fmt.Errorf("%w: set portal on %q", ErrInactive, a.name)
 	}
-	if ref.gen != a.gen {
+	if ref.gen != a.genNow() {
 		return ErrStale
 	}
 	a.portal = ref
@@ -41,7 +41,7 @@ func (a *Area) Portal() (Ref, bool) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.portal.area == nil || a.portal.gen != a.gen {
+	if a.portal.area == nil || a.portal.gen != a.genNow() {
 		return Ref{}, false
 	}
 	return a.portal, true

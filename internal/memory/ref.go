@@ -15,26 +15,16 @@ type Ref struct {
 }
 
 // Valid reports whether the Ref still points into a live generation of its
-// area. The zero Ref is invalid.
+// area. The zero Ref is invalid. The check is lock-free: the generation is
+// read from the area's packed state word.
 func (r Ref) Valid() bool {
-	if r.area == nil {
-		return false
-	}
-	r.area.mu.Lock()
-	defer r.area.mu.Unlock()
-	return r.gen == r.area.gen
+	return r.area != nil && r.gen == r.area.genNow()
 }
 
 // Bytes returns the referenced bytes, or ErrStale if the area has been
 // reclaimed since the Ref was created.
 func (r Ref) Bytes() ([]byte, error) {
-	if r.area == nil {
-		return nil, ErrStale
-	}
-	r.area.mu.Lock()
-	ok := r.gen == r.area.gen
-	r.area.mu.Unlock()
-	if !ok {
+	if r.area == nil || r.gen != r.area.genNow() {
 		return nil, ErrStale
 	}
 	return r.data, nil
@@ -68,10 +58,7 @@ func CheckAccess(from, to *Area) error {
 	if to.kind != KindScoped {
 		return nil
 	}
-	to.mu.Lock()
-	toActive := to.entrants+to.wedges > 0
-	to.mu.Unlock()
-	if !toActive {
+	if to.holders() == 0 {
 		return &AccessError{From: from.name, To: to.name}
 	}
 	for a := from; a != nil; a = parentOf(a) {
@@ -86,7 +73,5 @@ func parentOf(a *Area) *Area {
 	if a.kind != KindScoped {
 		return nil
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.parent
+	return a.parent.Load()
 }

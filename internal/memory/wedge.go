@@ -21,15 +21,28 @@ func Pin(a *Area, from *Area) (*Wedge, error) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.entrants+a.wedges == 0 {
-		a.parent = from
-		a.level = from.scopeLevel() + 1
-	} else if a.parent != from {
-		return nil, fmt.Errorf("%w: %q is parented under %q, cannot pin from %q",
-			ErrScopedCycle, a.name, a.parent.Name(), from.Name())
+	for {
+		s := a.state.Load()
+		if s&wedgeMask == wedgeMask {
+			return nil, fmt.Errorf("memory: %q: wedge count saturated", a.name)
+		}
+		if s&holderMask == 0 {
+			// Sole prospective holder: fix parent and level, exactly like a
+			// first enter. No lock-free transition can interleave while
+			// holders == 0 (see enterSlow), so a plain store is safe.
+			a.parent.Store(from)
+			a.level = from.scopeLevel() + 1
+			a.state.Store(s + wedgeDelta)
+			return &Wedge{area: a}, nil
+		}
+		if p := a.parent.Load(); p != from {
+			return nil, fmt.Errorf("%w: %q is parented under %q, cannot pin from %q",
+				ErrScopedCycle, a.name, p.Name(), from.Name())
+		}
+		if a.state.CompareAndSwap(s, s+wedgeDelta) {
+			return &Wedge{area: a}, nil
+		}
 	}
-	a.wedges++
-	return &Wedge{area: a}, nil
 }
 
 // Area returns the pinned area.
@@ -43,17 +56,5 @@ func (w *Wedge) Release() {
 		return
 	}
 	w.released = true
-	a := w.area
-	a.mu.Lock()
-	a.wedges--
-	reclaim := a.entrants+a.wedges == 0
-	var fins []func()
-	if reclaim {
-		fins = a.reclaimLocked()
-	}
-	a.mu.Unlock()
-	runFinalizers(fins)
-	if reclaim && a.pool != nil {
-		a.pool.put(a)
-	}
+	w.area.dropSlow(wedgeDelta)
 }

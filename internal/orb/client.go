@@ -95,6 +95,22 @@ type ClientConfig struct {
 	// Tenant stamps nothing — the wire stays byte-identical to an
 	// overload-unaware client.
 	Tenant overload.Tenant
+	// Collocate opts the client into the collocated invocation fast path
+	// (local.go): when a member of the target set is an orb.Server in this
+	// process on this same Network, Invoke/InvokeView/InvokeOneway dispatch
+	// the servant directly on the caller's goroutine — no GIOP encode/
+	// decode, no coalescer, no stripes, no reactor. Server-side policy is
+	// preserved exactly: the overload Admit gate, tenant classification,
+	// retiring-key sheds, in-flight/latency instruments, and trace spans
+	// all see collocated traffic identically to remote traffic. The
+	// collocation decision is re-validated per invoke against the process
+	// registry and the client's route generation, so a server swap or a
+	// Retarget falls the client back to the wire path, never a stale
+	// pointer. Contract difference from the wire: a collocated Invoke's
+	// reply aliases the slice the servant returned (no marshal copies), so
+	// servants must hand out bytes they will not mutate afterwards; and
+	// Locate always uses the wire.
+	Collocate bool
 }
 
 // DefaultMaxMessage is the default bound on message bodies.
@@ -126,6 +142,12 @@ type Client struct {
 	coalesce *CoalesceConfig // nil unless ClientConfig.Coalesce was set
 	inflight atomic.Int64
 	gauge    *telemetry.GaugeHandle
+
+	// Collocation state (local.go): local caches the detection outcome,
+	// routeGen invalidates it on Retarget/membership refresh.
+	collocate bool
+	local     atomic.Pointer[localBinding]
+	routeGen  atomic.Uint64
 
 	// stripes is the channel pool: each entry owns one multiplexed
 	// connection slot with its own redial lock and breaker. Selection state
@@ -226,14 +248,15 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 		addrs = []string{cfg.Addr}
 	}
 	cl := &Client{
-		app:     app,
-		reqPool: reqPool,
-		maxMsg:  maxMsg,
-		order:   cfg.Order,
-		tenant:  cfg.Tenant,
-		network: cfg.Network,
-		addr:    addrs[0],
-		resolve: cfg.Resolve,
+		app:       app,
+		reqPool:   reqPool,
+		maxMsg:    maxMsg,
+		order:     cfg.Order,
+		tenant:    cfg.Tenant,
+		network:   cfg.Network,
+		addr:      addrs[0],
+		resolve:   cfg.Resolve,
+		collocate: cfg.Collocate,
 	}
 	cl.members.Store(&addrs)
 	if cfg.Resilience != nil {
@@ -598,6 +621,11 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 	if cl.closed.Load() {
 		return nil, corba.ErrClosed
 	}
+	if srv := cl.localServer(); srv != nil {
+		if out, err, handled := cl.invokeCollocated(srv, key, op, payload, prio, false); handled {
+			return out, err
+		}
+	}
 	st, err := cl.pickStripe(prio)
 	if err != nil {
 		return nil, err
@@ -615,6 +643,20 @@ func (cl *Client) Invoke(key, op string, payload []byte, prio sched.Priority) ([
 func (cl *Client) InvokeView(key, op string, payload []byte, prio sched.Priority, view func(reply memory.Loan) error) error {
 	if cl.closed.Load() {
 		return corba.ErrClosed
+	}
+	if srv := cl.localServer(); srv != nil {
+		if out, err, handled := cl.invokeCollocated(srv, key, op, payload, prio, false); handled {
+			if err != nil {
+				return err
+			}
+			if view != nil {
+				// The collocated reply is the servant's own slice — no frame
+				// to revoke; lend from a one-shot owner, as the frameless
+				// wire path does.
+				return view((&memory.LoanOwner{}).Lend(out))
+			}
+			return nil
+		}
 	}
 	st, err := cl.pickStripe(prio)
 	if err != nil {
@@ -669,6 +711,11 @@ func (cl *Client) InvokeIdempotent(key, op string, payload []byte, prio sched.Pr
 		return nil, corba.ErrClosed
 	}
 	return cl.withRetry(func() ([]byte, error) {
+		if srv := cl.localServer(); srv != nil {
+			if out, err, handled := cl.invokeCollocated(srv, key, op, payload, prio, false); handled {
+				return out, err
+			}
+		}
 		st, err := cl.pickStripe(prio)
 		if err != nil {
 			return nil, err
@@ -984,6 +1031,11 @@ func (cl *Client) InvokeOneway(key, op string, payload []byte, prio sched.Priori
 		return corba.ErrClosed
 	}
 	_, err := cl.withRetry(func() ([]byte, error) {
+		if srv := cl.localServer(); srv != nil {
+			if out, err, handled := cl.invokeCollocated(srv, key, op, payload, prio, true); handled {
+				return out, err
+			}
+		}
 		st, err := cl.pickStripe(prio)
 		if err != nil {
 			return nil, err

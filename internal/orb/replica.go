@@ -56,6 +56,10 @@ func (cl *Client) Retarget(addrs []string) {
 	defer cl.retargetMu.Unlock()
 	list := append([]string(nil), addrs...)
 	cl.members.Store(&list)
+	// A retarget is a route-generation bump for the collocation cache: the
+	// new membership may gain or lose an in-process member, so the next
+	// invoke re-detects instead of trusting the old decision.
+	cl.bumpRoute()
 	for i, st := range cl.stripes {
 		want := list[i%len(list)]
 		if st.target() == want {
@@ -94,6 +98,7 @@ func (cl *Client) refreshMembers() []string {
 	}
 	list := append([]string(nil), addrs...)
 	cl.members.Store(&list)
+	cl.bumpRoute()
 	return list
 }
 

@@ -110,6 +110,7 @@ type Server struct {
 	app    *core.App
 	poa    *core.Component
 	ln     transport.Listener
+	net    transport.Network // the listen network, for the collocation registry
 	maxMsg int
 
 	// servants is copy-on-write: lookups (per request, keyed by the raw
@@ -329,6 +330,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	srv.mu.Lock()
 	srv.handles = append(srv.handles, h)
 	srv.mu.Unlock()
+	// Publish the endpoint to the process-local collocation registry
+	// (local.go): a Collocate-enabled client in this process dialling this
+	// network+address invokes servants directly.
+	srv.net = cfg.Network
+	registerLocal(srv.net, ln.Addr(), srv)
 	return srv, nil
 }
 
@@ -950,6 +956,11 @@ func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	// Withdraw from the collocation registry first: the generation bump
+	// sends bound clients back to detection, which skips closed servers, so
+	// their next invoke takes the wire path (and its own error handling)
+	// instead of a stale direct pointer.
+	unregisterLocal(s.net, s.ln.Addr(), s)
 	_ = s.ln.Close()
 	s.mu.Lock()
 	conns := s.conns

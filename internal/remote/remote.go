@@ -107,6 +107,14 @@ func (s *exportServant) InvokeWithPriority(op string, in []byte, priority byte) 
 // Proxies are safe for concurrent use: Sends from many goroutines (and from
 // sibling proxies on the same client) pipeline over the client's one
 // multiplexed connection instead of serialising.
+//
+// A proxy on a Collocate-enabled client (orb.ClientConfig.Collocate)
+// inherits the collocated fast path: when the bound port's server lives in
+// this process, Send dispatches the exported port's servant directly —
+// message marshalling still runs (the receiving port unmarshals a copy
+// either way), but the GIOP wire round trip disappears. The collocation
+// decision is the client's: re-detected after every swap and retarget,
+// falling back to the wire rather than holding a stale pointer.
 type Proxy struct {
 	cl   *orb.Client
 	key  string
